@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-full examples clean loc
+
+all: build test
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every table and figure (quick scale, ~1 minute).
+bench:
+	dune exec bench/main.exe
+
+# The EXPERIMENTS.md configuration (~15 minutes).
+bench-full:
+	RENAMING_SCALE=full dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/device_demo.exe
+	dune exec examples/coordination.exe
+	dune exec examples/adversary_showdown.exe
+	dune exec examples/namespace_tradeoff.exe
+	dune exec examples/replay_debugging.exe
+	dune exec examples/multicore_names.exe
+
+clean:
+	dune clean
+
+loc:
+	@find lib bin bench test examples \( -name '*.ml' -o -name '*.mli' \) | xargs wc -l | tail -1
