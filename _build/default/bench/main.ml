@@ -1,0 +1,148 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the reproduction (the
+   registry of EXPERIMENTS.md) at the scale selected by RENAMING_SCALE
+   (quick by default, "full" for the EXPERIMENTS.md configuration).
+
+   Part 2 runs one Bechamel micro-benchmark per table/figure family,
+   measuring the wall-clock cost of the code that regenerates it — the
+   simulator and device are the system under test here, not the paper's
+   step complexity (which part 1 reports). *)
+
+module Registry = Renaming_harness.Registry
+module Runcfg = Renaming_harness.Runcfg
+module Params = Renaming_core.Params
+module Tight = Renaming_core.Tight
+module Geometric = Renaming_core.Loose_geometric
+module Clustered = Renaming_core.Loose_clustered
+module Combined = Renaming_core.Combined
+module Device = Renaming_device.Counting_device
+module Sortnet_renaming = Renaming_baselines.Sortnet_renaming
+module Adversary = Renaming_sched.Adversary
+module Fit = Renaming_stats.Fit
+
+open Bechamel
+open Toolkit
+
+(* ---------- Part 2: micro-benchmarks, one per table/figure ---------- *)
+
+let tight_params = Params.make ~policy:Params.Mass_conserving ~n:256 ()
+let literal_params = Params.make ~policy:Params.Paper_literal ~n:256 ()
+
+let bench_t1 () = ignore (Tight.run ~params:tight_params ~seed:1L ())
+
+let bench_t1b () = ignore (Tight.run ~params:literal_params ~seed:1L ())
+
+let lemma3_rng = Renaming_rng.Xoshiro.create 3L
+
+let bench_t2 () =
+  (* one balls-into-bins trial at n = 4096 *)
+  let bins = 24 and balls = 96 in
+  let hit = Array.make bins false in
+  for _ = 1 to balls do
+    hit.(Renaming_rng.Sample.uniform_int lemma3_rng bins) <- true
+  done;
+  ignore (Array.fold_left (fun acc h -> if h then acc else acc + 1) 0 hit)
+
+let bench_t3 () =
+  let instr = Tight.create_instrumentation tight_params in
+  ignore (Tight.run ~instr ~params:tight_params ~seed:2L ())
+
+let bench_t4 () = ignore (Geometric.run { Geometric.n = 1024; ell = 2 } ~seed:3L)
+
+let bench_t5 () =
+  ignore (Combined.run { Combined.n = 1024; variant = Combined.Geometric { ell = 2 } } ~seed:4L)
+
+let bench_t6 () = ignore (Clustered.run { Clustered.n = 1024; ell = 1 } ~seed:5L)
+
+let bench_t7 () =
+  ignore (Combined.run { Combined.n = 1024; variant = Combined.Clustered { ell = 1 } } ~seed:6L)
+
+let bench_t8 () =
+  ignore (Sortnet_renaming.run ~kind:Sortnet_renaming.Bitonic ~n:256 ~width:256 ~seed:7L ())
+
+let bench_t9 () =
+  ignore (Tight.run ~adversary:Adversary.adaptive_contention ~params:tight_params ~seed:8L ())
+
+let device_rng = Renaming_rng.Xoshiro.create 10L
+
+let bench_t10 () =
+  let d = Device.create ~width:40 ~threshold:20 () in
+  for _ = 1 to 30 do
+    let requests =
+      Array.init 30 (fun i -> (i, Renaming_rng.Sample.uniform_int device_rng 40))
+    in
+    ignore (Device.tick d ~requests)
+  done
+
+let fit_points =
+  Array.map
+    (fun n -> (float_of_int n, 22. *. (log (float_of_int n) /. log 2.)))
+    [| 256; 512; 1024; 2048; 4096; 8192 |]
+
+let bench_f1 () = ignore (Fit.best_fit fit_points)
+
+let bench_f2 () =
+  let cfg = { Geometric.n = 4096; ell = 2 } in
+  let instr = Geometric.create_instrumentation cfg in
+  ignore (Geometric.run ~instr cfg ~seed:9L)
+
+let bench_f3 () =
+  ignore (Combined.run { Combined.n = 1024; variant = Combined.Geometric { ell = 3 } } ~seed:11L)
+
+let micro_tests =
+  Test.make_grouped ~name:"renaming"
+    [
+      Test.make ~name:"T1.tight.n256" (Staged.stage bench_t1);
+      Test.make ~name:"T1b.tight-literal.n256" (Staged.stage bench_t1b);
+      Test.make ~name:"T2.lemma3.trial" (Staged.stage bench_t2);
+      Test.make ~name:"T3.tight.instrumented" (Staged.stage bench_t3);
+      Test.make ~name:"T4.loose-geometric.n1024" (Staged.stage bench_t4);
+      Test.make ~name:"T5.cor7.n1024" (Staged.stage bench_t5);
+      Test.make ~name:"T6.loose-clustered.n1024" (Staged.stage bench_t6);
+      Test.make ~name:"T7.cor9.n1024" (Staged.stage bench_t7);
+      Test.make ~name:"T8.sortnet-renaming.n256" (Staged.stage bench_t8);
+      Test.make ~name:"T9.adaptive-adversary.n256" (Staged.stage bench_t9);
+      Test.make ~name:"T10.device.30cycles" (Staged.stage bench_t10);
+      Test.make ~name:"F1.shape-fit" (Staged.stage bench_f1);
+      Test.make ~name:"F2.round-decay.n4096" (Staged.stage bench_f2);
+      Test.make ~name:"F3.tradeoff.n1024" (Staged.stage bench_f3);
+    ]
+
+let run_micro_benchmarks () =
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] micro_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Printf.printf "%-38s %16s %10s\n" "micro-benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 66 '-');
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+      in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+      let pretty =
+        if estimate > 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+        else Printf.sprintf "%.1f ns" estimate
+      in
+      Printf.printf "%-38s %16s %10.4f\n" name pretty r2)
+    rows
+
+let () =
+  let scale = Runcfg.of_env () in
+  Printf.printf
+    "Randomized Renaming in Shared Memory Systems (IPDPS 2015) — reproduction harness\n";
+  Printf.printf "scale: %s (set RENAMING_SCALE=full for the EXPERIMENTS.md configuration)\n"
+    (Runcfg.scale_name scale);
+  Printf.printf "\n=== Part 1: every table and figure ===\n";
+  Registry.run_all ~scale ~out:Format.std_formatter;
+  Format.print_flush ();
+  Printf.printf "\n=== Part 2: Bechamel micro-benchmarks (one per table/figure) ===\n\n%!";
+  run_micro_benchmarks ()

@@ -1,0 +1,148 @@
+(* Command-line driver: list and run the paper's experiments, or run a
+   single renaming instance and print its report. *)
+
+open Cmdliner
+module Registry = Renaming_harness.Registry
+module Runcfg = Renaming_harness.Runcfg
+module Table = Renaming_harness.Table
+module Params = Renaming_core.Params
+module Report = Renaming_sched.Report
+module Adversary = Renaming_sched.Adversary
+
+let scale_arg =
+  let scale = Arg.enum [ ("quick", Runcfg.Quick); ("full", Runcfg.Full) ] in
+  Arg.(value & opt scale Runcfg.Quick & info [ "scale" ] ~docv:"SCALE"
+         ~doc:"Experiment scale: $(b,quick) or $(b,full).")
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-4s %s\n     claim: %s\n" e.Registry.id e.Registry.title e.Registry.claim)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List every reproducible experiment (tables and figures).")
+    Term.(const run $ const ())
+
+let csv_arg =
+  Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR"
+         ~doc:"Also write each experiment's rows as $(docv)/<id>.csv.")
+
+let write_csv dir id table =
+  let path = Filename.concat dir (String.lowercase_ascii id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (Table.to_csv table);
+  close_out oc;
+  Printf.printf "(csv written to %s)\n" path
+
+let run_cmd =
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let run scale csv ids =
+    List.iter
+      (fun id ->
+        match Registry.find id with
+        | Some e ->
+          let table = e.Registry.run scale in
+          Printf.printf "[%s] %s\nclaim: %s\n\n%s\n" e.Registry.id e.Registry.title
+            e.Registry.claim (Table.render table);
+          Option.iter (fun dir -> write_csv dir e.Registry.id table) csv
+        | None ->
+          Printf.eprintf "unknown experiment id %S (try `renaming list`)\n" id;
+          exit 1)
+      ids
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run selected experiments by id (e.g. T1 F2).")
+    Term.(const run $ scale_arg $ csv_arg $ ids)
+
+let all_cmd =
+  let run scale csv =
+    Printf.printf "scale: %s\n" (Runcfg.scale_name scale);
+    match csv with
+    | None -> Registry.run_all ~scale ~out:Format.std_formatter
+    | Some dir ->
+      List.iter
+        (fun e ->
+          let table = e.Registry.run scale in
+          Printf.printf "[%s] %s\n\n%s\n" e.Registry.id e.Registry.title (Table.render table);
+          write_csv dir e.Registry.id table)
+        Registry.all
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment in registry order.")
+    Term.(const run $ scale_arg $ csv_arg)
+
+let adversary_of_name seed = function
+  | "round-robin" -> Adversary.round_robin ()
+  | "uniform" -> Adversary.uniform (Renaming_rng.Stream.fork_named (Renaming_rng.Stream.create seed) ~name:"adversary")
+  | "lifo" -> Adversary.lifo
+  | "adaptive" -> Adversary.adaptive_contention
+  | "colluding" -> Adversary.colluding
+  | other -> invalid_arg (Printf.sprintf "unknown adversary %S" other)
+
+let demo_cmd =
+  let algorithm =
+    Arg.(value & opt string "tight" & info [ "algorithm"; "a" ] ~docv:"ALGO"
+           ~doc:"One of: tight, tight-literal, loose-geometric, loose-clustered, cor7, cor9, adaptive, grid.")
+  in
+  let n = Arg.(value & opt int 1024 & info [ "n" ] ~doc:"Number of processes.") in
+  let ell = Arg.(value & opt int 2 & info [ "l" ] ~doc:"The l parameter of the loose algorithms.") in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Random seed.") in
+  let adversary =
+    Arg.(value & opt string "round-robin" & info [ "adversary" ] ~docv:"ADV"
+           ~doc:"round-robin, uniform, lifo, adaptive or colluding.")
+  in
+  let run algorithm n ell seed adversary_name =
+    let adversary = adversary_of_name seed adversary_name in
+    let report =
+      match algorithm with
+      | "tight" ->
+        let params = Params.make ~policy:Params.Mass_conserving ~n () in
+        Renaming_core.Tight.run ~adversary ~params ~seed ()
+      | "tight-literal" ->
+        let params = Params.make ~policy:Params.Paper_literal ~n () in
+        Renaming_core.Tight.run ~adversary ~params ~seed ()
+      | "loose-geometric" ->
+        Renaming_core.Loose_geometric.run ~adversary { Renaming_core.Loose_geometric.n; ell } ~seed
+      | "loose-clustered" ->
+        Renaming_core.Loose_clustered.run ~adversary { Renaming_core.Loose_clustered.n; ell } ~seed
+      | "cor7" ->
+        Renaming_core.Combined.run ~adversary
+          { Renaming_core.Combined.n; variant = Renaming_core.Combined.Geometric { ell } }
+          ~seed
+      | "cor9" ->
+        Renaming_core.Combined.run ~adversary
+          { Renaming_core.Combined.n; variant = Renaming_core.Combined.Clustered { ell } }
+          ~seed
+      | "adaptive" ->
+        Renaming_core.Adaptive.run ~adversary (Renaming_core.Adaptive.make_config ~k:n ()) ~seed
+      | "grid" ->
+        Renaming_splitter.Grid.run ~adversary (Renaming_splitter.Grid.make_config ~n ())
+      | other ->
+        Printf.eprintf "unknown algorithm %S\n" other;
+        exit 1
+    in
+    Format.printf "%a@." Report.pp report
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run one renaming instance and print its report.")
+    Term.(const run $ algorithm $ n $ ell $ seed $ adversary)
+
+let multicore_cmd =
+  let n = Arg.(value & opt int 65536 & info [ "n" ] ~doc:"Number of processes.") in
+  let ell = Arg.(value & opt int 2 & info [ "l" ] ~doc:"The l parameter.") in
+  let domains = Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Domain count.") in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Random seed.") in
+  let run n ell domains seed =
+    let result = Renaming_concurrent.Mc_run.loose_geometric ?domains ~n ~ell ~seed () in
+    Printf.printf
+      "multicore loose-geometric: n=%d domains=%d wall=%.3fs max steps=%d unnamed=%d valid=%b\n" n
+      result.Renaming_concurrent.Mc_run.domains
+      result.Renaming_concurrent.Mc_run.wall_seconds
+      (Renaming_concurrent.Mc_run.max_steps result)
+      (Renaming_concurrent.Mc_run.unnamed_count result)
+      (Renaming_shm.Assignment.is_valid result.Renaming_concurrent.Mc_run.assignment)
+  in
+  Cmd.v (Cmd.info "multicore" ~doc:"Run the Lemma 6 algorithm on real OCaml 5 domains.")
+    Term.(const run $ n $ ell $ domains $ seed)
+
+let () =
+  let doc = "Randomized renaming in shared memory systems (IPDPS 2015) — reproduction toolkit" in
+  let info = Cmd.info "renaming" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd; multicore_cmd ]))

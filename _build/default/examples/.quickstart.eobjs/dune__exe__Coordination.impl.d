@@ -1,0 +1,1 @@
+examples/coordination.ml: Printf Renaming_apps Renaming_rng

@@ -1,0 +1,1 @@
+examples/device_demo.ml: Array Format Printf Renaming_bitops Renaming_device String

@@ -1,0 +1,1 @@
+examples/namespace_tradeoff.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Renaming_core Renaming_sched Renaming_shm

@@ -1,0 +1,51 @@
+(* Adversary showdown: the same loose-renaming workload under the full
+   gallery of schedulers the model of sec. II-A allows — fair, unfair,
+   adaptive, crashing, and with staggered arrivals.
+
+   Run with:  dune exec examples/adversary_showdown.exe *)
+
+module Combined = Renaming_core.Combined
+module Adversary = Renaming_sched.Adversary
+module Report = Renaming_sched.Report
+module Stream = Renaming_rng.Stream
+module Arrival = Renaming_workload.Arrival
+module Crash_pattern = Renaming_workload.Crash_pattern
+
+let () =
+  let n = 1024 in
+  let cfg = { Combined.n; variant = Combined.Geometric { ell = 2 } } in
+  let seed = 7L in
+  let stream = Stream.create 0xD1CEL in
+  let contenders =
+    [
+      ("fair round-robin", Adversary.round_robin ());
+      ("uniform random", Adversary.uniform (Stream.fork_named stream ~name:"uniform"));
+      ("LIFO (starves low pids)", Adversary.lifo);
+      ("adaptive contention", Adversary.adaptive_contention);
+      ("colluding", Adversary.colluding);
+      ( "10% random crashes",
+        Adversary.with_crashes ~base:(Adversary.round_robin ())
+          ~crash_times:
+            (Crash_pattern.random
+               ~rng:(Stream.fork_named stream ~name:"crashes")
+               ~n ~failures:(n / 10) ~horizon:(4 * n)) );
+      ( "bursty arrivals",
+        Arrival.adversary (Arrival.Bursty { bursts = 4; gap = 2000 }) ~n
+          ~base:(Adversary.round_robin ()) );
+    ]
+  in
+  Format.printf "Corollary 7 renaming (n=%d, m=%d) under %d adversaries:@.@." n
+    (Combined.namespace cfg) (List.length contenders);
+  Format.printf "  %-28s %10s %10s %10s %8s@." "adversary" "max steps" "crashed" "unnamed"
+    "sound";
+  List.iter
+    (fun (label, adversary) ->
+      let report = Combined.run ~adversary cfg ~seed in
+      Format.printf "  %-28s %10d %10d %10d %8b@." label (Report.max_steps report)
+        (List.length report.Report.crashed)
+        (List.length (Report.surviving_unnamed report))
+        (Report.is_sound report))
+    contenders;
+  Format.printf
+    "@.No adversary can break soundness; crashes only remove contenders, and the step\n\
+     complexity stays in the O((log log n)^2) regime the corollary promises.@."

@@ -1,0 +1,51 @@
+(* Namespace trade-off: how much namespace slack buys how many steps.
+
+   Sweeps the l knob of Corollaries 7 and 9 at a fixed n and prints the
+   (slack, steps) frontier, together with the two baselines that bracket
+   it: uniform probing at 2n (lots of slack, very fast) and the
+   tau-register tight algorithm (zero slack, O(log n) steps).
+
+   Run with:  dune exec examples/namespace_tradeoff.exe *)
+
+module Combined = Renaming_core.Combined
+module Params = Renaming_core.Params
+module Tight = Renaming_core.Tight
+module Uniform_probing = Renaming_baselines.Uniform_probing
+module Report = Renaming_sched.Report
+
+let () =
+  let n = 4096 in
+  let seed = 99L in
+  Format.printf "namespace slack vs step complexity at n = %d@.@." n;
+  Format.printf "  %-24s %8s %10s %10s@." "algorithm" "m" "slack %" "max steps";
+  let row label m steps =
+    Format.printf "  %-24s %8d %10.2f %10d@." label m
+      (100. *. float_of_int (m - n) /. float_of_int n)
+      steps
+  in
+  (* The frontier of the paper's corollaries. *)
+  List.iter
+    (fun ell ->
+      let cfg = { Combined.n; variant = Combined.Geometric { ell } } in
+      let report = Combined.run cfg ~seed in
+      row (Printf.sprintf "Cor 7 (geometric, l=%d)" ell) (Combined.namespace cfg)
+        (Report.max_steps report))
+    [ 1; 2; 3 ];
+  List.iter
+    (fun ell ->
+      let cfg = { Combined.n; variant = Combined.Clustered { ell } } in
+      let report = Combined.run cfg ~seed in
+      row (Printf.sprintf "Cor 9 (clustered, l=%d)" ell) (Combined.namespace cfg)
+        (Report.max_steps report))
+    [ 1; 2 ];
+  (* Brackets. *)
+  let probing = Uniform_probing.run (Uniform_probing.make_config ~n ~m:(2 * n) ()) ~seed in
+  row "uniform probing" (2 * n) (Report.max_steps probing);
+  let params = Params.make ~policy:Params.Mass_conserving ~n () in
+  let tight = Tight.run ~params ~seed () in
+  row "tight (tau-register)" n (Report.max_steps tight);
+  Format.printf
+    "@.Reading the frontier: each extra l divides the namespace slack by loglog n (Cor 7)\n\
+     or log n (Cor 9) while the step complexity stays poly-double-logarithmic — the\n\
+     paper's headline result.  Tight renaming (slack 0) costs O(log n) and needs the\n\
+     tau-register hardware.@."

@@ -1,0 +1,1 @@
+lib/apps/barrier.ml: Token_dispenser

@@ -1,0 +1,1 @@
+lib/apps/barrier.mli: Renaming_rng

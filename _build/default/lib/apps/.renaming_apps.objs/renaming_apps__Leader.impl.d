@@ -1,0 +1,1 @@
+lib/apps/leader.ml: Array Renaming_device

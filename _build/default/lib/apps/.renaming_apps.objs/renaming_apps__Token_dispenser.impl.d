@@ -1,0 +1,1 @@
+lib/apps/token_dispenser.ml: Array Hashtbl Renaming_bitops Renaming_device Renaming_rng

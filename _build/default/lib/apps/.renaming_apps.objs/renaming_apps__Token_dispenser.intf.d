@@ -1,0 +1,1 @@
+lib/apps/token_dispenser.mli: Renaming_device Renaming_rng

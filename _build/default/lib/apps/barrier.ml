@@ -1,0 +1,16 @@
+type t = { dispenser : Token_dispenser.t; parties : int }
+
+let create ?tau ~parties () =
+  if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
+  { dispenser = Token_dispenser.create ?tau ~capacity:parties (); parties }
+
+let parties t = t.parties
+
+let arrive t ~pid ~rng =
+  match Token_dispenser.try_acquire t.dispenser ~pid ~rng with
+  | Some _ -> true
+  | None -> false
+
+let arrived t = Token_dispenser.granted t.dispenser
+
+let is_released t = arrived t = t.parties

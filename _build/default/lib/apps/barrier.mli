@@ -1,0 +1,22 @@
+(** A single-use arrival barrier on top of the counting device.
+
+    [parties] processes each acquire one token from a dispenser of
+    capacity [parties]; the barrier is passed once every token is gone.
+    The device guarantees the count can never overshoot, so a spurious
+    extra arrival (a bug in the caller, or a Byzantine straggler
+    re-arriving) is rejected rather than corrupting the count — the
+    property a fetch-and-increment barrier does not give you. *)
+
+type t
+
+val create : ?tau:int -> parties:int -> unit -> t
+
+val parties : t -> int
+
+val arrive : t -> pid:int -> rng:Renaming_rng.Xoshiro.t -> bool
+(** [true] iff the arrival was admitted (the first [parties] calls). *)
+
+val arrived : t -> int
+
+val is_released : t -> bool
+(** All parties have arrived. *)

@@ -1,0 +1,16 @@
+module Device = Renaming_device.Counting_device
+
+type t = { device : Device.t; mutable leader : int option }
+
+let create () = { device = Device.create ~width:2 ~threshold:1 (); leader = None }
+
+let compete t ~pid =
+  if Device.is_full t.device then false
+  else begin
+    let outcomes = Device.tick t.device ~requests:[| (pid, 0); (pid, 1) |] in
+    let won = Array.exists (fun o -> o = Device.Confirmed) outcomes in
+    if won && t.leader = None then t.leader <- Some pid;
+    won
+  end
+
+let leader t = t.leader

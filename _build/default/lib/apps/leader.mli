@@ -1,0 +1,17 @@
+(** One-shot leader election: a counting device with threshold 1.
+
+    Exactly one of any number of competing processes wins; everyone
+    learns the verdict in O(1) device cycles.  (Equivalent to a single
+    hardware TAS, expressed through the τ-register machinery to show
+    the device generalises it: a τ-register with τ = 1 *is* a TAS
+    register.) *)
+
+type t
+
+val create : unit -> t
+
+val compete : t -> pid:int -> bool
+(** [true] for exactly one caller, ever. *)
+
+val leader : t -> int option
+(** The winner's pid, once elected. *)

@@ -1,0 +1,106 @@
+module Device = Renaming_device.Counting_device
+module Sample = Renaming_rng.Sample
+
+type t = {
+  capacity : int;
+  tau : int;
+  devices : Device.t array;
+  (* capacity of the last device may be smaller than tau *)
+  granted_tokens : (int, int) Hashtbl.t;  (* token -> pid *)
+}
+
+let create ?rule ?(tau = 16) ~capacity () =
+  if capacity < 1 then invalid_arg "Token_dispenser.create: capacity must be >= 1";
+  if tau < 1 || tau > 31 then invalid_arg "Token_dispenser.create: tau must be in [1, 31]";
+  let device_count = (capacity + tau - 1) / tau in
+  let devices =
+    Array.init device_count (fun d ->
+        let this_tau = min tau (capacity - (d * tau)) in
+        Device.create ?rule ~width:(2 * this_tau) ~threshold:this_tau ())
+  in
+  { capacity; tau; devices; granted_tokens = Hashtbl.create 64 }
+
+let capacity t = t.capacity
+let device_count t = Array.length t.devices
+
+let granted t =
+  Array.fold_left (fun acc d -> acc + Device.accepted_count d) 0 t.devices
+
+let remaining t = t.capacity - granted t
+
+let is_exhausted t = remaining t = 0
+
+type grant = { token : int; probes : int }
+
+(* One probe: submit a single-request cycle for a random free-looking
+   bit of device [d]; a Confirmed outcome is a token. *)
+let probe_device t ~pid d =
+  let device = t.devices.(d) in
+  if Device.is_full device then None
+  else begin
+    let width = Device.width device in
+    (* Deterministically target the first unset bit: with one request
+       per cycle there is no race to lose, only the threshold check. *)
+    let in_reg = Device.in_reg device in
+    let rec first_free bit = if bit >= width then None else
+        if not (Renaming_bitops.Word.test_bit in_reg bit) then Some bit
+        else first_free (bit + 1)
+    in
+    match first_free 0 with
+    | None -> None
+    | Some bit ->
+      let outcomes = Device.tick device ~requests:[| (pid, bit) |] in
+      (match outcomes.(0) with
+      | Device.Confirmed ->
+        (* A bit is won at most once, so (device, bit) is a unique
+           token id; ids are sparse but stable. *)
+        Some ((d * 2 * t.tau) + bit)
+      | Device.Lost | Device.Revoked -> None)
+  end
+
+let try_acquire t ~pid ~rng =
+  let n_dev = Array.length t.devices in
+  let probes = ref 0 in
+  (* Random probing phase: up to 2·devices random attempts. *)
+  let rec random_phase attempts =
+    if attempts = 0 then None
+    else begin
+      incr probes;
+      match probe_device t ~pid (Sample.uniform_int rng n_dev) with
+      | Some token -> Some token
+      | None -> random_phase (attempts - 1)
+    end
+  in
+  let sweep_phase () =
+    let rec go d =
+      if d >= n_dev then None
+      else begin
+        incr probes;
+        match probe_device t ~pid d with Some token -> Some token | None -> go (d + 1)
+      end
+    in
+    go 0
+  in
+  let token =
+    match random_phase (2 * n_dev) with Some tok -> Some tok | None -> sweep_phase ()
+  in
+  match token with
+  | Some token ->
+    (match Hashtbl.find_opt t.granted_tokens token with
+    | Some _ -> invalid_arg "Token_dispenser: duplicate token grant (bug)"
+    | None ->
+      Hashtbl.add t.granted_tokens token pid;
+      Some { token; probes = !probes })
+  | None -> None
+
+let check_invariants t =
+  if granted t > t.capacity then Error "granted more tokens than capacity"
+  else if Hashtbl.length t.granted_tokens <> granted t then
+    Error "token ledger disagrees with device state"
+  else begin
+    let bad = ref None in
+    Array.iter
+      (fun d -> match Device.check_invariants d with Ok () -> () | Error e -> bad := Some e)
+      t.devices;
+    match !bad with Some e -> Error e | None -> Ok ()
+  end

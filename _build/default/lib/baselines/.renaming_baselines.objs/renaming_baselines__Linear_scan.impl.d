@@ -1,0 +1,1 @@
+lib/baselines/linear_scan.ml: Array Renaming_sched

@@ -1,0 +1,1 @@
+lib/baselines/sortnet_renaming.mli: Renaming_sched Renaming_sortnet

@@ -1,0 +1,1 @@
+lib/baselines/uniform_probing.ml: Array Printf Renaming_rng Renaming_sched

@@ -1,0 +1,1 @@
+lib/baselines/uniform_probing.mli: Renaming_rng Renaming_sched

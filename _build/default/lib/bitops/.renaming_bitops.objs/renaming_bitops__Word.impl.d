@@ -1,0 +1,1 @@
+lib/bitops/word.ml: Format List Sys

@@ -1,0 +1,1 @@
+lib/bitops/word.mli: Format

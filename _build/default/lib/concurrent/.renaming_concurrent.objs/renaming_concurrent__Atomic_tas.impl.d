@@ -1,0 +1,1 @@
+lib/concurrent/atomic_tas.ml: Array Atomic Renaming_shm

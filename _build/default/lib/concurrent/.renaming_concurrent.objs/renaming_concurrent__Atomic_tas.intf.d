@@ -1,0 +1,1 @@
+lib/concurrent/atomic_tas.mli: Renaming_shm

@@ -1,0 +1,1 @@
+lib/concurrent/mc_run.ml: Array Atomic_tas Domain List Renaming_rng Renaming_shm Unix

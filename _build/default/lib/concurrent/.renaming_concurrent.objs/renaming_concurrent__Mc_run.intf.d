@@ -1,0 +1,1 @@
+lib/concurrent/mc_run.mli: Renaming_shm

@@ -1,0 +1,26 @@
+(** Lock-free test-and-set register arrays on real shared memory.
+
+    The OCaml 5 multicore backend: registers are [Atomic.t] cells and a
+    TAS is one [compare_and_set] from the free state — exactly the
+    hardware TAS the paper's standard model assumes (§IV: "registers …
+    on which they can perform TAS operations implemented in hardware").
+    Used by {!Mc_run} to execute the loose algorithms on actual parallel
+    domains rather than under the simulator. *)
+
+type t
+
+val create : int -> t
+
+val size : t -> int
+
+val test_and_set : t -> idx:int -> pid:int -> bool
+(** Linearizable; exactly one caller ever wins each register. *)
+
+val is_set : t -> int -> bool
+
+val owner : t -> int -> int option
+
+val set_count : t -> int
+(** O(size); intended for post-run validation, not hot paths. *)
+
+val to_assignment : t -> processes:int -> Renaming_shm.Assignment.t

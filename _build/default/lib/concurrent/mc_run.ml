@@ -1,0 +1,182 @@
+module Stream = Renaming_rng.Stream
+module Sample = Renaming_rng.Sample
+
+type result = {
+  assignment : Renaming_shm.Assignment.t;
+  steps : int array;
+  wall_seconds : float;
+  domains : int;
+}
+
+let max_steps r = Array.fold_left max 0 r.steps
+
+let unnamed_count r =
+  Array.length r.assignment.Renaming_shm.Assignment.names
+  - Renaming_shm.Assignment.named_count r.assignment
+
+let recommended_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* A process's life is a sequence of segments: random probes into a
+   register range, or a deterministic sweep of a range. *)
+type segment =
+  | Probe of { base : int; size : int; count : int }
+  | Sweep of { base : int; size : int }
+
+type proc = {
+  pid : int;
+  rng : Renaming_rng.Xoshiro.t;
+  schedule : segment array;
+  mutable seg : int;
+  mutable budget : int;  (* probes left in the current Probe segment *)
+  mutable cursor : int;  (* position in the current Sweep segment *)
+  mutable name : int option;
+  mutable steps : int;
+  mutable finished : bool;
+}
+
+let enter_segment p =
+  if p.seg >= Array.length p.schedule then p.finished <- true
+  else
+    match p.schedule.(p.seg) with
+    | Probe { count; _ } -> p.budget <- count
+    | Sweep _ -> p.cursor <- 0
+
+(* One shared-memory step (or retirement).  Returns [true] if the
+   process is still active afterwards. *)
+let rec step regs p =
+  if p.finished then false
+  else
+    match p.schedule.(p.seg) with
+    | Probe { base; size; count = _ } ->
+      if p.budget = 0 then begin
+        p.seg <- p.seg + 1;
+        enter_segment p;
+        step regs p
+      end
+      else begin
+        p.budget <- p.budget - 1;
+        let target = base + Sample.uniform_int p.rng size in
+        p.steps <- p.steps + 1;
+        if Atomic_tas.test_and_set regs ~idx:target ~pid:p.pid then begin
+          p.name <- Some target;
+          p.finished <- true;
+          false
+        end
+        else true
+      end
+    | Sweep { base; size } ->
+      if p.cursor >= size then begin
+        p.seg <- p.seg + 1;
+        enter_segment p;
+        step regs p
+      end
+      else begin
+        let target = base + p.cursor in
+        p.cursor <- p.cursor + 1;
+        p.steps <- p.steps + 1;
+        if Atomic_tas.test_and_set regs ~idx:target ~pid:p.pid then begin
+          p.name <- Some target;
+          p.finished <- true;
+          false
+        end
+        else true
+      end
+
+let execute ?domains ~n ~namespace ~schedule_of_pid ~seed () =
+  let domains = match domains with Some d -> max 1 d | None -> recommended_domains () in
+  let regs = Atomic_tas.create namespace in
+  let stream = Stream.create seed in
+  let make_proc pid =
+    let p =
+      {
+        pid;
+        rng = Stream.fork stream ~index:pid;
+        schedule = schedule_of_pid pid;
+        seg = 0;
+        budget = 0;
+        cursor = 0;
+        name = None;
+        steps = 0;
+        finished = false;
+      }
+    in
+    enter_segment p;
+    p
+  in
+  let shards =
+    Array.init domains (fun d ->
+        let pids = ref [] in
+        let pid = ref (n - 1) in
+        while !pid >= 0 do
+          if !pid mod domains = d then pids := !pid :: !pids;
+          decr pid
+        done;
+        Array.of_list (List.map make_proc !pids))
+  in
+  let run_shard shard () =
+    (* Interleave the shard's processes one step at a time so in-domain
+       processes advance concurrently too. *)
+    let active = ref (Array.length shard) in
+    while !active > 0 do
+      active := 0;
+      Array.iter (fun p -> if step regs p then incr active) shard
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let handles =
+    Array.map (fun shard -> Domain.spawn (run_shard shard)) (Array.sub shards 1 (domains - 1))
+  in
+  run_shard shards.(0) ();
+  Array.iter Domain.join handles;
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let steps = Array.make n 0 in
+  let names = Array.make n None in
+  Array.iter
+    (Array.iter (fun p ->
+         steps.(p.pid) <- p.steps;
+         names.(p.pid) <- p.name))
+    shards;
+  {
+    assignment = Renaming_shm.Assignment.make ~namespace names;
+    steps;
+    wall_seconds;
+    domains;
+  }
+
+let pow2 e =
+  let rec go acc e = if e = 0 then acc else go (acc * 2) (e - 1) in
+  go 1 e
+
+let log2_ceil n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (p * 2) in
+  go 0 1
+
+let loglog_ceil n = max 1 (log2_ceil (max 2 (log2_ceil n)))
+
+let logloglog_ceil n = max 1 (log2_ceil (max 2 (loglog_ceil n)))
+
+let loose_geometric ?domains ~n ~ell ~seed () =
+  if n < 4 || ell < 1 then invalid_arg "Mc_run.loose_geometric: bad parameters";
+  let rounds = ell * logloglog_ceil n in
+  let schedule =
+    Array.init rounds (fun i -> Probe { base = 0; size = n; count = pow2 (i + 1) })
+  in
+  execute ?domains ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule) ~seed ()
+
+let loose_clustered ?domains ~n ~ell ~seed () =
+  if n < 4 || ell < 1 then invalid_arg "Mc_run.loose_clustered: bad parameters";
+  let phases = loglog_ceil n in
+  let per_phase = 2 * ell * loglog_ceil n in
+  let schedule = Array.make phases (Probe { base = 0; size = n; count = per_phase }) in
+  let base = ref 0 in
+  for j = 1 to phases do
+    let size = if j = phases then n - !base else max 1 (n / pow2 j) in
+    schedule.(j - 1) <- Probe { base = !base; size; count = per_phase };
+    base := !base + size
+  done;
+  execute ?domains ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule) ~seed ()
+
+let uniform_probing ?domains ~n ~m ~seed () =
+  if n < 1 || m < n then invalid_arg "Mc_run.uniform_probing: bad parameters";
+  let schedule = [| Probe { base = 0; size = m; count = 4 * m }; Sweep { base = 0; size = m } |] in
+  execute ?domains ~n ~namespace:m ~schedule_of_pid:(fun _ -> schedule) ~seed ()

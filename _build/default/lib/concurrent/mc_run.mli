@@ -1,0 +1,36 @@
+(** Multicore execution of the standard-model algorithms.
+
+    Processes are partitioned over OCaml 5 domains; within a domain the
+    per-process step loops are interleaved step-by-step (so in-domain
+    processes progress concurrently too), while cross-domain contention
+    on the {!Atomic_tas} registers is the real thing.  Step counts use
+    the same accounting as the simulator, so the step-complexity tables
+    can be cross-checked between backends.
+
+    Per-process randomness is forked from the seed exactly like in the
+    simulator ([Stream.fork ~index:pid]); scheduling nondeterminism is
+    genuine, so only distribution-level quantities are comparable across
+    backends, not individual runs. *)
+
+type result = {
+  assignment : Renaming_shm.Assignment.t;
+  steps : int array;  (** per process *)
+  wall_seconds : float;
+  domains : int;
+}
+
+val max_steps : result -> int
+val unnamed_count : result -> int
+
+val loose_geometric : ?domains:int -> n:int -> ell:int -> seed:int64 -> unit -> result
+(** Lemma 6 on real domains: namespace [n], geometric rounds. *)
+
+val loose_clustered : ?domains:int -> n:int -> ell:int -> seed:int64 -> unit -> result
+(** Lemma 8 on real domains (with the tail-absorbing last cluster). *)
+
+val uniform_probing :
+  ?domains:int -> n:int -> m:int -> seed:int64 -> unit -> result
+(** The naive baseline; probes until won (deterministic sweep after
+    [4m] probes, as in the simulator backend). *)
+
+val recommended_domains : unit -> int

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Mathx Printf Renaming_rng Renaming_sched Renaming_shm

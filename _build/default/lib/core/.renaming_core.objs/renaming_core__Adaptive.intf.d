@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Renaming_rng Renaming_sched

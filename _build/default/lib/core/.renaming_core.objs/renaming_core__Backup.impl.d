@@ -1,0 +1,1 @@
+lib/core/backup.ml: Renaming_rng Renaming_sched

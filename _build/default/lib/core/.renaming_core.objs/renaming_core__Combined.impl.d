@@ -1,0 +1,1 @@
+lib/core/combined.ml: Array Backup Loose_clustered Loose_geometric Mathx Printf Renaming_rng Renaming_sched

@@ -1,0 +1,1 @@
+lib/core/combined.mli: Renaming_rng Renaming_sched

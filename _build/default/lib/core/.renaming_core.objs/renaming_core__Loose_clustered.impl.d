@@ -1,0 +1,1 @@
+lib/core/loose_clustered.ml: Array Mathx Renaming_rng Renaming_sched

@@ -1,0 +1,1 @@
+lib/core/loose_clustered.mli: Renaming_rng Renaming_sched

@@ -1,0 +1,1 @@
+lib/core/loose_geometric.ml: Array Mathx Renaming_rng Renaming_sched Renaming_stats

@@ -1,0 +1,1 @@
+lib/core/loose_geometric.mli: Renaming_rng Renaming_sched

@@ -1,0 +1,1 @@
+lib/core/tight.ml: Array Params Renaming_device Renaming_rng Renaming_sched

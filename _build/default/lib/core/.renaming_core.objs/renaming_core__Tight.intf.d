@@ -1,0 +1,1 @@
+lib/core/tight.mli: Params Renaming_device Renaming_rng Renaming_sched

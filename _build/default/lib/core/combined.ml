@@ -1,0 +1,72 @@
+module Program = Renaming_sched.Program
+module Executor = Renaming_sched.Executor
+module Memory = Renaming_sched.Memory
+module Adversary = Renaming_sched.Adversary
+module Stream = Renaming_rng.Stream
+open Program.Syntax
+
+type variant = Geometric of { ell : int } | Clustered of { ell : int }
+
+type config = { n : int; variant : variant }
+
+let extension_size cfg =
+  let nf = float_of_int cfg.n in
+  let raw =
+    match cfg.variant with
+    | Geometric { ell } ->
+      let loglog = float_of_int (Mathx.loglog2_ceil cfg.n) in
+      2. *. nf /. (loglog ** float_of_int ell)
+    | Clustered { ell } ->
+      let logn = Mathx.log2f nf in
+      2. *. nf /. (logn ** float_of_int ell)
+  in
+  max 2 (int_of_float (ceil raw))
+
+let namespace cfg = cfg.n + extension_size cfg
+
+let predicted_steps cfg =
+  match cfg.variant with
+  | Geometric { ell } ->
+    float_of_int (Loose_geometric.step_budget { Loose_geometric.n = cfg.n; ell })
+    +. float_of_int (Mathx.loglog2_ceil cfg.n * 4)
+  | Clustered { ell } ->
+    float_of_int (Loose_clustered.step_budget { Loose_clustered.n = cfg.n; ell })
+    +. float_of_int (Mathx.loglog2_ceil cfg.n * 4)
+
+let program cfg ~rng =
+  let ext = extension_size cfg in
+  let first_phase =
+    match cfg.variant with
+    | Geometric { ell } -> Loose_geometric.program { Loose_geometric.n = cfg.n; ell } ~rng
+    | Clustered { ell } -> Loose_clustered.program { Loose_clustered.n = cfg.n; ell } ~rng
+  in
+  let* name = first_phase in
+  match name with
+  | Some nm -> Program.return (Some nm)
+  | None ->
+    let* name = Backup.program ~base:cfg.n ~size:ext ~rng in
+    (match name with
+    | Some nm -> Program.return (Some nm)
+    | None ->
+      (* Extension exhausted (possible only when the first phase left
+         more than [ext] unnamed — the event the corollary bounds).
+         With m > n a free main-namespace register must exist. *)
+      Program.scan_names ~first:0 ~count:cfg.n)
+
+let instance cfg ~stream =
+  let memory = Memory.create ~namespace:(namespace cfg) () in
+  let programs =
+    Array.init cfg.n (fun pid -> program cfg ~rng:(Stream.fork stream ~index:pid))
+  in
+  let label =
+    match cfg.variant with
+    | Geometric { ell } -> Printf.sprintf "combined-geometric(l=%d)" ell
+    | Clustered { ell } -> Printf.sprintf "combined-clustered(l=%d)" ell
+  in
+  { Executor.memory; programs; label }
+
+let run ?adversary cfg ~seed =
+  let stream = Stream.create seed in
+  let inst = instance cfg ~stream in
+  let adversary = match adversary with Some a -> a | None -> Adversary.round_robin () in
+  Executor.run ~adversary inst

@@ -1,0 +1,62 @@
+module Program = Renaming_sched.Program
+module Executor = Renaming_sched.Executor
+module Memory = Renaming_sched.Memory
+module Adversary = Renaming_sched.Adversary
+module Stream = Renaming_rng.Stream
+module Sample = Renaming_rng.Sample
+open Program.Syntax
+
+type config = { n : int; ell : int }
+
+let validate { n; ell } =
+  if n < 4 then invalid_arg "Loose_geometric: n must be >= 4";
+  if ell < 1 then invalid_arg "Loose_geometric: ell must be >= 1"
+
+let rounds cfg =
+  validate cfg;
+  cfg.ell * Mathx.logloglog2_ceil cfg.n
+
+let step_budget cfg = Mathx.pow_int 2 (rounds cfg + 1) - 2
+
+let predicted_unnamed cfg =
+  let loglog = Renaming_stats.Fit.eval_shape Renaming_stats.Fit.Log_log (float_of_int cfg.n) in
+  2. *. float_of_int cfg.n /. (loglog ** float_of_int cfg.ell)
+
+type instrumentation = { named_in_round : int array }
+
+let create_instrumentation cfg = { named_in_round = Array.make (rounds cfg) 0 }
+
+let program ?instr cfg ~rng =
+  let total_rounds = rounds cfg in
+  let record i = match instr with
+    | Some s -> s.named_in_round.(i) <- s.named_in_round.(i) + 1
+    | None -> ()
+  in
+  let rec round i =
+    if i > total_rounds then Program.return None else step i (Mathx.pow_int 2 i)
+  and step i remaining =
+    if remaining = 0 then round (i + 1)
+    else
+      let target = Sample.uniform_int rng cfg.n in
+      let* won = Program.tas_name target in
+      if won then begin
+        record (i - 1);
+        Program.return (Some target)
+      end
+      else step i (remaining - 1)
+  in
+  round 1
+
+let instance ?instr cfg ~stream =
+  validate cfg;
+  let memory = Memory.create ~namespace:cfg.n () in
+  let programs =
+    Array.init cfg.n (fun pid -> program ?instr cfg ~rng:(Stream.fork stream ~index:pid))
+  in
+  { Executor.memory; programs; label = "loose-geometric" }
+
+let run ?instr ?adversary cfg ~seed =
+  let stream = Stream.create seed in
+  let inst = instance ?instr cfg ~stream in
+  let adversary = match adversary with Some a -> a | None -> Adversary.round_robin () in
+  Executor.run ~adversary inst

@@ -1,0 +1,48 @@
+(** Almost-tight loose renaming by geometric rounds — Lemma 6.
+
+    With [n] TAS registers and [n] processes, the algorithm runs
+    [ℓ·log log log n] rounds; round [i] consists of [2^i] steps, and in
+    every step each still-unnamed process test-and-sets a uniformly
+    random register (becoming inactive on a win).  Lemma 6: w.h.p. at
+    most [2n/(log log n)^ℓ] processes remain unnamed, after a total of
+    at most [(log log n)^ℓ] steps (up to the constant from the geometric
+    sum). *)
+
+type config = { n : int; ell : int }
+
+val rounds : config -> int
+(** [ℓ·⌈log log log n⌉]. *)
+
+val step_budget : config -> int
+(** Total steps a process can spend: [Σ_{i=1..rounds} 2^i]. *)
+
+val predicted_unnamed : config -> float
+(** Lemma 6's bound [2n/(log log n)^ℓ]. *)
+
+type instrumentation = {
+  named_in_round : int array;  (** wins per round, 1-based round index at [i-1] *)
+}
+
+val create_instrumentation : config -> instrumentation
+
+val program :
+  ?instr:instrumentation ->
+  config ->
+  rng:Renaming_rng.Xoshiro.t ->
+  int option Renaming_sched.Program.t
+(** One process's program; returns the name won or [None] after
+    exhausting the step budget.  Exposed so {!Combined} can sequence it
+    with the backup phase. *)
+
+val instance :
+  ?instr:instrumentation ->
+  config ->
+  stream:Renaming_rng.Stream.t ->
+  Renaming_sched.Executor.instance
+
+val run :
+  ?instr:instrumentation ->
+  ?adversary:Renaming_sched.Adversary.t ->
+  config ->
+  seed:int64 ->
+  Renaming_sched.Report.t

@@ -1,0 +1,97 @@
+module Program = Renaming_sched.Program
+module Executor = Renaming_sched.Executor
+module Memory = Renaming_sched.Memory
+module Adversary = Renaming_sched.Adversary
+module Tau_register = Renaming_device.Tau_register
+module Stream = Renaming_rng.Stream
+module Sample = Renaming_rng.Sample
+open Program.Syntax
+
+type instrumentation = {
+  requests_per_tau : int array;
+  wins_per_round : int array;
+  losses_per_round : int array;
+  mutable reserve_entries : int;
+  mutable safety_net_entries : int;
+}
+
+let create_instrumentation (params : Params.t) =
+  {
+    requests_per_tau = Array.make params.Params.total_taus 0;
+    wins_per_round = Array.make (Params.round_count params) 0;
+    losses_per_round = Array.make (Params.round_count params) 0;
+    reserve_entries = 0;
+    safety_net_entries = 0;
+  }
+
+let build_taus ?rule (params : Params.t) =
+  Array.map
+    (fun (name_base, tau) ->
+      Tau_register.create ?rule ~base:name_base ~tau ~width:params.Params.width ())
+    (Params.tau_geometry params)
+
+let program ?instr (params : Params.t) ~rng =
+  let nrounds = Params.round_count params in
+  let record f = match instr with Some i -> f i | None -> () in
+  let rec rounds i =
+    if i >= nrounds then reserve_scan ()
+    else begin
+      let round = params.Params.rounds.(i) in
+      let tau_id = round.Params.first_tau + Sample.uniform_int rng round.Params.blocks in
+      let bit = Sample.uniform_int rng params.Params.width in
+      record (fun s -> s.requests_per_tau.(tau_id) <- s.requests_per_tau.(tau_id) + 1);
+      let* () = Program.tau_submit ~reg:tau_id ~bit in
+      let* won = Program.tau_await tau_id in
+      if won then begin
+        record (fun s -> s.wins_per_round.(i) <- s.wins_per_round.(i) + 1);
+        let* name =
+          Program.scan_names ~first:(Params.block_of_tau params tau_id).Params.name_base
+            ~count:params.Params.tau
+        in
+        match name with
+        | Some nm -> Program.return (Some nm)
+        | None ->
+          (* Impossible without crashes: at most τ confirmed winners
+             compete for exactly τ slots.  Stay safe and move on. *)
+          rounds (i + 1)
+      end
+      else begin
+        record (fun s -> s.losses_per_round.(i) <- s.losses_per_round.(i) + 1);
+        rounds (i + 1)
+      end
+    end
+  and reserve_scan () =
+    record (fun s -> s.reserve_entries <- s.reserve_entries + 1);
+    let* name =
+      Program.scan_names ~first:params.Params.reserve_base ~count:(Params.reserve_size params)
+    in
+    match name with
+    | Some nm -> Program.return (Some nm)
+    | None -> safety_net ()
+  and safety_net () =
+    (* Names burnt by crashed device winners live below reserve_base and
+       are still free TAS registers; a full scan finds them. *)
+    record (fun s -> s.safety_net_entries <- s.safety_net_entries + 1);
+    let* name = Program.scan_names ~first:0 ~count:params.Params.reserve_base in
+    Program.return name
+  in
+  rounds 0
+
+let instance ?rule ?instr ~params ~stream () =
+  let n = params.Params.n in
+  let taus = build_taus ?rule params in
+  let memory = Memory.create ~namespace:n ~taus () in
+  let programs =
+    Array.init n (fun pid ->
+        let rng = Stream.fork stream ~index:pid in
+        program ?instr params ~rng)
+  in
+  { Executor.memory; programs; label = "tight" }
+
+let run ?rule ?instr ?adversary ~params ~seed () =
+  let stream = Stream.create seed in
+  let inst = instance ?rule ?instr ~params ~stream () in
+  let adversary =
+    match adversary with Some a -> a | None -> Adversary.round_robin ()
+  in
+  Executor.run ~adversary inst

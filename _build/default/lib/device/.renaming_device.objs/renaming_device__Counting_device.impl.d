@@ -1,0 +1,1 @@
+lib/device/counting_device.ml: Array Printf Renaming_bitops

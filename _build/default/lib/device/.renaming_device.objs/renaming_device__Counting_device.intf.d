@@ -1,0 +1,1 @@
+lib/device/counting_device.mli: Renaming_bitops

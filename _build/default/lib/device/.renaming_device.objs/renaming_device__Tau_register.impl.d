@@ -1,0 +1,1 @@
+lib/device/tau_register.ml: Array Counting_device Hashtbl List Option

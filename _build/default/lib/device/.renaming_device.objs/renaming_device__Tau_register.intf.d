@@ -1,0 +1,1 @@
+lib/device/tau_register.mli: Counting_device

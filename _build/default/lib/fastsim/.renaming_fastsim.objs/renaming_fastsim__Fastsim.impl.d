@@ -1,0 +1,1 @@
+lib/fastsim/fastsim.ml: Array Bytes Renaming_core Renaming_rng

@@ -1,0 +1,128 @@
+module Xoshiro = Renaming_rng.Xoshiro
+module Sample = Renaming_rng.Sample
+module Mathx = Renaming_core.Mathx
+
+type result = {
+  n : int;
+  namespace : int;
+  unnamed : int;
+  max_steps : int;
+  mean_steps : float;
+  named_per_phase : int array;
+}
+
+type state = {
+  regs : Bytes.t;
+  active : int array;  (* compact prefix of still-unnamed pids *)
+  mutable active_len : int;
+  steps : int array;
+  rng : Xoshiro.t;
+}
+
+let make_state ~n ~namespace ~seed =
+  {
+    regs = Bytes.make namespace '\000';
+    active = Array.init n (fun i -> i);
+    active_len = n;
+    steps = Array.make n 0;
+    rng = Xoshiro.create seed;
+  }
+
+let remove_active st i =
+  st.active_len <- st.active_len - 1;
+  st.active.(i) <- st.active.(st.active_len)
+
+(* One synchronous step: every active process probes one uniform
+   register of [base, base+size).  Iterating backwards keeps the swap
+   removal safe.  Returns the number of wins. *)
+let synchronous_probe_step st ~base ~size =
+  let wins = ref 0 in
+  let i = ref (st.active_len - 1) in
+  while !i >= 0 do
+    let pid = st.active.(!i) in
+    let target = base + Sample.uniform_int st.rng size in
+    st.steps.(pid) <- st.steps.(pid) + 1;
+    if Bytes.unsafe_get st.regs target = '\000' then begin
+      Bytes.unsafe_set st.regs target '\001';
+      remove_active st !i;
+      incr wins
+    end;
+    decr i
+  done;
+  !wins
+
+(* Deterministic sweep: each remaining process scans from its own
+   cursor; sequential first-fit is equivalent to the round-robin
+   executor's scan for step-count purposes. *)
+let sweep st ~base ~size =
+  let next_free = ref base in
+  let i = ref (st.active_len - 1) in
+  while !i >= 0 do
+    let pid = st.active.(!i) in
+    (* advance the shared free cursor *)
+    while !next_free < base + size && Bytes.get st.regs !next_free = '\001' do
+      incr next_free
+    done;
+    if !next_free < base + size then begin
+      (* the scan touches every register up to the claimed one *)
+      st.steps.(pid) <- st.steps.(pid) + (!next_free - base + 1);
+      Bytes.set st.regs !next_free '\001';
+      remove_active st !i
+    end
+    else st.steps.(pid) <- st.steps.(pid) + size;
+    decr i
+  done
+
+let finish st ~n ~namespace ~named_per_phase =
+  let total = Array.fold_left ( + ) 0 st.steps in
+  {
+    n;
+    namespace;
+    unnamed = st.active_len;
+    max_steps = Array.fold_left max 0 st.steps;
+    mean_steps = float_of_int total /. float_of_int n;
+    named_per_phase;
+  }
+
+let loose_geometric ~n ~ell ~seed =
+  if n < 4 || ell < 1 then invalid_arg "Fastsim.loose_geometric: bad parameters";
+  let rounds = ell * Mathx.logloglog2_ceil n in
+  let st = make_state ~n ~namespace:n ~seed in
+  let named_per_phase = Array.make rounds 0 in
+  for round = 1 to rounds do
+    let steps_in_round = Mathx.pow_int 2 round in
+    for _ = 1 to steps_in_round do
+      named_per_phase.(round - 1) <-
+        named_per_phase.(round - 1) + synchronous_probe_step st ~base:0 ~size:n
+    done
+  done;
+  finish st ~n ~namespace:n ~named_per_phase
+
+let loose_clustered ?(boost = 1) ~n ~ell ~seed () =
+  if n < 4 || ell < 1 || boost < 1 then invalid_arg "Fastsim.loose_clustered: bad parameters";
+  let phases = Mathx.loglog2_ceil n in
+  let per_phase = boost * 2 * ell * Mathx.loglog2_ceil n in
+  let st = make_state ~n ~namespace:n ~seed in
+  let named_per_phase = Array.make phases 0 in
+  let base = ref 0 in
+  for j = 1 to phases do
+    let size = if j = phases then n - !base else max 1 (n / Mathx.pow_int 2 j) in
+    for _ = 1 to per_phase do
+      named_per_phase.(j - 1) <-
+        named_per_phase.(j - 1) + synchronous_probe_step st ~base:!base ~size
+    done;
+    base := !base + size
+  done;
+  finish st ~n ~namespace:n ~named_per_phase
+
+let uniform_probing ~n ~m ~seed =
+  if n < 1 || m < n then invalid_arg "Fastsim.uniform_probing: bad parameters";
+  let st = make_state ~n ~namespace:m ~seed in
+  let budget = 4 * m in
+  let step = ref 0 in
+  while st.active_len > 0 && !step < budget do
+    ignore (synchronous_probe_step st ~base:0 ~size:m);
+    incr step
+  done;
+  if st.active_len > 0 then sweep st ~base:0 ~size:m;
+  finish st ~n ~namespace:m ~named_per_phase:[||]

@@ -1,0 +1,1 @@
+lib/harness/exp_adaptive.ml: Array Renaming_core Renaming_sched Renaming_stats Runcfg Seeds Table

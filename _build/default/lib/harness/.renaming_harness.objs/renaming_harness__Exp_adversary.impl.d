@@ -1,0 +1,1 @@
+lib/harness/exp_adversary.ml: Array List Printf Renaming_core Renaming_rng Renaming_sched Renaming_workload Runcfg Seeds Table

@@ -1,0 +1,1 @@
+lib/harness/exp_baselines.ml: Array Format List Printf Renaming_baselines Renaming_core Renaming_sched Renaming_sortnet Renaming_stats Runcfg Seeds Table

@@ -1,0 +1,1 @@
+lib/harness/exp_cadence.mli: Runcfg Table

@@ -1,0 +1,1 @@
+lib/harness/exp_device.ml: Array List Printf Renaming_device Renaming_rng Runcfg Table

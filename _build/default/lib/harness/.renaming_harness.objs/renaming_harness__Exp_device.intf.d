@@ -1,0 +1,1 @@
+lib/harness/exp_device.mli: Runcfg Table

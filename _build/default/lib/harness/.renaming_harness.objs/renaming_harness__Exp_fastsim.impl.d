@@ -1,0 +1,1 @@
+lib/harness/exp_fastsim.ml: Array Renaming_core Renaming_fastsim Runcfg Seeds Table

@@ -1,0 +1,1 @@
+lib/harness/exp_fastsim.mli: Runcfg Table

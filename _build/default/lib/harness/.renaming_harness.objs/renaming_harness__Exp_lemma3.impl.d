@@ -1,0 +1,1 @@
+lib/harness/exp_lemma3.ml: Array Printf Renaming_core Renaming_rng Renaming_stats Runcfg Table

@@ -1,0 +1,1 @@
+lib/harness/exp_lemma3.mli: Runcfg Table

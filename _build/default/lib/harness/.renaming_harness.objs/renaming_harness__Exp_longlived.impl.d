@@ -1,0 +1,1 @@
+lib/harness/exp_longlived.ml: Array List Renaming_longlived Renaming_sched Renaming_stats Runcfg Seeds Table

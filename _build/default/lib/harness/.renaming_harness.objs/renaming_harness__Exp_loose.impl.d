@@ -1,0 +1,1 @@
+lib/harness/exp_loose.ml: Array List Printf Renaming_core Renaming_sched Renaming_stats Runcfg Seeds Table

@@ -1,0 +1,1 @@
+lib/harness/exp_multicore.ml: Array List Renaming_concurrent Renaming_core Renaming_sched Renaming_shm Renaming_stats Runcfg Seeds Table

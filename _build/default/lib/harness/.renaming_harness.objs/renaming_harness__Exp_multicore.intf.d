@@ -1,0 +1,1 @@
+lib/harness/exp_multicore.mli: Runcfg Table

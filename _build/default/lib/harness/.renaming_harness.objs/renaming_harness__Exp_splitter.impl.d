@@ -1,0 +1,1 @@
+lib/harness/exp_splitter.ml: Array Format List Renaming_core Renaming_sched Renaming_splitter Renaming_stats Runcfg Seeds Table

@@ -1,0 +1,1 @@
+lib/harness/exp_splitter.mli: Runcfg Table

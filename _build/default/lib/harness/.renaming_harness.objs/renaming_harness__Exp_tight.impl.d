@@ -1,0 +1,1 @@
+lib/harness/exp_tight.ml: Array Format List Printf Renaming_core Renaming_sched Renaming_shm Renaming_stats Runcfg Seeds Table

@@ -1,0 +1,1 @@
+lib/harness/replicate.ml: Array Renaming_stats

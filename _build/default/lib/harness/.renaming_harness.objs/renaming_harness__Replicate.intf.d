@@ -1,0 +1,1 @@
+lib/harness/replicate.mli: Renaming_stats

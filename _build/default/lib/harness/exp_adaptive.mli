@@ -1,0 +1,4 @@
+(** Experiment T11 — the adaptive transform sketched in §IV: renaming
+    with unknown participation via doubling estimates. *)
+
+val t11 : Runcfg.scale -> Table.t

@@ -1,0 +1,59 @@
+module Params = Renaming_core.Params
+module Tight = Renaming_core.Tight
+module Geometric = Renaming_core.Loose_geometric
+module Combined = Renaming_core.Combined
+module Adversary = Renaming_sched.Adversary
+module Report = Renaming_sched.Report
+module Stream = Renaming_rng.Stream
+module Crash_pattern = Renaming_workload.Crash_pattern
+
+let t9 scale =
+  let n = match scale with Runcfg.Quick -> 512 | Runcfg.Full -> 2048 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "T9: adversary robustness, n=%d" n)
+      ~columns:
+        [ "algorithm"; "adversary"; "crashed"; "steps max"; "unnamed survivors"; "sound" ]
+  in
+  let seed = (Seeds.take 1).(0) in
+  let adversaries () =
+    let stream = Stream.create 0xADDAL in
+    let rng name = Stream.fork_named stream ~name in
+    [
+      Adversary.round_robin ();
+      Adversary.uniform (rng "uniform");
+      Adversary.lifo;
+      Adversary.adaptive_contention;
+      Adversary.colluding;
+      Adversary.with_crashes ~base:(Adversary.round_robin ())
+        ~crash_times:
+          (Crash_pattern.random ~rng:(rng "crash10") ~n ~failures:(n / 10) ~horizon:(4 * n));
+      Adversary.with_crashes ~base:(Adversary.round_robin ())
+        ~crash_times:
+          (Crash_pattern.random ~rng:(rng "crash50") ~n ~failures:(n / 2) ~horizon:(4 * n));
+    ]
+  in
+  let record algorithm run =
+    List.iter
+      (fun adversary ->
+        let report = run adversary in
+        Table.add_row table
+          [
+            algorithm;
+            report.Report.adversary;
+            Table.cell_int (List.length report.Report.crashed);
+            Table.cell_int (Report.max_steps report);
+            Table.cell_int (List.length (Report.surviving_unnamed report));
+            Table.cell_bool (Report.is_sound report);
+          ])
+      (adversaries ())
+  in
+  let params = Params.make ~policy:Params.Mass_conserving ~n () in
+  record "tight" (fun adversary -> Tight.run ~adversary ~params ~seed ());
+  record "loose geometric l=2" (fun adversary ->
+      Geometric.run ~adversary { Geometric.n; ell = 2 } ~seed);
+  record "combined Cor7 l=2" (fun adversary ->
+      Combined.run ~adversary { Combined.n; variant = Combined.Geometric { ell = 2 } } ~seed);
+  Table.add_note table
+    "soundness (no duplicate names) must hold under every adversary; unnamed survivors are allowed only for the almost-tight algorithm (row 'loose geometric')";
+  table

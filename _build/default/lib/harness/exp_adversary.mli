@@ -1,0 +1,4 @@
+(** Experiment T9 — robustness under the adversary model of §II-A:
+    unfair schedules, adaptive contention, and crashes. *)
+
+val t9 : Runcfg.scale -> Table.t

@@ -1,0 +1,106 @@
+module Params = Renaming_core.Params
+module Tight = Renaming_core.Tight
+module Geometric = Renaming_core.Loose_geometric
+module Combined = Renaming_core.Combined
+module Sortnet_renaming = Renaming_baselines.Sortnet_renaming
+module Linear_scan = Renaming_baselines.Linear_scan
+module Uniform_probing = Renaming_baselines.Uniform_probing
+module Report = Renaming_sched.Report
+module Summary = Renaming_stats.Summary
+module Fit = Renaming_stats.Fit
+
+let mean_max_steps ~seeds ~run =
+  let s = Summary.create () in
+  Array.iter (fun seed -> Summary.add_int s (Report.max_steps (run seed))) seeds;
+  Summary.mean s
+
+let t8 scale =
+  let table =
+    Table.create
+      ~title:"T8: tight renaming step complexity vs baselines (related work comparison)"
+      ~columns:
+        [
+          "n"; "tau-register"; "sortnet(bitonic)"; "bitonic depth"; "aks model"; "linear scan";
+          "probing m=2n";
+        ]
+  in
+  let ns =
+    match scale with
+    | Runcfg.Quick -> [| 256; 512; 1024; 2048 |]
+    | Runcfg.Full -> [| 256; 512; 1024; 2048; 4096; 8192 |]
+  in
+  let seeds = Seeds.take (min 5 (Runcfg.trials scale)) in
+  Array.iter
+    (fun n ->
+      let params = Params.make ~policy:Params.Mass_conserving ~n () in
+      let tight = mean_max_steps ~seeds ~run:(fun seed -> Tight.run ~params ~seed ()) in
+      let sortnet =
+        mean_max_steps ~seeds ~run:(fun seed ->
+            Sortnet_renaming.run ~kind:Sortnet_renaming.Bitonic ~n ~width:n ~seed ())
+      in
+      let depth =
+        Renaming_sortnet.Network.depth
+          (Renaming_sortnet.Bitonic.network ~width:(Renaming_sortnet.Bitonic.next_pow2 n))
+      in
+      let aks = Renaming_sortnet.Aks_model.depth ~width:n () in
+      let scan = Report.max_steps (Linear_scan.run { Linear_scan.n; m = n }) in
+      let probing =
+        mean_max_steps ~seeds ~run:(fun seed ->
+            Uniform_probing.run (Uniform_probing.make_config ~n ~m:(2 * n) ()) ~seed)
+      in
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_float tight;
+          Table.cell_float sortnet;
+          Table.cell_int depth;
+          Table.cell_float ~decimals:0 aks;
+          Table.cell_int scan;
+          Table.cell_float probing;
+        ])
+    ns;
+  Table.add_note table
+    "asymptotics: probing(2n) = O(log n / eps), tau-register = O(log n), sortnet = Theta(log^2 n), scan = Theta(n)";
+  Table.add_note table
+    "measured finding: with our constants (~23 log n for tight vs ~log^2 n / 2 for bitonic) the bitonic renaming wins at every practical n — the tau-register's asymptotic advantage only bites beyond n ~ 2^40; the paper's practicality argument against AKS applies, at smaller magnitude, to its own constant";
+  Table.add_note table
+    (Printf.sprintf "AKS model depth constant = %.0f; it overtakes bitonic only beyond width 2^%d"
+       Renaming_sortnet.Aks_model.default_constant
+       (Renaming_sortnet.Aks_model.crossover_vs_bitonic ()));
+  table
+
+let f1 scale =
+  let table =
+    Table.create ~title:"F1: scaling shapes (mean max-steps across the n sweep)"
+      ~columns:[ "algorithm"; "fit"; "R^2" ]
+  in
+  let ns = Runcfg.sweep_ns scale in
+  (* The quadratic-cost baselines (linear scan pays Theta(n^2) total
+     ticks; a width-n bitonic adapter allocates Theta(n log^2 n)
+     comparator state) are capped so the full scale stays tractable —
+     their shapes are unambiguous well before 2^13. *)
+  let capped = Array.of_list (List.filter (fun n -> n <= 8192) (Array.to_list ns)) in
+  let seeds = Seeds.take (min 5 (Runcfg.trials scale)) in
+  let series ?(ns = ns) name candidates run =
+    let points =
+      Array.map (fun n -> (float_of_int n, mean_max_steps ~seeds ~run:(run n))) ns
+    in
+    let fit = Fit.best_fit ~candidates points in
+    Table.add_row table
+      [ name; Format.asprintf "%a" Fit.pp_fit fit; Table.cell_float ~decimals:4 fit.Fit.r_squared ]
+  in
+  let open Fit in
+  series "tight (tau-register)" [ Log; Log_squared; Linear ] (fun n ->
+      let params = Params.make ~policy:Params.Mass_conserving ~n () in
+      fun seed -> Tight.run ~params ~seed ());
+  series "loose geometric l=2" [ Constant; Log_log; Log_log_squared; Log ] (fun n ->
+      fun seed -> Geometric.run { Geometric.n; ell = 2 } ~seed);
+  series "combined Cor7 l=2" [ Constant; Log_log; Log_log_squared; Log ] (fun n ->
+      fun seed -> Combined.run { Combined.n; variant = Combined.Geometric { ell = 2 } } ~seed);
+  series ~ns:capped "sortnet bitonic" [ Log; Log_squared; Linear ] (fun n ->
+      fun seed -> Sortnet_renaming.run ~kind:Sortnet_renaming.Bitonic ~n ~width:n ~seed ());
+  series ~ns:capped "linear scan" [ Log; Log_squared; Linear ] (fun n ->
+      fun _seed -> Linear_scan.run { Linear_scan.n; m = n });
+  Table.add_note table
+    "paper-predicted shapes: tight -> log n, loose/combined -> (loglog n)^l (near-constant at these n), bitonic -> log^2 n, scan -> n";
+  table

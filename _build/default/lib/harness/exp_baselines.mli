@@ -1,0 +1,12 @@
+(** Experiments T8 and F1 — the cross-algorithm comparison the paper's
+    introduction and related-work section draw. *)
+
+val t8 : Runcfg.scale -> Table.t
+(** Step complexity of tight renaming via τ-registers versus the
+    sorting-network construction of [7] (bitonic instantiation), the
+    deterministic Θ(n) scan, and naive uniform probing at m = 2n; plus
+    the AKS depth model's analytic column. *)
+
+val f1 : Runcfg.scale -> Table.t
+(** Scaling-shape series: measured max-steps per algorithm across the
+    n sweep, each with its best-fitting asymptotic shape. *)

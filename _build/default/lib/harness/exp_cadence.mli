@@ -1,0 +1,4 @@
+(** Experiment T14 — ablation of the counting device's answer delay
+    (§II-C: "the processing may start with a (constant) delay"). *)
+
+val t14 : Runcfg.scale -> Table.t

@@ -1,0 +1,87 @@
+module Combined = Renaming_core.Combined
+module Report = Renaming_sched.Report
+module Summary = Renaming_stats.Summary
+
+let run_sweep table ~scale ~variants =
+  let seeds = Seeds.take (Runcfg.trials scale) in
+  Array.iter
+    (fun n ->
+      List.iter
+        (fun (ell, variant) ->
+          let cfg = { Combined.n; variant } in
+          let steps = Summary.create () in
+          let complete = ref true and sound = ref true in
+          Array.iter
+            (fun seed ->
+              let report = Combined.run cfg ~seed in
+              Summary.add_int steps (Report.max_steps report);
+              if Report.named_count report <> n then complete := false;
+              if not (Report.is_sound report) then sound := false)
+            seeds;
+          Table.add_row table
+            [
+              Table.cell_int n;
+              Table.cell_int ell;
+              Table.cell_int (Combined.namespace cfg);
+              Table.cell_int (Combined.extension_size cfg);
+              Table.cell_float (Summary.mean steps);
+              Table.cell_float ~decimals:0 (Summary.max steps);
+              Table.cell_float (Combined.predicted_steps cfg);
+              Table.cell_bool !complete;
+              Table.cell_bool !sound;
+            ])
+        variants)
+    (Runcfg.sweep_ns scale)
+
+let columns =
+  [ "n"; "l"; "m"; "extension"; "steps mean"; "steps max"; "budget"; "complete"; "sound" ]
+
+let t5 scale =
+  let table =
+    Table.create ~title:"T5 (Corollary 7): full loose renaming, m = n + 2n/(loglog n)^l" ~columns
+  in
+  run_sweep table ~scale
+    ~variants:[ (1, Combined.Geometric { ell = 1 }); (2, Combined.Geometric { ell = 2 }) ];
+  Table.add_note table "claim: all processes named, O((loglog n)^l) steps w.h.p.";
+  table
+
+let t7 scale =
+  let table =
+    Table.create ~title:"T7 (Corollary 9): full loose renaming, m = n + 2n/(log n)^l" ~columns
+  in
+  run_sweep table ~scale
+    ~variants:[ (1, Combined.Clustered { ell = 1 }); (2, Combined.Clustered { ell = 2 }) ];
+  Table.add_note table "claim: all processes named, O((loglog n)^2) steps w.h.p.";
+  table
+
+let f3 scale =
+  let n = Runcfg.big_n scale in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "F3: namespace slack vs step complexity, n=%d" n)
+      ~columns:[ "variant"; "l"; "extension"; "slack %"; "steps mean"; "steps max" ]
+  in
+  let seeds = Seeds.take (max 3 (Runcfg.trials scale / 2)) in
+  let eval name variant ell =
+    let cfg = { Combined.n; variant } in
+    let steps = Summary.create () in
+    Array.iter
+      (fun seed ->
+        let report = Combined.run cfg ~seed in
+        Summary.add_int steps (Report.max_steps report))
+      seeds;
+    Table.add_row table
+      [
+        name;
+        Table.cell_int ell;
+        Table.cell_int (Combined.extension_size cfg);
+        Table.cell_float (100. *. float_of_int (Combined.extension_size cfg) /. float_of_int n);
+        Table.cell_float (Summary.mean steps);
+        Table.cell_float ~decimals:0 (Summary.max steps);
+      ]
+  in
+  List.iter (fun ell -> eval "geometric (Cor 7)" (Combined.Geometric { ell }) ell) [ 1; 2; 3; 4 ];
+  List.iter (fun ell -> eval "clustered (Cor 9)" (Combined.Clustered { ell }) ell) [ 1; 2; 3 ];
+  Table.add_note table
+    "larger l buys a smaller namespace at the cost of more steps (Cor 7) or a deeper first phase (Cor 9)";
+  table

@@ -1,0 +1,13 @@
+(** Experiments T5, T7, F3 — the full loose-renaming corollaries. *)
+
+val t5 : Runcfg.scale -> Table.t
+(** Corollary 7: complete renaming in namespace
+    [n + 2n/(log log n)^ℓ] within [O((log log n)^ℓ)] steps. *)
+
+val t7 : Runcfg.scale -> Table.t
+(** Corollary 9: complete renaming in namespace [n + 2n/(log n)^ℓ]
+    within [O((log log n)²)] steps. *)
+
+val f3 : Runcfg.scale -> Table.t
+(** The namespace-slack versus step-complexity trade-off: sweeping [ℓ]
+    for both corollaries at a fixed [n]. *)

@@ -1,0 +1,5 @@
+(** Experiment T16 — ablation of the constant [c] (Lemma 3's
+    hypothesis): cluster-load safety margin versus step complexity in
+    the tight algorithm. *)
+
+val t16 : Runcfg.scale -> Table.t

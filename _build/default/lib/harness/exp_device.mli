@@ -1,0 +1,5 @@
+(** Experiment T10 — the counting device of §II-C: contract invariants,
+    equivalence of the literal shifting procedure with its reference
+    semantics, and cycle accounting. *)
+
+val t10 : Runcfg.scale -> Table.t

@@ -1,0 +1,55 @@
+module Fastsim = Renaming_fastsim.Fastsim
+module Geometric = Renaming_core.Loose_geometric
+module Clustered = Renaming_core.Loose_clustered
+
+let f4 scale =
+  let table =
+    Table.create ~title:"F4: Lemmas 6 and 8 at scale (synchronous array engine)"
+      ~columns:
+        [ "algorithm"; "n"; "unnamed"; "bound"; "steps max"; "budget"; "mean steps" ]
+  in
+  let ns =
+    match scale with
+    | Runcfg.Quick -> [| 1 lsl 16; 1 lsl 18; 1 lsl 20 |]
+    | Runcfg.Full -> [| 1 lsl 16; 1 lsl 18; 1 lsl 20; 1 lsl 22 |]
+  in
+  let seed = (Seeds.take 1).(0) in
+  Array.iter
+    (fun n ->
+      let r = Fastsim.loose_geometric ~n ~ell:2 ~seed in
+      let cfg = { Geometric.n; ell = 2 } in
+      Table.add_row table
+        [
+          "Lemma 6 l=2";
+          Table.cell_int n;
+          Table.cell_int r.Fastsim.unnamed;
+          Table.cell_float ~decimals:0 (Geometric.predicted_unnamed cfg);
+          Table.cell_int r.Fastsim.max_steps;
+          Table.cell_int (Geometric.step_budget cfg);
+          Table.cell_float r.Fastsim.mean_steps;
+        ])
+    ns;
+  let clustered_rows label boost =
+    Array.iter
+      (fun n ->
+        let r = Fastsim.loose_clustered ~boost ~n ~ell:1 ~seed () in
+        let cfg = { Clustered.n; ell = 1 } in
+        Table.add_row table
+          [
+            label;
+            Table.cell_int n;
+            Table.cell_int r.Fastsim.unnamed;
+            Table.cell_float ~decimals:0 (Clustered.predicted_unnamed cfg);
+            Table.cell_int r.Fastsim.max_steps;
+            Table.cell_int (boost * Clustered.step_budget cfg);
+            Table.cell_float r.Fastsim.mean_steps;
+          ])
+      ns
+  in
+  clustered_rows "Lemma 8 l=1" 1;
+  clustered_rows "Lemma 8 l=1 2x steps" 2;
+  Table.add_note table
+    "at n = 2^20+ the doubly-logarithmic budgets (tens of steps) are five orders of magnitude below n — the asymptotic separation made visible";
+  Table.add_note table
+    "Lemma 8 finding: with the stated steps/phase the unnamed count exceeds the n/(log n)^{2l} bound by a 1.6-3x factor (the proof counts winners as if they kept probing); doubling the steps/phase roughly halves the overshoot";
+  table

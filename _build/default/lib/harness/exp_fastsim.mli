@@ -1,0 +1,4 @@
+(** Experiment F4 — the loose-renaming lemmas at a million-plus
+    processes, via the array-based synchronous engine. *)
+
+val f4 : Runcfg.scale -> Table.t

@@ -1,0 +1,7 @@
+(** Experiment T2 — Lemma 3's balls-into-bins bound, checked directly. *)
+
+val t2 : Runcfg.scale -> Table.t
+(** Throw [2c·log n] balls into [2·log n] bins; Lemma 3 says fewer than
+    [log n] bins stay empty except with probability [≤ 1/n^ℓ].  Reports
+    empirical failure rates against both the lemma's bound and the
+    analytic Chernoff value. *)

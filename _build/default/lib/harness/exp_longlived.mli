@@ -1,0 +1,4 @@
+(** Experiment T15 — long-lived renaming under churn (the related-work
+    extension [13] reproduced on the hardware-TAS substrate). *)
+
+val t15 : Runcfg.scale -> Table.t

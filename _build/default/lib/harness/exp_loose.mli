@@ -1,0 +1,13 @@
+(** Experiments T4, T6, F2 — the almost-tight loose-renaming lemmas. *)
+
+val t4 : Runcfg.scale -> Table.t
+(** Lemma 6: unnamed ≤ 2n/(log log n)^ℓ with step budget
+    ≤ Σ 2^i ≈ 2(log log n)^ℓ, for ℓ ∈ {1,2,3}. *)
+
+val t6 : Runcfg.scale -> Table.t
+(** Lemma 8: unnamed ≤ n/(log n)^{2ℓ} with step complexity
+    [2ℓ(log log n)²], for ℓ ∈ {1,2}. *)
+
+val f2 : Runcfg.scale -> Table.t
+(** Round-decay series of Lemma 6's proof: unnamed after round [i]
+    versus the claimed [n/2^i]. *)

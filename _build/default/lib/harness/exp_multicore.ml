@@ -1,0 +1,76 @@
+module Geometric = Renaming_core.Loose_geometric
+module Clustered = Renaming_core.Loose_clustered
+module Mc_run = Renaming_concurrent.Mc_run
+module Report = Renaming_sched.Report
+module Summary = Renaming_stats.Summary
+
+let t13 scale =
+  let table =
+    Table.create
+      ~title:"T13: simulator vs real multicore (Atomic TAS on domains), same algorithms"
+      ~columns:
+        [
+          "algorithm"; "n"; "backend"; "unnamed mean"; "steps max mean"; "bound"; "valid";
+        ]
+  in
+  let n = match scale with Runcfg.Quick -> 8192 | Runcfg.Full -> 65536 in
+  let seeds = Seeds.take (min 5 (Runcfg.trials scale)) in
+  let row algorithm backend ~unnamed ~steps ~bound ~valid =
+    Table.add_row table
+      [
+        algorithm; Table.cell_int n; backend;
+        Table.cell_float unnamed; Table.cell_float steps;
+        Table.cell_float ~decimals:0 bound; Table.cell_bool valid;
+      ]
+  in
+  (* Lemma 6, both backends. *)
+  let geo_cfg = { Geometric.n; ell = 2 } in
+  let sim_unnamed = Summary.create () and sim_steps = Summary.create () in
+  let sim_ok = ref true in
+  Array.iter
+    (fun seed ->
+      let r = Geometric.run geo_cfg ~seed in
+      Summary.add_int sim_unnamed (List.length (Report.surviving_unnamed r));
+      Summary.add_int sim_steps (Report.max_steps r);
+      if not (Report.is_sound r) then sim_ok := false)
+    seeds;
+  row "Lemma 6 l=2" "simulator" ~unnamed:(Summary.mean sim_unnamed)
+    ~steps:(Summary.mean sim_steps) ~bound:(Geometric.predicted_unnamed geo_cfg) ~valid:!sim_ok;
+  let mc_unnamed = Summary.create () and mc_steps = Summary.create () in
+  let mc_ok = ref true in
+  Array.iter
+    (fun seed ->
+      let r = Mc_run.loose_geometric ~n ~ell:2 ~seed () in
+      Summary.add_int mc_unnamed (Mc_run.unnamed_count r);
+      Summary.add_int mc_steps (Mc_run.max_steps r);
+      if not (Renaming_shm.Assignment.is_valid r.Mc_run.assignment) then mc_ok := false)
+    seeds;
+  row "Lemma 6 l=2" "multicore" ~unnamed:(Summary.mean mc_unnamed)
+    ~steps:(Summary.mean mc_steps) ~bound:(Geometric.predicted_unnamed geo_cfg) ~valid:!mc_ok;
+  (* Lemma 8, both backends. *)
+  let clu_cfg = { Clustered.n; ell = 1 } in
+  let sim_unnamed = Summary.create () and sim_steps = Summary.create () in
+  let sim_ok = ref true in
+  Array.iter
+    (fun seed ->
+      let r = Clustered.run clu_cfg ~seed in
+      Summary.add_int sim_unnamed (List.length (Report.surviving_unnamed r));
+      Summary.add_int sim_steps (Report.max_steps r);
+      if not (Report.is_sound r) then sim_ok := false)
+    seeds;
+  row "Lemma 8 l=1" "simulator" ~unnamed:(Summary.mean sim_unnamed)
+    ~steps:(Summary.mean sim_steps) ~bound:(Clustered.predicted_unnamed clu_cfg) ~valid:!sim_ok;
+  let mc_unnamed = Summary.create () and mc_steps = Summary.create () in
+  let mc_ok = ref true in
+  Array.iter
+    (fun seed ->
+      let r = Mc_run.loose_clustered ~n ~ell:1 ~seed () in
+      Summary.add_int mc_unnamed (Mc_run.unnamed_count r);
+      Summary.add_int mc_steps (Mc_run.max_steps r);
+      if not (Renaming_shm.Assignment.is_valid r.Mc_run.assignment) then mc_ok := false)
+    seeds;
+  row "Lemma 8 l=1" "multicore" ~unnamed:(Summary.mean mc_unnamed)
+    ~steps:(Summary.mean mc_steps) ~bound:(Clustered.predicted_unnamed clu_cfg) ~valid:!mc_ok;
+  Table.add_note table
+    "individual runs differ (real scheduling nondeterminism) but both backends must sit inside the same lemma bounds with comparable means";
+  table

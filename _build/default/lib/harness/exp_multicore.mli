@@ -1,0 +1,4 @@
+(** Experiment T13 — cross-checking the simulator against real OCaml 5
+    multicore execution of the same algorithms. *)
+
+val t13 : Runcfg.scale -> Table.t

@@ -1,0 +1,54 @@
+module Grid = Renaming_splitter.Grid
+module Geometric = Renaming_core.Loose_geometric
+module Report = Renaming_sched.Report
+module Summary = Renaming_stats.Summary
+module Fit = Renaming_stats.Fit
+
+let t12 scale =
+  let table =
+    Table.create
+      ~title:"T12: deterministic read/write renaming (Moir-Anderson grid) vs the paper"
+      ~columns:
+        [
+          "n"; "grid namespace"; "grid steps max"; "violations"; "Lemma6 l=2 steps";
+          "Lemma6 namespace"; "complete"; "sound";
+        ]
+  in
+  let ns =
+    match scale with
+    | Runcfg.Quick -> [| 32; 64; 128; 256 |]
+    | Runcfg.Full -> [| 32; 64; 128; 256; 512; 1024 |]
+  in
+  let seeds = Seeds.take (min 3 (Runcfg.trials scale)) in
+  let grid_points = ref [] in
+  Array.iter
+    (fun n ->
+      let cfg = Grid.make_config ~n () in
+      let instr = Grid.create_instrumentation () in
+      let report = Grid.run ~instr cfg in
+      let geo_steps = Summary.create () in
+      Array.iter
+        (fun seed ->
+          let r = Geometric.run { Geometric.n; ell = 2 } ~seed in
+          Summary.add_int geo_steps (Report.max_steps r))
+        seeds;
+      grid_points := (float_of_int n, float_of_int (Report.max_steps report)) :: !grid_points;
+      Table.add_row table
+        [
+          Table.cell_int n;
+          Table.cell_int (Grid.namespace cfg);
+          Table.cell_int (Report.max_steps report);
+          Table.cell_int instr.Grid.splitter_violations;
+          Table.cell_float (Summary.mean geo_steps);
+          Table.cell_int n;
+          Table.cell_bool (Report.named_count report = n);
+          Table.cell_bool (Report.is_sound report);
+        ])
+    ns;
+  let fit = Fit.best_fit ~candidates:[ Fit.Log; Fit.Log_squared; Fit.Linear ]
+      (Array.of_list (List.rev !grid_points))
+  in
+  Table.add_note table (Format.asprintf "grid step shape: %a (expected Theta(n))" Fit.pp_fit fit);
+  Table.add_note table
+    "deterministic read/write renaming pays Theta(n) steps and a Theta(n^2) namespace; the randomized TAS algorithms need (1+o(1))n names and poly-loglog steps — the gap the paper exploits";
+  table

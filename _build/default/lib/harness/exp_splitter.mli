@@ -1,0 +1,4 @@
+(** Experiment T12 — the deterministic read/write baseline: Moir–Anderson
+    grid renaming, the regime the paper's randomized algorithms escape. *)
+
+val t12 : Runcfg.scale -> Table.t

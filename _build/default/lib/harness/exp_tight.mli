@@ -1,0 +1,14 @@
+(** Experiments T1, T1b, T3 — the tight-renaming claims of Section III. *)
+
+val t1 : Runcfg.scale -> Table.t
+(** Theorem 5 under the mass-conserving schedule: completeness in
+    namespace [n], step complexity scaling as [log n]. *)
+
+val t1b : Runcfg.scale -> Table.t
+(** Definition 2 taken literally: measured cluster-phase coverage
+    against the predicted [n/(2(2c−1))], and the resulting reserve-scan
+    cost. *)
+
+val t3 : Runcfg.scale -> Table.t
+(** Lemma 4(2): per-round requests per block stay at or above
+    [2c·log n]. *)

@@ -1,0 +1,17 @@
+(** The experiment registry: every table and figure of EXPERIMENTS.md,
+    addressable by id from the CLI and the bench harness. *)
+
+type entry = {
+  id : string;  (** "T1", "F2", ... *)
+  title : string;
+  claim : string;  (** the paper statement being reproduced *)
+  run : Runcfg.scale -> Table.t;
+}
+
+val all : entry list
+
+val find : string -> entry option
+(** Case-insensitive lookup by id. *)
+
+val run_all : scale:Runcfg.scale -> out:Format.formatter -> unit
+(** Renders every experiment to [out], in registry order. *)

@@ -1,0 +1,9 @@
+let summaries ~seeds ~f =
+  let s = Renaming_stats.Summary.create () in
+  Array.iter (fun seed -> Renaming_stats.Summary.add s (f seed)) seeds;
+  s
+
+let mean_of ~seeds ~f = Renaming_stats.Summary.mean (summaries ~seeds ~f)
+
+let count_failures ~seeds ~f =
+  Array.fold_left (fun acc seed -> if f seed then acc + 1 else acc) 0 seeds

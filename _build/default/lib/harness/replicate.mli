@@ -1,0 +1,10 @@
+(** Replication helpers: run a measurement across seeds and summarise. *)
+
+val summaries :
+  seeds:int64 array -> f:(int64 -> float) -> Renaming_stats.Summary.t
+(** One observation per seed. *)
+
+val mean_of : seeds:int64 array -> f:(int64 -> float) -> float
+
+val count_failures : seeds:int64 array -> f:(int64 -> bool) -> int
+(** Counts seeds for which [f] returns [true] (= "the claim failed"). *)

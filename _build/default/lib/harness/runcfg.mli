@@ -1,0 +1,26 @@
+(** Experiment scales.
+
+    [Quick] keeps the whole suite under a couple of minutes (CI and
+    `dune exec bench/main.exe`); [Full] is the EXPERIMENTS.md
+    configuration.  Scale only changes instance sizes and replication
+    counts, never algorithm parameters. *)
+
+type scale = Quick | Full
+
+val of_env : unit -> scale
+(** [Full] when the environment variable [RENAMING_SCALE] is ["full"]
+    (case-insensitive); [Quick] otherwise. *)
+
+val scale_name : scale -> string
+
+val sweep_ns : scale -> int array
+(** The doubling sweep of process counts for scaling experiments. *)
+
+val big_n : scale -> int
+(** The single large instance used by decay/trade-off experiments. *)
+
+val trials : scale -> int
+(** Seeds per configuration. *)
+
+val whp_trials : scale -> int
+(** Trials for the direct probabilistic checks (Lemma 3). *)

@@ -1,0 +1,56 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+  mutable notes : string list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let pad cell width = cell ^ String.make (width - String.length cell) ' ' in
+  let emit_row row =
+    let cells = List.map2 pad row widths in
+    Buffer.add_string buf ("  " ^ String.concat "  " cells ^ "\n")
+  in
+  emit_row t.columns;
+  let rule = List.map (fun w -> String.make w '-') widths in
+  emit_row rule;
+  List.iter emit_row rows;
+  List.iter (fun note -> Buffer.add_string buf ("  * " ^ note ^ "\n")) (List.rev t.notes);
+  Buffer.contents buf
+
+let escape_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let emit row = Buffer.add_string buf (String.concat "," (List.map escape_csv row) ^ "\n") in
+  emit t.columns;
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let cell_bool b = if b then "yes" else "NO"

@@ -1,0 +1,22 @@
+(** Column-aligned text tables — how every experiment reports its
+    rows, and the CSV serialisation used for offline plotting. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the
+    header. *)
+
+val add_note : t -> string -> unit
+(** Free-form annotation rendered after the table (claims, fits,
+    verdicts). *)
+
+val render : t -> string
+
+val to_csv : t -> string
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string

@@ -1,0 +1,1 @@
+lib/longlived/longlived.ml: Array Printf Renaming_rng Renaming_sched Renaming_stats

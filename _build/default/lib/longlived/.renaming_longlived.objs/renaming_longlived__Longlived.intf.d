@@ -1,0 +1,1 @@
+lib/longlived/longlived.mli: Renaming_rng Renaming_sched Renaming_stats

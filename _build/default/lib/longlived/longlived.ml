@@ -1,0 +1,98 @@
+module Program = Renaming_sched.Program
+module Executor = Renaming_sched.Executor
+module Memory = Renaming_sched.Memory
+module Adversary = Renaming_sched.Adversary
+module Stream = Renaming_rng.Stream
+module Sample = Renaming_rng.Sample
+module Summary = Renaming_stats.Summary
+open Program.Syntax
+
+type config = { sessions : int; rounds : int; epsilon : float }
+
+let make_config ?(epsilon = 0.5) ?(rounds = 8) ~sessions () =
+  if sessions < 1 then invalid_arg "Longlived.make_config: sessions must be >= 1";
+  if rounds < 1 then invalid_arg "Longlived.make_config: rounds must be >= 1";
+  if epsilon <= 0. then invalid_arg "Longlived.make_config: epsilon must be positive";
+  { sessions; rounds; epsilon }
+
+let namespace cfg =
+  max (cfg.sessions + 1) (int_of_float (ceil ((1. +. cfg.epsilon) *. float_of_int cfg.sessions)))
+
+type stats = {
+  acquires : int;
+  releases : int;
+  release_failures : int;
+  probe_summary : Summary.t;
+  max_held : int;
+}
+
+let create_stats () =
+  ref
+    {
+      acquires = 0;
+      releases = 0;
+      release_failures = 0;
+      probe_summary = Summary.create ();
+      max_held = 0;
+    }
+
+let predicted_probes cfg = (1. +. cfg.epsilon) /. cfg.epsilon
+
+(* One session process: [rounds] acquire/hold/release cycles.  The hold
+   phase is a read of the held register (one step) — enough to give the
+   adversary a window to interleave. *)
+let program ?stats cfg ~held_counter ~rng =
+  let m = namespace cfg in
+  let bump f = match stats with Some s -> s := f !s | None -> () in
+  let probe_cap = 64 * m in
+  let rec acquire probes =
+    if probes >= probe_cap then
+      (* Unreachable in practice (success probability has a positive
+         floor); scan deterministically rather than loop forever. *)
+      let* name = Program.scan_names ~first:0 ~count:m in
+      match name with
+      | Some nm -> Program.return (nm, probes + m)
+      | None -> acquire probes  (* everything held: retry; cannot persist *)
+    else
+      let target = Sample.uniform_int rng m in
+      let* won = Program.tas_name target in
+      if won then Program.return (target, probes + 1) else acquire (probes + 1)
+  in
+  let rec cycle r =
+    if r = 0 then Program.return None
+    else
+      let* name, probes = acquire 0 in
+      bump (fun s -> { s with acquires = s.acquires + 1 });
+      (match stats with
+      | Some s -> Summary.add_int !s.probe_summary probes
+      | None -> ());
+      incr held_counter;
+      bump (fun s -> { s with max_held = max s.max_held !held_counter });
+      let* _ = Program.read_name name in
+      decr held_counter;
+      let* released = Program.release_name name in
+      bump (fun s ->
+          if released then { s with releases = s.releases + 1 }
+          else { s with release_failures = s.release_failures + 1 });
+      cycle (r - 1)
+  in
+  cycle cfg.rounds
+
+let instance ?stats cfg ~stream =
+  let memory = Memory.create ~namespace:(namespace cfg) () in
+  let held_counter = ref 0 in
+  let programs =
+    Array.init cfg.sessions (fun pid ->
+        program ?stats cfg ~held_counter ~rng:(Stream.fork stream ~index:pid))
+  in
+  {
+    Executor.memory;
+    programs;
+    label = Printf.sprintf "longlived(sessions=%d,rounds=%d)" cfg.sessions cfg.rounds;
+  }
+
+let run ?stats ?adversary cfg ~seed =
+  let stream = Stream.create seed in
+  let inst = instance ?stats cfg ~stream in
+  let adversary = match adversary with Some a -> a | None -> Adversary.round_robin () in
+  Executor.run ~adversary inst

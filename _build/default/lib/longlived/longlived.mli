@@ -1,0 +1,58 @@
+(** Long-lived loose renaming: names are acquired, used, and released.
+
+    The paper's algorithms are one-shot; the long-lived variant (related
+    work [13], Eberly–Higham–Warpechowska-Gruca) lets each of [sessions]
+    processes repeatedly acquire a distinct name, hold it, and give it
+    back.  We reproduce the randomized probing approach in the paper's
+    hardware-TAS model: the namespace holds
+    [m = ⌈(1+ε)·sessions⌉] releasable registers, an acquire probes
+    uniform names until it wins one (success probability at least
+    [ε/(1+ε)] regardless of churn, since at most [sessions] names are
+    ever held), and a release frees the register.
+
+    Guarantees, enforced structurally by the substrate and checked by
+    the tests:
+    - mutual exclusion: a register is held by at most one process at a
+      time (TAS wins only on free registers; release is owner-checked);
+    - lock-freedom under churn: every acquire terminates (the geometric
+      success probability has a positive floor, plus a deterministic
+      sweep cap);
+    - the amortized step complexity of an acquire concentrates around
+      [(1+ε)/ε] probes — measured by experiment T15. *)
+
+type config = {
+  sessions : int;  (** concurrent processes, each holding ≤ 1 name *)
+  rounds : int;  (** acquire/release cycles per process *)
+  epsilon : float;  (** namespace slack *)
+}
+
+val make_config : ?epsilon:float -> ?rounds:int -> sessions:int -> unit -> config
+(** [epsilon] defaults to 0.5, [rounds] to 8. *)
+
+val namespace : config -> int
+
+type stats = {
+  acquires : int;
+  releases : int;
+  release_failures : int;  (** owner-check refusals; must be 0 *)
+  probe_summary : Renaming_stats.Summary.t;  (** probes per successful acquire *)
+  max_held : int;  (** peak simultaneously-held names observed *)
+}
+
+val create_stats : unit -> stats ref
+
+val instance :
+  ?stats:stats ref -> config -> stream:Renaming_rng.Stream.t -> Renaming_sched.Executor.instance
+(** Every program returns [None]; the outcome of a long-lived run is
+    its [stats], not an assignment. *)
+
+val run :
+  ?stats:stats ref ->
+  ?adversary:Renaming_sched.Adversary.t ->
+  config ->
+  seed:int64 ->
+  Renaming_sched.Report.t
+
+val predicted_probes : config -> float
+(** [(1+ε)/ε], the geometric mean of probes per acquire when all other
+    sessions hold a name. *)

@@ -1,0 +1,1 @@
+lib/rng/sample.ml: Array Int64 Xoshiro

@@ -1,0 +1,1 @@
+lib/rng/stream.ml: Hashtbl Int64 Splitmix64 Xoshiro

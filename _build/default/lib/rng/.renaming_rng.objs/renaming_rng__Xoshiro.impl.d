@@ -1,0 +1,1 @@
+lib/rng/xoshiro.ml: Array Int64 Splitmix64

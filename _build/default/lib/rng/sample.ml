@@ -1,0 +1,42 @@
+let uniform_int rng bound =
+  if bound <= 0 then invalid_arg "Sample.uniform_int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias.  [next_int63] is uniform on
+     [0, max_int] (max_int = 2^62 - 1 on 64-bit), so we accept the
+     largest prefix that is a whole multiple of [bound].  2^62 itself is
+     not representable; computing [2^62 mod bound] as
+     [((max_int mod bound) + 1) mod bound] avoids the overflow. *)
+  let n_mod = ((max_int mod bound) + 1) mod bound in
+  let accept_max = max_int - n_mod in
+  let rec draw () =
+    let x = Xoshiro.next_int63 rng in
+    if x <= accept_max then x mod bound else draw ()
+  in
+  draw ()
+
+let uniform_in_range rng ~lo ~hi =
+  if hi < lo then invalid_arg "Sample.uniform_in_range: hi < lo";
+  lo + uniform_int rng (hi - lo + 1)
+
+let float_unit rng =
+  (* 53 random mantissa bits, the conventional doubles construction. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (Xoshiro.next rng) 11) in
+  float_of_int bits *. 0x1.0p-53
+
+let bernoulli rng p = float_unit rng < p
+
+let shuffle_in_place rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = uniform_int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let permutation rng n =
+  let arr = Array.init n (fun i -> i) in
+  shuffle_in_place rng arr;
+  arr
+
+let choose rng arr =
+  if Array.length arr = 0 then invalid_arg "Sample.choose: empty array";
+  arr.(uniform_int rng (Array.length arr))

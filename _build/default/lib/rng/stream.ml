@@ -1,0 +1,17 @@
+type t = { seed : int64 }
+
+let create seed = { seed }
+
+let seed t = t.seed
+
+(* Mix the substream key into the seed through one SplitMix64 round so
+   that substreams with nearby indices are decorrelated. *)
+let derive base key =
+  let sm = Splitmix64.create (Int64.logxor base (Int64.mul 0x9E3779B97F4A7C15L key)) in
+  Xoshiro.create (Splitmix64.next sm)
+
+let fork t ~index = derive t.seed (Int64.of_int (index + 1))
+
+let fork_named t ~name =
+  let h = Hashtbl.hash name in
+  derive t.seed (Int64.of_int (h lor (1 lsl 30)))

@@ -1,0 +1,25 @@
+(** Named, reproducible streams of randomness.
+
+    A {!t} owns a master generator derived from a single experiment seed;
+    [fork] carves out per-purpose or per-process substreams whose contents
+    do not depend on the order in which the other substreams are used.
+    This is what makes simulation runs replayable: the stream for process
+    [i] is a pure function of [(seed, i)]. *)
+
+type t
+
+(** [create seed] makes a master stream. *)
+val create : int64 -> t
+
+(** [fork t ~index] derives substream [index] deterministically; the same
+    [(seed, index)] pair always yields the same generator regardless of
+    other forks. *)
+val fork : t -> index:int -> Xoshiro.t
+
+(** [fork_named t ~name] derives a substream keyed by a string label
+    (hashed); used for experiment-level streams such as ["workload"] or
+    ["adversary"]. *)
+val fork_named : t -> name:string -> Xoshiro.t
+
+(** [seed t] returns the seed the stream was built from. *)
+val seed : t -> int64

@@ -1,0 +1,1 @@
+lib/sched/adversary.ml: Hashtbl List Memory Op Printf Renaming_rng Renaming_shm

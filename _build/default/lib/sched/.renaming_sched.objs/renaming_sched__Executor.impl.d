@@ -1,0 +1,1 @@
+lib/sched/executor.ml: Adversary Array List Memory Printf Program Renaming_shm Report

@@ -1,0 +1,1 @@
+lib/sched/executor.mli: Adversary Memory Op Program Report

@@ -1,0 +1,1 @@
+lib/sched/memory.ml: Array List Op Renaming_device Renaming_shm

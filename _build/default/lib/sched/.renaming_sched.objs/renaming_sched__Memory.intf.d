@@ -1,0 +1,1 @@
+lib/sched/memory.mli: Op Renaming_device Renaming_shm

@@ -1,0 +1,1 @@
+lib/sched/op.ml: Format Renaming_device

@@ -1,0 +1,1 @@
+lib/sched/op.mli: Format Renaming_device

@@ -1,0 +1,1 @@
+lib/sched/program.ml: Format Op Renaming_device

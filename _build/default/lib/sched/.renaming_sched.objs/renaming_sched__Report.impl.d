@@ -1,0 +1,1 @@
+lib/sched/report.ml: Array Format List Renaming_shm

@@ -1,0 +1,1 @@
+lib/sched/report.mli: Format Renaming_shm

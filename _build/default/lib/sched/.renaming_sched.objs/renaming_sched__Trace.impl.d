@@ -1,0 +1,1 @@
+lib/sched/trace.ml: Adversary Array Format Hashtbl List Op Option Printf Renaming_stats

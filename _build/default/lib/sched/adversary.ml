@@ -1,0 +1,137 @@
+module Sample = Renaming_rng.Sample
+
+type view = {
+  time : int;
+  runnable_count : int;
+  runnable_nth : int -> int;
+  is_runnable : int -> bool;
+  pending_op : int -> Op.t;
+  memory : Memory.t;
+}
+
+type decision = Schedule of int | Crash of int
+
+type t = { name : string; decide : view -> decision }
+
+let round_robin () =
+  let cursor = ref 0 in
+  {
+    name = "round-robin";
+    decide =
+      (fun view ->
+        let i = !cursor mod view.runnable_count in
+        cursor := i + 1;
+        Schedule (view.runnable_nth i));
+  }
+
+let uniform rng =
+  {
+    name = "uniform";
+    decide = (fun view -> Schedule (view.runnable_nth (Sample.uniform_int rng view.runnable_count)));
+  }
+
+let fold_runnable view ~init ~f =
+  let acc = ref init in
+  for i = 0 to view.runnable_count - 1 do
+    acc := f !acc (view.runnable_nth i)
+  done;
+  !acc
+
+let lifo =
+  {
+    name = "lifo";
+    decide = (fun view -> Schedule (fold_runnable view ~init:(-1) ~f:max));
+  }
+
+let min_runnable view = fold_runnable view ~init:max_int ~f:min
+
+let op_is_wasted view pid =
+  match view.pending_op pid with
+  | Op.Tas_name i -> Renaming_shm.Tas_array.is_set (Memory.names view.memory) i
+  | Op.Tas_aux i -> Renaming_shm.Tas_array.is_set (Memory.aux view.memory) i
+  | Op.Read_name _ | Op.Read_aux _ | Op.Tau_submit _ | Op.Tau_poll _ | Op.Read_word _
+  | Op.Write_word _ | Op.Release_name _ ->
+    false
+
+(* The adaptive heuristics inspect at most this many runnable processes
+   per tick, keeping them usable at large n; the model allows full
+   inspection, this is purely a simulation-cost bound. *)
+let adaptive_scan_window = 512
+
+let adaptive_contention =
+  {
+    name = "adaptive-contention";
+    decide =
+      (fun view ->
+        (* Schedule a process whose TAS is doomed, if any; otherwise the
+           lowest pid (delaying everyone else equally). *)
+        let doomed = ref (-1) in
+        (try
+           for i = 0 to min adaptive_scan_window view.runnable_count - 1 do
+             let pid = view.runnable_nth i in
+             if op_is_wasted view pid then begin
+               doomed := pid;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !doomed <> -1 then Schedule !doomed else Schedule (min_runnable view));
+  }
+
+let colluding =
+  {
+    name = "colluding";
+    decide =
+      (fun view ->
+        (* Prefer a process whose target register is shared with another
+           runnable process, so running the group back-to-back makes all
+           but one lose. *)
+        let targets = Hashtbl.create 16 in
+        let best = ref (-1) and best_count = ref 1 in
+        for i = 0 to min adaptive_scan_window view.runnable_count - 1 do
+          let pid = view.runnable_nth i in
+          match Op.target_name (view.pending_op pid) with
+          | Some reg ->
+            let count, lowest =
+              match Hashtbl.find_opt targets reg with
+              | Some (c, p) -> (c + 1, min p pid)
+              | None -> (1, pid)
+            in
+            Hashtbl.replace targets reg (count, lowest);
+            if count > !best_count then begin
+              best := lowest;
+              best_count := count
+            end
+          | None -> ()
+        done;
+        if !best <> -1 then Schedule !best else Schedule (min_runnable view));
+  }
+
+let with_crashes ~base ~crash_times =
+  let pendingr = ref (List.sort compare crash_times) in
+  {
+    name = base.name ^ "+crashes";
+    decide =
+      (fun view ->
+        let rec try_crash () =
+          match !pendingr with
+          | (at, pid) :: rest when at <= view.time ->
+            pendingr := rest;
+            if view.is_runnable pid && view.runnable_count > 1 then Some (Crash pid)
+            else try_crash ()
+          | _ -> None
+        in
+        match try_crash () with
+        | Some d -> d
+        | None -> base.decide view);
+  }
+
+let crash_random ~fraction ~rng ~base =
+  {
+    name = Printf.sprintf "%s+crash(%.2f)" base.name fraction;
+    decide =
+      (fun view ->
+        if view.runnable_count > 1 && Sample.bernoulli rng fraction then
+          Crash (view.runnable_nth (Sample.uniform_int rng view.runnable_count))
+        else base.decide view);
+  }

@@ -1,0 +1,105 @@
+type instance = {
+  memory : Memory.t;
+  programs : int option Program.t array;
+  label : string;
+}
+
+type process_state =
+  | Running of int option Program.t
+  | Finished of int option
+  | Crashed
+
+(* The runnable set is a swap-compacted array: [arr.(0 .. len-1)] are the
+   runnable pids and [pos.(pid)] is the index of [pid] in [arr] (or -1).
+   Removal is O(1), which keeps fair schedulers O(1) per tick. *)
+type live_set = { arr : int array; pos : int array; mutable len : int }
+
+let live_create n = { arr = Array.init n (fun i -> i); pos = Array.init n (fun i -> i); len = n }
+
+let live_remove t pid =
+  let i = t.pos.(pid) in
+  if i < 0 then invalid_arg "Executor: removing non-live pid";
+  let last = t.arr.(t.len - 1) in
+  t.arr.(i) <- last;
+  t.pos.(last) <- i;
+  t.pos.(pid) <- -1;
+  t.len <- t.len - 1
+
+let run ?(tau_cadence = 1) ?(max_ticks = 1_000_000_000) ?on_tick ~adversary instance =
+  if tau_cadence < 1 then invalid_arg "Executor.run: tau_cadence must be >= 1";
+  let n = Array.length instance.programs in
+  let states = Array.map (fun p -> Running p) instance.programs in
+  let live = live_create n in
+  let ledger = Renaming_shm.Step_ledger.create ~processes:n in
+  let crashed = ref [] in
+  let time = ref 0 in
+  let pending_op pid =
+    match states.(pid) with
+    | Running (Program.Step (op, _)) -> op
+    | Running (Program.Done _) | Finished _ | Crashed ->
+      invalid_arg "Executor: pending_op on non-parked process"
+  in
+  (* A program may be Done without ever touching shared memory. *)
+  let settle pid =
+    match states.(pid) with
+    | Running (Program.Done v) ->
+      states.(pid) <- Finished v;
+      live_remove live pid
+    | Running (Program.Step _) | Finished _ | Crashed -> ()
+  in
+  for pid = 0 to n - 1 do
+    settle pid
+  done;
+  let view =
+    {
+      Adversary.time = 0;
+      runnable_count = 0;
+      runnable_nth = (fun i -> live.arr.(i));
+      is_runnable = (fun pid -> pid >= 0 && pid < n && live.pos.(pid) >= 0);
+      pending_op;
+      memory = instance.memory;
+    }
+  in
+  while live.len > 0 do
+    let view = { view with Adversary.time = !time; runnable_count = live.len } in
+    match adversary.Adversary.decide view with
+    | Adversary.Crash pid ->
+      (match states.(pid) with
+      | Running _ ->
+        states.(pid) <- Crashed;
+        live_remove live pid;
+        crashed := pid :: !crashed
+      | Finished _ | Crashed -> invalid_arg "Executor: adversary crashed a non-running process")
+    | Adversary.Schedule pid ->
+      (match states.(pid) with
+      | Running (Program.Step (op, k)) ->
+        let response = Memory.apply instance.memory ~pid op in
+        Renaming_shm.Step_ledger.record ledger ~pid;
+        (match on_tick with Some f -> f ~time:!time ~pid ~op | None -> ());
+        states.(pid) <- Running (k response);
+        settle pid;
+        incr time;
+        if !time mod tau_cadence = 0 then Memory.tick_taus instance.memory;
+        if !time > max_ticks then
+          failwith
+            (Printf.sprintf "Executor: %s exceeded max_ticks=%d (livelock?)" instance.label
+               max_ticks)
+      | Running (Program.Done _) | Finished _ | Crashed ->
+        invalid_arg "Executor: adversary scheduled a non-runnable process")
+  done;
+  let returns =
+    Array.map
+      (function
+        | Finished v -> v
+        | Crashed -> None
+        | Running _ -> None)
+      states
+  in
+  {
+    Report.assignment = Memory.assignment_of_returns instance.memory returns;
+    ledger;
+    ticks = !time;
+    crashed = List.sort compare !crashed;
+    adversary = adversary.Adversary.name;
+    counters = [];
+  }

@@ -1,0 +1,31 @@
+(** The asynchronous execution engine.
+
+    Repeatedly asks the adversary which runnable process takes the next
+    step (or which process crashes), executes that process's pending
+    shared-memory operation, resumes its continuation (local computation
+    runs eagerly until the next operation), and ticks the τ-register
+    device clocks at a fixed cadence.  Terminates when every process has
+    returned or crashed.
+
+    An *instance* bundles the shared memory with one program per
+    process; each program returns the name it acquired ([Some name]) or
+    [None] (almost-tight algorithms give up by design; a sound algorithm
+    must never *claim* a name it did not win). *)
+
+type instance = {
+  memory : Memory.t;
+  programs : int option Program.t array;  (** index = pid *)
+  label : string;  (** algorithm name, for reports *)
+}
+
+val run :
+  ?tau_cadence:int ->
+  ?max_ticks:int ->
+  ?on_tick:(time:int -> pid:int -> op:Op.t -> unit) ->
+  adversary:Adversary.t ->
+  instance ->
+  Report.t
+(** [tau_cadence] (default 1): device cycles run after every [cadence]
+    executed steps — the paper's constant answer delay.  [max_ticks]
+    guards against livelock (default [10^9]); exceeding it raises
+    [Failure].  [on_tick] is an instrumentation hook. *)

@@ -1,0 +1,62 @@
+module Tas_array = Renaming_shm.Tas_array
+module Tau_register = Renaming_device.Tau_register
+
+type t = {
+  names : Tas_array.t;
+  aux : Tas_array.t;
+  taus : Tau_register.t array;
+  words : int array;  (* atomic read/write registers, init 0 *)
+  (* τ-registers with queued requests, so a device tick only visits
+     registers that actually have work. *)
+  mutable dirty : int list;
+  dirty_flag : bool array;
+}
+
+let create ~namespace ?(aux = 0) ?(words = 0) ?(taus = [||]) () =
+  {
+    names = Tas_array.create namespace;
+    aux = Tas_array.create aux;
+    taus;
+    words = Array.make words 0;
+    dirty = [];
+    dirty_flag = Array.make (Array.length taus) false;
+  }
+
+let names t = t.names
+let aux t = t.aux
+let taus t = t.taus
+let words t = t.words
+
+let namespace t = Tas_array.size t.names
+
+let apply t ~pid (op : Op.t) : Op.response =
+  match op with
+  | Tas_name i -> Bool (Tas_array.test_and_set t.names ~idx:i ~pid)
+  | Tas_aux i -> Bool (Tas_array.test_and_set t.aux ~idx:i ~pid)
+  | Read_name i -> Bool (Tas_array.is_set t.names i)
+  | Read_aux i -> Bool (Tas_array.is_set t.aux i)
+  | Tau_submit { reg; bit } ->
+    Tau_register.submit t.taus.(reg) ~pid ~bit;
+    if not t.dirty_flag.(reg) then begin
+      t.dirty_flag.(reg) <- true;
+      t.dirty <- reg :: t.dirty
+    end;
+    Unit
+  | Tau_poll reg -> Tau (Tau_register.poll t.taus.(reg) ~pid)
+  | Release_name i -> Bool (Tas_array.release t.names ~idx:i ~pid)
+  | Read_word i -> Value t.words.(i)
+  | Write_word { idx; value } ->
+    t.words.(idx) <- value;
+    Unit
+
+let tick_taus t =
+  let dirty = t.dirty in
+  t.dirty <- [];
+  List.iter
+    (fun reg ->
+      t.dirty_flag.(reg) <- false;
+      Tau_register.run_cycle t.taus.(reg) ~resolve_order:(fun _ -> ()))
+    dirty
+
+let assignment_of_returns t returns =
+  Renaming_shm.Assignment.make ~namespace:(namespace t) returns

@@ -1,0 +1,39 @@
+(** The shared memory of one simulation: the namespace registers, an
+    auxiliary TAS-bit region, and the τ-registers (if the algorithm uses
+    them). *)
+
+type t
+
+val create :
+  namespace:int ->
+  ?aux:int ->
+  ?words:int ->
+  ?taus:Renaming_device.Tau_register.t array ->
+  unit ->
+  t
+
+val names : t -> Renaming_shm.Tas_array.t
+(** The namespace, one TAS register per name. *)
+
+val aux : t -> Renaming_shm.Tas_array.t
+(** Auxiliary TAS bits (the loose algorithms use none). *)
+
+val taus : t -> Renaming_device.Tau_register.t array
+
+val words : t -> int array
+(** Plain atomic read/write registers (all start at 0) — the substrate
+    of read/write constructions such as splitters. *)
+
+val namespace : t -> int
+
+val apply : t -> pid:int -> Op.t -> Op.response
+(** Executes one operation atomically (the executor serialises
+    operations, so atomicity is by construction). *)
+
+val tick_taus : t -> unit
+(** Run one device clock cycle on every τ-register that has queued
+    requests. *)
+
+val assignment_of_returns : t -> int option array -> Renaming_shm.Assignment.t
+(** Build the final assignment from per-process return values,
+    validating against the namespace size. *)

@@ -1,0 +1,39 @@
+type t =
+  | Tas_name of int
+  | Tas_aux of int
+  | Read_name of int
+  | Read_aux of int
+  | Tau_submit of { reg : int; bit : int }
+  | Tau_poll of int
+  | Read_word of int
+  | Write_word of { idx : int; value : int }
+  | Release_name of int
+
+type response =
+  | Bool of bool
+  | Unit
+  | Value of int
+  | Tau of Renaming_device.Tau_register.answer
+
+let pp fmt = function
+  | Tas_name i -> Format.fprintf fmt "tas-name[%d]" i
+  | Tas_aux i -> Format.fprintf fmt "tas-aux[%d]" i
+  | Read_name i -> Format.fprintf fmt "read-name[%d]" i
+  | Read_aux i -> Format.fprintf fmt "read-aux[%d]" i
+  | Tau_submit { reg; bit } -> Format.fprintf fmt "tau-submit[%d].bit[%d]" reg bit
+  | Tau_poll reg -> Format.fprintf fmt "tau-poll[%d]" reg
+  | Read_word i -> Format.fprintf fmt "read-word[%d]" i
+  | Write_word { idx; value } -> Format.fprintf fmt "write-word[%d]<-%d" idx value
+  | Release_name i -> Format.fprintf fmt "release-name[%d]" i
+
+let pp_response fmt = function
+  | Bool b -> Format.fprintf fmt "bool:%b" b
+  | Unit -> Format.fprintf fmt "unit"
+  | Value v -> Format.fprintf fmt "value:%d" v
+  | Tau Renaming_device.Tau_register.Pending -> Format.fprintf fmt "tau:pending"
+  | Tau Renaming_device.Tau_register.Won_bit -> Format.fprintf fmt "tau:won"
+  | Tau Renaming_device.Tau_register.Lost_bit -> Format.fprintf fmt "tau:lost"
+
+let target_name = function
+  | Tas_name i | Read_name i | Release_name i -> Some i
+  | Tas_aux _ | Read_aux _ | Tau_submit _ | Tau_poll _ | Read_word _ | Write_word _ -> None

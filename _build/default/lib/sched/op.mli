@@ -1,0 +1,37 @@
+(** Shared-memory operations and their responses.
+
+    One executed operation = one *step* in the paper's complexity
+    measure.  Local computation (including coin flips) is free and runs
+    eagerly inside the program continuations, so a parked process always
+    exposes its next shared-memory operation — which is how the adaptive
+    adversary gets to see the results of coin flips before scheduling. *)
+
+type t =
+  | Tas_name of int  (** test-and-set the namespace register; responds [Bool won] *)
+  | Tas_aux of int  (** test-and-set an auxiliary TAS bit; responds [Bool won] *)
+  | Read_name of int  (** read whether a namespace register is set; responds [Bool] *)
+  | Read_aux of int
+  | Tau_submit of { reg : int; bit : int }
+      (** queue a request for TAS bit [bit] of τ-register [reg]; responds [Unit] *)
+  | Tau_poll of int  (** poll τ-register [reg]; responds [Tau answer] *)
+  | Read_word of int
+      (** read an atomic read/write register (the splitter substrate);
+          responds [Value v] *)
+  | Write_word of { idx : int; value : int }  (** write it; responds [Unit] *)
+  | Release_name of int
+      (** free a namespace register the process owns (long-lived
+          renaming only); responds [Bool released] *)
+
+type response =
+  | Bool of bool
+  | Unit
+  | Value of int
+  | Tau of Renaming_device.Tau_register.answer
+
+val pp : Format.formatter -> t -> unit
+
+val pp_response : Format.formatter -> response -> unit
+
+val target_name : t -> int option
+(** The namespace register this operation touches, if any — used by
+    adaptive adversaries to detect contention. *)

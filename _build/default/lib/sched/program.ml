@@ -1,0 +1,92 @@
+type 'a t =
+  | Done of 'a
+  | Step of Op.t * (Op.response -> 'a t)
+
+let return v = Done v
+
+let rec bind p f =
+  match p with
+  | Done v -> f v
+  | Step (op, k) -> Step (op, fun resp -> bind (k resp) f)
+
+let map f p = bind p (fun v -> Done (f v))
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) p f = map f p
+end
+
+let bad_response op resp =
+  Format.kasprintf failwith "Program: operation %a got response %a" Op.pp op Op.pp_response resp
+
+let bool_op op =
+  Step
+    ( op,
+      function
+      | Op.Bool b -> Done b
+      | resp -> bad_response op resp )
+
+let tas_name i = bool_op (Op.Tas_name i)
+let tas_aux i = bool_op (Op.Tas_aux i)
+let read_name i = bool_op (Op.Read_name i)
+let read_aux i = bool_op (Op.Read_aux i)
+
+let release_name i = bool_op (Op.Release_name i)
+
+let read_word i =
+  let op = Op.Read_word i in
+  Step
+    ( op,
+      function
+      | Op.Value v -> Done v
+      | resp -> bad_response op resp )
+
+let write_word ~idx ~value =
+  let op = Op.Write_word { idx; value } in
+  Step
+    ( op,
+      function
+      | Op.Unit -> Done ()
+      | resp -> bad_response op resp )
+
+let tau_submit ~reg ~bit =
+  let op = Op.Tau_submit { reg; bit } in
+  Step
+    ( op,
+      function
+      | Op.Unit -> Done ()
+      | resp -> bad_response op resp )
+
+let tau_poll reg =
+  let op = Op.Tau_poll reg in
+  Step
+    ( op,
+      function
+      | Op.Tau a -> Done a
+      | resp -> bad_response op resp )
+
+let tau_await reg =
+  let open Syntax in
+  let rec loop () =
+    let* answer = tau_poll reg in
+    match answer with
+    | Renaming_device.Tau_register.Pending -> loop ()
+    | Renaming_device.Tau_register.Won_bit -> return true
+    | Renaming_device.Tau_register.Lost_bit -> return false
+  in
+  loop ()
+
+let scan_names ~first ~count =
+  let open Syntax in
+  let rec loop k =
+    if k >= count then return None
+    else
+      let* won = tas_name (first + k) in
+      if won then return (Some (first + k)) else loop (k + 1)
+  in
+  loop 0
+
+let run_local p =
+  match p with
+  | Done v -> Some v
+  | Step _ -> None

@@ -1,0 +1,58 @@
+(** Processes as resumable programs over shared-memory operations.
+
+    A program is a free monad over {!Op.t}: it is either [Done v] or
+    parked at a shared-memory operation with a continuation awaiting the
+    response.  The executor advances one parked operation per scheduled
+    step; everything between two operations (arithmetic, coin flips) is
+    local computation and costs nothing, per the model of §II-A. *)
+
+type 'a t =
+  | Done of 'a
+  | Step of Op.t * (Op.response -> 'a t)
+
+val return : 'a -> 'a t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+module Syntax : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+end
+
+(** {2 Primitive operations} *)
+
+val tas_name : int -> bool t
+(** Try to win namespace register [i]; [true] iff won. *)
+
+val tas_aux : int -> bool t
+val read_name : int -> bool t
+val read_aux : int -> bool t
+val release_name : int -> bool t
+(** Free a namespace register this process owns; [true] iff it did own
+    it (long-lived renaming only). *)
+
+val read_word : int -> int t
+(** Read an atomic read/write register. *)
+
+val write_word : idx:int -> value:int -> unit t
+
+val tau_submit : reg:int -> bit:int -> unit t
+
+val tau_poll : int -> Renaming_device.Tau_register.answer t
+
+val tau_await : int -> bool t
+(** Poll τ-register [reg] until the answer is no longer [Pending];
+    [true] iff the bit was won.  Each poll is a step; the executor's
+    device cadence bounds the number of polls by a constant. *)
+
+(** {2 Composite helpers used by several algorithms} *)
+
+val scan_names : first:int -> count:int -> int option t
+(** TAS registers [first .. first+count-1] in order until one is won;
+    returns the won name, or [None] if all were taken. *)
+
+val run_local : 'a t -> 'a option
+(** Runs a program only if it performs no shared-memory operation;
+    [None] if it parks.  Used in unit tests. *)

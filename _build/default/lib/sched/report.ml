@@ -1,0 +1,30 @@
+module Assignment = Renaming_shm.Assignment
+
+type t = {
+  assignment : Assignment.t;
+  ledger : Renaming_shm.Step_ledger.t;
+  ticks : int;
+  crashed : int list;
+  adversary : string;
+  counters : (string * float) list;
+}
+
+let max_steps t = Renaming_shm.Step_ledger.max_steps t.ledger
+
+let named_count t = Assignment.named_count t.assignment
+
+let surviving_unnamed t =
+  let crashed = t.crashed in
+  List.filter (fun pid -> not (List.mem pid crashed)) (Assignment.unnamed t.assignment)
+
+let is_sound t = Assignment.is_valid t.assignment
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>adversary: %s@ named: %d/%d  crashed: %d  unnamed survivors: %d@ steps: max=%d total=%d ticks=%d@ sound: %b@]"
+    t.adversary (named_count t)
+    (Array.length t.assignment.Assignment.names)
+    (List.length t.crashed)
+    (List.length (surviving_unnamed t))
+    (max_steps t)
+    (Renaming_shm.Step_ledger.total t.ledger)
+    t.ticks (is_sound t)

@@ -1,0 +1,27 @@
+(** Result of executing one renaming instance. *)
+
+type t = {
+  assignment : Renaming_shm.Assignment.t;
+  ledger : Renaming_shm.Step_ledger.t;
+  ticks : int;  (** total executed operations across all processes *)
+  crashed : int list;  (** pids crashed by the adversary, ascending *)
+  adversary : string;
+  counters : (string * float) list;
+      (** algorithm-specific metrics appended by instrumentation hooks,
+          e.g. per-round request counts in the tight algorithm *)
+}
+
+val max_steps : t -> int
+(** Step complexity of the run: max steps over all processes (crashed
+    ones included — their steps count until the crash). *)
+
+val named_count : t -> int
+
+val surviving_unnamed : t -> int list
+(** Processes that neither crashed nor obtained a name — these are the
+    failures the w.h.p. statements bound. *)
+
+val is_sound : t -> bool
+(** No duplicate or out-of-range names. *)
+
+val pp : Format.formatter -> t -> unit

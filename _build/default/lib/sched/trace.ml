@@ -1,0 +1,117 @@
+module Vec = Renaming_stats.Vec
+
+type event =
+  | Scheduled of { time : int; pid : int; op : Op.t }
+  | Crashed of { time : int; pid : int }
+
+type t = { events : event Vec.t; mutable cursor : int }
+
+let create () = { events = Vec.create (); cursor = 0 }
+
+let length t = Vec.length t.events
+
+let events t = Array.to_list (Vec.to_array t.events)
+
+let recording t ~base =
+  {
+    Adversary.name = base.Adversary.name ^ "+recorded";
+    decide =
+      (fun view ->
+        let decision = base.Adversary.decide view in
+        (match decision with
+        | Adversary.Schedule pid ->
+          Vec.add_last t.events
+            (Scheduled { time = view.Adversary.time; pid; op = view.Adversary.pending_op pid })
+        | Adversary.Crash pid -> Vec.add_last t.events (Crashed { time = view.Adversary.time; pid }));
+        decision);
+  }
+
+let replaying t =
+  t.cursor <- 0;
+  {
+    Adversary.name = "replay";
+    decide =
+      (fun view ->
+        if t.cursor >= Vec.length t.events then
+          failwith "Trace.replaying: trace exhausted but processes still run";
+        let event = Vec.get t.events t.cursor in
+        t.cursor <- t.cursor + 1;
+        let pid = match event with Scheduled { pid; _ } | Crashed { pid; _ } -> pid in
+        if not (view.Adversary.is_runnable pid) then
+          failwith
+            (Printf.sprintf "Trace.replaying: pid %d not runnable at replay step %d" pid
+               (t.cursor - 1));
+        match event with
+        | Scheduled _ -> Adversary.Schedule pid
+        | Crashed _ -> Adversary.Crash pid);
+  }
+
+let op_kind op =
+  match (op : Op.t) with
+  | Tas_name _ -> "tas-name"
+  | Tas_aux _ -> "tas-aux"
+  | Read_name _ -> "read-name"
+  | Read_aux _ -> "read-aux"
+  | Tau_submit _ -> "tau-submit"
+  | Tau_poll _ -> "tau-poll"
+  | Read_word _ -> "read-word"
+  | Write_word _ -> "write-word"
+  | Release_name _ -> "release-name"
+
+let census t =
+  let counts = Hashtbl.create 16 in
+  let bump key = Hashtbl.replace counts key (1 + Option.value (Hashtbl.find_opt counts key) ~default:0) in
+  Vec.iter
+    (function
+      | Scheduled { op; _ } -> bump (op_kind op)
+      | Crashed _ -> bump "crash")
+    t.events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_summary fmt t =
+  Format.fprintf fmt "@[<v>trace: %d events@ " (length t);
+  List.iter (fun (kind, count) -> Format.fprintf fmt "%-12s %d@ " kind count) (census t);
+  Format.fprintf fmt "@]"
+
+let glyph_of_op (op : Op.t) =
+  match op with
+  | Tas_name _ | Tas_aux _ -> 't'
+  | Read_name _ | Read_aux _ -> 'r'
+  | Tau_submit _ -> 's'
+  | Tau_poll _ -> 'p'
+  | Write_word _ -> 'w'
+  | Read_word _ -> 'o'
+  | Release_name _ -> 'l'
+
+let pp_timeline ?(max_pids = 16) ?(max_events = 72) fmt t =
+  let events = Vec.to_array t.events in
+  let shown = Array.sub events 0 (min max_events (Array.length events)) in
+  let pids = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      let pid = match e with Scheduled { pid; _ } | Crashed { pid; _ } -> pid in
+      if not (Hashtbl.mem pids pid) then Hashtbl.add pids pid ())
+    shown;
+  let lanes = List.sort compare (Hashtbl.fold (fun pid () acc -> pid :: acc) pids []) in
+  let lanes = List.filteri (fun i _ -> i < max_pids) lanes in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun lane ->
+      Format.fprintf fmt "p%-3d " lane;
+      Array.iter
+        (fun e ->
+          let c =
+            match e with
+            | Scheduled { pid; op; _ } when pid = lane -> glyph_of_op op
+            | Crashed { pid; _ } when pid = lane -> 'X'
+            | Scheduled _ | Crashed _ -> '.'
+          in
+          Format.pp_print_char fmt c)
+        shown;
+      Format.pp_print_cut fmt ())
+    lanes;
+  if Array.length events > Array.length shown then
+    Format.fprintf fmt "(%d more events)@ " (Array.length events - Array.length shown);
+  if List.length lanes = max_pids then Format.fprintf fmt "(lanes capped at %d pids)@ " max_pids;
+  Format.fprintf fmt "@]"

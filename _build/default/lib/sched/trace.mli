@@ -1,0 +1,48 @@
+(** Schedule traces: record the adversary's decisions during a run and
+    replay them later as a deterministic adversary.
+
+    Because algorithm randomness is already pinned by the seed, a
+    recorded trace makes the *entire* execution reproducible — the
+    missing nondeterminism (who stepped when, who crashed) is captured
+    here.  Replaying a trace against a fresh instance with the same
+    seeds must yield an identical report; the test suite checks this
+    for every adversary, which pins down the executor's determinism.
+
+    Traces also feed the analysis helpers: per-process step timelines
+    and operation census. *)
+
+type event =
+  | Scheduled of { time : int; pid : int; op : Op.t }
+  | Crashed of { time : int; pid : int }
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val events : t -> event list
+(** In execution order. *)
+
+val recording : t -> base:Adversary.t -> Adversary.t
+(** Wraps [base]; every decision it makes is appended to the trace
+    (with the operation the scheduled process was about to perform). *)
+
+val replaying : t -> Adversary.t
+(** An adversary that replays the recorded decisions verbatim.  Raises
+    [Failure] if the instance diverges from the recording (a decision
+    names a process that is not runnable) or the trace is exhausted
+    while processes still run. *)
+
+val census : t -> (string * int) list
+(** Operation counts by kind (["tas-name", 812; ...]), sorted by kind
+    name; crashes appear as ["crash"]. *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+val pp_timeline :
+  ?max_pids:int -> ?max_events:int -> Format.formatter -> t -> unit
+(** ASCII timeline: one lane per process (lowest pids first), one column
+    per recorded event.  Lane glyphs: [t] TAS, [r] read, [s] τ-submit,
+    [p] τ-poll, [w] word write, [o] word read, [l] release, [X] crash,
+    [.] idle.  Intended for eyeballing small adversarial executions. *)

@@ -1,0 +1,1 @@
+lib/shm/assignment.ml: Array Format Hashtbl List Tas_array

@@ -1,0 +1,1 @@
+lib/shm/assignment.mli: Format Tas_array

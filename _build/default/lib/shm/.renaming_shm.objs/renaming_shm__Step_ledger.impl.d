@@ -1,0 +1,1 @@
+lib/shm/step_ledger.ml: Array Renaming_stats

@@ -1,0 +1,1 @@
+lib/shm/step_ledger.mli: Renaming_stats

@@ -1,0 +1,1 @@
+lib/shm/tas_array.mli:

@@ -1,0 +1,47 @@
+type t = { names : int option array; namespace : int }
+
+let make ~namespace names =
+  if namespace < 0 then invalid_arg "Assignment.make: negative namespace";
+  { names; namespace }
+
+let of_names ~namespace tas ~processes =
+  let names = Array.make processes None in
+  Tas_array.iter_set tas ~f:(fun ~idx ~pid -> if pid < processes then names.(pid) <- Some idx);
+  make ~namespace names
+
+let named_count t =
+  Array.fold_left (fun acc -> function Some _ -> acc + 1 | None -> acc) 0 t.names
+
+let unnamed t =
+  let acc = ref [] in
+  for pid = Array.length t.names - 1 downto 0 do
+    if t.names.(pid) = None then acc := pid :: !acc
+  done;
+  !acc
+
+type violation =
+  | Out_of_range of { pid : int; name : int }
+  | Duplicate of { name : int; pid_a : int; pid_b : int }
+
+let violations t =
+  let seen = Hashtbl.create (Array.length t.names) in
+  let acc = ref [] in
+  Array.iteri
+    (fun pid -> function
+      | None -> ()
+      | Some name ->
+        if name < 0 || name >= t.namespace then acc := Out_of_range { pid; name } :: !acc;
+        (match Hashtbl.find_opt seen name with
+        | Some pid_a -> acc := Duplicate { name; pid_a; pid_b = pid } :: !acc
+        | None -> Hashtbl.add seen name pid))
+    t.names;
+  List.rev !acc
+
+let is_valid t = violations t = []
+
+let is_complete t = is_valid t && named_count t = Array.length t.names
+
+let pp_violation fmt = function
+  | Out_of_range { pid; name } -> Format.fprintf fmt "process %d holds out-of-range name %d" pid name
+  | Duplicate { name; pid_a; pid_b } ->
+    Format.fprintf fmt "name %d assigned to both %d and %d" name pid_a pid_b

@@ -1,0 +1,37 @@
+(** Name assignments and their validation.
+
+    The output of every renaming algorithm is represented as an array
+    mapping process id to acquired name (or none, for crashed or — in
+    the almost-tight algorithms — still-unnamed processes).  Validation
+    checks the two renaming safety properties: names are within the
+    namespace and no name is assigned twice. *)
+
+type t = {
+  names : int option array;  (** [names.(pid)] is the name won by [pid] *)
+  namespace : int;  (** names must lie in [0, namespace) *)
+}
+
+val make : namespace:int -> int option array -> t
+
+val of_names : namespace:int -> Tas_array.t -> processes:int -> t
+(** Reads the winners out of the namespace registers. *)
+
+val named_count : t -> int
+val unnamed : t -> int list
+(** Pids without a name, ascending. *)
+
+type violation =
+  | Out_of_range of { pid : int; name : int }
+  | Duplicate of { name : int; pid_a : int; pid_b : int }
+
+val violations : t -> violation list
+
+val is_valid : t -> bool
+(** No violations (unnamed processes are allowed; completeness is
+    checked separately because almost-tight algorithms leave processes
+    unnamed by design). *)
+
+val is_complete : t -> bool
+(** Valid and every process has a name. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/sortnet/aks_model.mli:

@@ -1,0 +1,1 @@
+lib/sortnet/bitonic.ml: Array List Network

@@ -1,0 +1,1 @@
+lib/sortnet/insertion.ml: List Network

@@ -1,0 +1,1 @@
+lib/sortnet/odd_even_merge.mli: Network

@@ -1,0 +1,1 @@
+lib/sortnet/odd_even_transposition.mli: Network

@@ -1,0 +1,1 @@
+lib/sortnet/renaming_adapter.ml: Array Hashtbl Network Renaming_sched

@@ -1,0 +1,1 @@
+lib/sortnet/renaming_adapter.mli: Network Renaming_sched

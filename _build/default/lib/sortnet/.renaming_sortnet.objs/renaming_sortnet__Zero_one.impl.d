@@ -1,0 +1,1 @@
+lib/sortnet/zero_one.ml: Array Network Renaming_rng

@@ -1,0 +1,1 @@
+lib/sortnet/zero_one.mli: Network Renaming_rng

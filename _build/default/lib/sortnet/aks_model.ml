@@ -1,0 +1,13 @@
+let default_constant = 6100.
+
+let depth ?(constant = default_constant) ~width () =
+  if width < 2 then invalid_arg "Aks_model.depth: width must be >= 2";
+  constant *. (log (float_of_int width) /. log 2.)
+
+let crossover_vs_bitonic ?(constant = default_constant) () =
+  (* bitonic depth k(k+1)/2 with k = log2 width exceeds c·k when
+     (k+1)/2 > c, i.e. k > 2c - 1. *)
+  let k = int_of_float (ceil ((2. *. constant) -. 1.)) + 1 in
+  k
+  (* width = 2^k; return the exponent to avoid overflow — callers format
+     it as 2^k. *)

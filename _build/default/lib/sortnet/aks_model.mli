@@ -1,0 +1,20 @@
+(** Abstract depth model of the AKS sorting network.
+
+    No practical implementation of Ajtai–Komlós–Szemerédi exists
+    anywhere; the paper's point is precisely that its [O(log n)] depth
+    hides "a rather unwieldy constant".  This model makes the comparison
+    quantitative: depth [c·log₂ n] with the constant configurable
+    (literature estimates put the original construction in the
+    thousands; Paterson's simplification is still ≈ 6100). *)
+
+val default_constant : float
+(** 6100., the commonly cited Paterson-variant estimate. *)
+
+val depth : ?constant:float -> width:int -> unit -> float
+
+val crossover_vs_bitonic : ?constant:float -> unit -> int
+(** The exponent [k] of the smallest power-of-two width [2^k] at which
+    the AKS depth model beats bitonic's exact depth — the
+    "asymptotically optimal but impractical" claim of the related-work
+    section, quantified (the width itself far exceeds the integer
+    range). *)

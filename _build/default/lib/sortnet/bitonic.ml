@@ -1,0 +1,44 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let depth_formula ~width =
+  let k =
+    let rec log2 acc n = if n = 1 then acc else log2 (acc + 1) (n / 2) in
+    log2 0 width
+  in
+  k * (k + 1) / 2
+
+let network ~width =
+  if not (is_pow2 width) || width < 2 then
+    invalid_arg "Bitonic.network: width must be a power of two >= 2";
+  let layers = ref [] in
+  let add_layer comps = if comps <> [] then layers := Array.of_list comps :: !layers in
+  let k = ref 2 in
+  while !k <= width do
+    let block = !k in
+    (* Mirror layer: i paired with its reflection inside the block. *)
+    let mirror = ref [] in
+    for i = 0 to width - 1 do
+      let j = i lxor (block - 1) in
+      if i < j then mirror := { Network.top = i; bottom = j } :: !mirror
+    done;
+    add_layer !mirror;
+    (* Half-cleaners with gaps block/4, block/8, ..., 1. *)
+    let gap = ref (block / 4) in
+    while !gap >= 1 do
+      let comps = ref [] in
+      for i = 0 to width - 1 do
+        if i land !gap = 0 then begin
+          let j = i + !gap in
+          if j < width then comps := { Network.top = i; bottom = j } :: !comps
+        end
+      done;
+      add_layer !comps;
+      gap := !gap / 2
+    done;
+    k := !k * 2
+  done;
+  Network.create ~width (List.rev !layers)

@@ -1,0 +1,10 @@
+let network ~width =
+  if width < 2 then invalid_arg "Insertion.network: width must be >= 2";
+  let layers = ref [] in
+  for pass = 1 to width - 1 do
+    for i = pass - 1 downto 0 do
+      ignore pass;
+      layers := [| { Network.top = i; bottom = i + 1 } |] :: !layers
+    done
+  done;
+  Network.create ~width (List.rev !layers)

@@ -1,0 +1,5 @@
+(** Naive insertion sorting network with one comparator per layer —
+    depth equals size, [w(w−1)/2].  The worst-case baseline that makes
+    the depth/size trade-off of the other networks visible. *)
+
+val network : width:int -> Network.t

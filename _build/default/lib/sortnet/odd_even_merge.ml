@@ -1,0 +1,23 @@
+let network ~width =
+  if width < 2 then invalid_arg "Odd_even_merge.network: width must be >= 2";
+  let layers = ref [] in
+  let p = ref 1 in
+  while !p < width do
+    let k = ref !p in
+    while !k >= 1 do
+      let comps = ref [] in
+      let j = ref (!k mod !p) in
+      while !j <= width - 1 - !k do
+        let upper = min (!k - 1) (width - !j - !k - 1) in
+        for i = 0 to upper do
+          if (i + !j) / (2 * !p) = (i + !j + !k) / (2 * !p) then
+            comps := { Network.top = i + !j; bottom = i + !j + !k } :: !comps
+        done;
+        j := !j + (2 * !k)
+      done;
+      if !comps <> [] then layers := Array.of_list !comps :: !layers;
+      k := !k / 2
+    done;
+    p := !p * 2
+  done;
+  Network.create ~width (List.rev !layers)

@@ -1,0 +1,8 @@
+(** Batcher's odd-even mergesort network, arbitrary width.
+
+    The iterative formulation (Knuth TAOCP vol. 3, §5.3.4) works for any
+    width, not just powers of two; depth is
+    [⌈log₂ w⌉·(⌈log₂ w⌉+1)/2]. *)
+
+val network : width:int -> Network.t
+(** Raises [Invalid_argument] for [width < 2]. *)

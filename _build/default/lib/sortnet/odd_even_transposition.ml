@@ -1,0 +1,13 @@
+let network ~width =
+  if width < 2 then invalid_arg "Odd_even_transposition.network: width must be >= 2";
+  let layer parity =
+    let comps = ref [] in
+    let i = ref parity in
+    while !i + 1 < width do
+      comps := { Network.top = !i; bottom = !i + 1 } :: !comps;
+      i := !i + 2
+    done;
+    Array.of_list !comps
+  in
+  let layers = List.init width (fun r -> layer (r land 1)) in
+  Network.create ~width layers

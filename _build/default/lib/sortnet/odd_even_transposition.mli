@@ -1,0 +1,6 @@
+(** Odd-even transposition ("brick wall") sorting network: [w] layers of
+    alternating even/odd neighbour comparators — linear depth, the
+    network analogue of bubble sort.  Baseline for the depth
+    comparisons. *)
+
+val network : width:int -> Network.t

@@ -1,0 +1,43 @@
+module Sample = Renaming_rng.Sample
+
+type result = Verified_exhaustive | Passed_samples of int | Failed of int array
+
+let is_sorted values =
+  let ok = ref true in
+  for i = 0 to Array.length values - 2 do
+    if values.(i) > values.(i + 1) then ok := false
+  done;
+  !ok
+
+let check ?(samples = 1000) ?(exhaustive_limit = 18) ~rng net =
+  let width = Network.width net in
+  if width <= exhaustive_limit then
+    if Network.sorts net then Verified_exhaustive
+    else begin
+      (* Recover a concrete counterexample for the report. *)
+      let counter = ref [||] in
+      (try
+         for pattern = 0 to (1 lsl width) - 1 do
+           let input = Array.init width (fun i -> (pattern lsr i) land 1) in
+           if not (is_sorted (Network.apply net input ~cmp:compare)) then begin
+             counter := input;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Failed !counter
+    end
+  else begin
+    let failed = ref None in
+    let try_input input =
+      if !failed = None && not (is_sorted (Network.apply net input ~cmp:compare)) then
+        failed := Some input
+    in
+    for _ = 1 to samples do
+      try_input (Array.init width (fun _ -> Sample.uniform_int rng 2));
+      try_input (Sample.permutation rng width)
+    done;
+    match !failed with
+    | Some input -> Failed input
+    | None -> Passed_samples (2 * samples)
+  end

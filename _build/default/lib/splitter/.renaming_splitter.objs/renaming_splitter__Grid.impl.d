@@ -1,0 +1,1 @@
+lib/splitter/grid.ml: Array Printf Renaming_sched Splitter

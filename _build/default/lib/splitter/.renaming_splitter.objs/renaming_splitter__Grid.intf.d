@@ -1,0 +1,1 @@
+lib/splitter/grid.mli: Renaming_sched

@@ -1,0 +1,1 @@
+lib/splitter/splitter.ml: Format Renaming_sched

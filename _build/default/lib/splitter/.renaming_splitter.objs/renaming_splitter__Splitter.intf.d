@@ -1,0 +1,1 @@
+lib/splitter/splitter.mli: Format Renaming_sched

@@ -1,0 +1,1 @@
+lib/stats/whp.ml: Float Format

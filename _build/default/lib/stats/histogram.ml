@@ -1,0 +1,51 @@
+type t = { tbl : (int, int) Hashtbl.t; mutable total : int }
+
+let create () = { tbl = Hashtbl.create 64; total = 0 }
+
+let add_many t v ~count =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  if count < 0 then invalid_arg "Histogram.add_many: negative count";
+  let cur = Option.value (Hashtbl.find_opt t.tbl v) ~default:0 in
+  Hashtbl.replace t.tbl v (cur + count);
+  t.total <- t.total + count
+
+let add t v = add_many t v ~count:1
+
+let count t = t.total
+
+let frequency t v = Option.value (Hashtbl.find_opt t.tbl v) ~default:0
+
+let max_value t = Hashtbl.fold (fun v _ acc -> Stdlib.max v acc) t.tbl (-1)
+
+let mode t =
+  if t.total = 0 then invalid_arg "Histogram.mode: empty";
+  let best = ref (-1) and best_count = ref (-1) in
+  Hashtbl.iter
+    (fun v c ->
+      if c > !best_count || (c = !best_count && v < !best) then begin
+        best := v;
+        best_count := c
+      end)
+    t.tbl;
+  !best
+
+let tail_count t ~threshold =
+  Hashtbl.fold (fun v c acc -> if v > threshold then acc + c else acc) t.tbl 0
+
+let to_assoc t =
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let iter t ~f = List.iter (fun (value, count) -> f ~value ~count) (to_assoc t)
+
+let pp ?(max_rows = 30) fmt t =
+  let rows = to_assoc t in
+  let shown = List.filteri (fun i _ -> i < max_rows) rows in
+  let peak = List.fold_left (fun acc (_, c) -> Stdlib.max acc c) 1 rows in
+  List.iter
+    (fun (v, c) ->
+      let bar = String.make (Stdlib.max 1 (c * 40 / peak)) '#' in
+      Format.fprintf fmt "%6d | %6d %s@." v c bar)
+    shown;
+  if List.length rows > max_rows then
+    Format.fprintf fmt "  ... (%d more rows)@." (List.length rows - max_rows)

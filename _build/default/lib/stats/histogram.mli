@@ -1,0 +1,34 @@
+(** Integer-valued histograms, used for step-count and occupancy
+    distributions. *)
+
+type t
+
+(** [create ()] makes an empty histogram over non-negative integers. *)
+val create : unit -> t
+
+val add : t -> int -> unit
+val add_many : t -> int -> count:int -> unit
+
+val count : t -> int
+(** Total number of observations. *)
+
+val frequency : t -> int -> int
+(** Observations of a given value. *)
+
+val max_value : t -> int
+(** Largest observed value; -1 when empty. *)
+
+val mode : t -> int
+(** Most frequent value; raises [Invalid_argument] when empty. *)
+
+val tail_count : t -> threshold:int -> int
+(** Observations strictly above [threshold]. *)
+
+val iter : t -> f:(value:int -> count:int -> unit) -> unit
+(** Iterates over observed values in increasing order. *)
+
+val to_assoc : t -> (int * int) list
+(** Sorted (value, count) pairs. *)
+
+val pp : ?max_rows:int -> Format.formatter -> t -> unit
+(** ASCII rendering, one row per value with a proportional bar. *)

@@ -1,0 +1,35 @@
+(** Streaming summary statistics (Welford's algorithm) plus exact
+    percentiles over retained samples. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t x] records one observation. *)
+val add : t -> float -> unit
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+(** [percentile t p] with [p] in [0,100]: exact percentile by sorting the
+    retained samples (nearest-rank with linear interpolation).  Raises
+    [Invalid_argument] if empty. *)
+val percentile : t -> float -> float
+
+val median : t -> float
+
+(** All retained samples in insertion order. *)
+val samples : t -> float array
+
+(** [merge a b] is a summary over both sample sets. *)
+val merge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/arrival.ml: Array Renaming_sched

@@ -1,0 +1,1 @@
+lib/workload/arrival.mli: Renaming_sched

@@ -1,0 +1,1 @@
+lib/workload/crash_pattern.ml: Array List Renaming_rng

@@ -1,0 +1,1 @@
+lib/workload/crash_pattern.mli: Renaming_rng

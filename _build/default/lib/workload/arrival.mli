@@ -1,0 +1,23 @@
+(** Arrival patterns.
+
+    The model lets processes start at arbitrary times — equivalently,
+    the adversary simply refuses to schedule a process before its
+    arrival.  These combinators wrap a base adversary accordingly, which
+    is how the staggered/bursty scenarios of the examples and the T9
+    robustness experiment are produced. *)
+
+type pattern =
+  | All_at_once
+  | Staggered of { gap : int }  (** pid [i] arrives at time [i·gap] *)
+  | Bursty of { bursts : int; gap : int }
+      (** processes arrive in [bursts] equal groups, [gap] ticks apart *)
+  | Explicit of int array  (** arrival time per pid *)
+
+val times : pattern -> n:int -> int array
+
+val adversary :
+  pattern -> n:int -> base:Renaming_sched.Adversary.t -> Renaming_sched.Adversary.t
+(** Delegates to [base] but restricts its choice to arrived processes;
+    if none has arrived yet the earliest arrival is scheduled (time
+    advances only with steps, so waiting is free).  Crash decisions of
+    [base] pass through unchanged. *)

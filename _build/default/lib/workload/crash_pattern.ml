@@ -1,0 +1,24 @@
+module Sample = Renaming_rng.Sample
+
+let validate ~n ~failures =
+  if failures < 0 || failures >= n then
+    invalid_arg "Crash_pattern: failures must be in [0, n)"
+
+let random ~rng ~n ~failures ~horizon =
+  validate ~n ~failures;
+  if horizon < 1 then invalid_arg "Crash_pattern.random: horizon must be >= 1";
+  let pids = Array.sub (Sample.permutation rng n) 0 failures in
+  Array.to_list (Array.map (fun pid -> (Sample.uniform_int rng horizon, pid)) pids)
+
+let early_half ~n ~failures =
+  validate ~n ~failures;
+  List.init failures (fun pid -> (0, pid))
+
+let spread ~n ~failures ~horizon =
+  validate ~n ~failures;
+  if failures = 0 then []
+  else
+    List.init failures (fun k ->
+        let pid = k * n / failures in
+        let time = k * horizon / failures in
+        (time, pid))

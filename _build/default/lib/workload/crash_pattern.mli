@@ -1,0 +1,18 @@
+(** Crash patterns for the fault-tolerance experiments (T9).
+
+    Produce [(time, pid)] schedules for
+    {!Renaming_sched.Adversary.with_crashes}. *)
+
+val random :
+  rng:Renaming_rng.Xoshiro.t -> n:int -> failures:int -> horizon:int -> (int * int) list
+(** [failures] distinct pids crash at uniform times in [0, horizon). *)
+
+val early_half :
+  n:int -> failures:int -> (int * int) list
+(** The first [failures] pids crash at time 0 — the adversary kills a
+    prefix before anyone moves.  Surviving processes must still rename
+    correctly within the full namespace. *)
+
+val spread :
+  n:int -> failures:int -> horizon:int -> (int * int) list
+(** [failures] evenly spaced pids crash at evenly spaced times. *)

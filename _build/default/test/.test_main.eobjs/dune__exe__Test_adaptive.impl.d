@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Renaming_core Renaming_sched

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Hashtbl Int64 List Printf QCheck QCheck_alcotest Renaming_apps Renaming_rng

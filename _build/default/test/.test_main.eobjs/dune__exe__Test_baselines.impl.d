@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Fun Int64 List QCheck QCheck_alcotest Renaming_baselines Renaming_sched Renaming_shm Renaming_sortnet

@@ -1,0 +1,1 @@
+test/test_bitops.ml: Alcotest Format Printf QCheck QCheck_alcotest Renaming_bitops

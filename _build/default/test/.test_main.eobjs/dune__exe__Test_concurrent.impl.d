@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Array Domain List Renaming_concurrent Renaming_shm

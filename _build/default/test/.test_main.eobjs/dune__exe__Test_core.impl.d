@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Fun Int64 List Printf QCheck QCheck_alcotest Renaming_core Renaming_device Renaming_rng Renaming_sched Renaming_shm Renaming_workload

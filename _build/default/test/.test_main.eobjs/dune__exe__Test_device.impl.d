@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Format Gen Int64 List QCheck QCheck_alcotest Renaming_bitops Renaming_device Renaming_rng

@@ -1,0 +1,1 @@
+test/test_fastsim.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Renaming_core Renaming_fastsim Renaming_sched

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Int64 List Renaming_harness Renaming_stats String

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Fun Int64 Printf QCheck QCheck_alcotest Renaming_rng Sample Splitmix64 Stream Xoshiro

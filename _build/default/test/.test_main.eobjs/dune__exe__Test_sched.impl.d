@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Format Int64 List QCheck QCheck_alcotest Renaming_device Renaming_rng Renaming_sched Renaming_shm Renaming_workload String

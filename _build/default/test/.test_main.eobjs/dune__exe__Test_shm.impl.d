@@ -1,0 +1,1 @@
+test/test_shm.ml: Alcotest Array Assignment Gen Hashtbl List QCheck QCheck_alcotest Renaming_shm Renaming_stats Step_ledger Tas_array

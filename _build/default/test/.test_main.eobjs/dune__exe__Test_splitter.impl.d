@@ -1,0 +1,1 @@
+test/test_splitter.ml: Alcotest Array Hashtbl Int64 List Printf QCheck QCheck_alcotest Renaming_rng Renaming_sched Renaming_shm Renaming_splitter

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Bootstrap Chernoff Fit Fun Gen Histogram List Printf QCheck QCheck_alcotest Renaming_rng Renaming_stats Summary Vec Whp

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Format List Renaming_core Renaming_rng Renaming_sched Renaming_shm String

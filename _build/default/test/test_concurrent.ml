@@ -1,0 +1,97 @@
+(* Tests for the OCaml 5 multicore backend: linearizable TAS and the
+   domain-parallel algorithm runners. *)
+
+module Atomic_tas = Renaming_concurrent.Atomic_tas
+module Mc_run = Renaming_concurrent.Mc_run
+module Assignment = Renaming_shm.Assignment
+
+let check = Alcotest.check
+
+let test_atomic_tas_basics () =
+  let t = Atomic_tas.create 4 in
+  check Alcotest.int "size" 4 (Atomic_tas.size t);
+  check Alcotest.bool "win" true (Atomic_tas.test_and_set t ~idx:1 ~pid:3);
+  check Alcotest.bool "lose" false (Atomic_tas.test_and_set t ~idx:1 ~pid:4);
+  check Alcotest.(option int) "owner" (Some 3) (Atomic_tas.owner t 1);
+  check Alcotest.bool "is_set" true (Atomic_tas.is_set t 1);
+  check Alcotest.int "set count" 1 (Atomic_tas.set_count t)
+
+let test_atomic_tas_parallel_single_winner () =
+  (* Many domains race on every register; each register must end with
+     exactly one owner and every domain's win-claims must be disjoint. *)
+  let size = 64 in
+  let t = Atomic_tas.create size in
+  let domains = 4 in
+  let worker d () =
+    let wins = ref [] in
+    for idx = 0 to size - 1 do
+      if Atomic_tas.test_and_set t ~idx ~pid:d then wins := idx :: !wins
+    done;
+    !wins
+  in
+  let handles = Array.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+  let w0 = worker 0 () in
+  let all_wins = w0 :: Array.to_list (Array.map Domain.join handles) in
+  let total = List.fold_left (fun acc l -> acc + List.length l) 0 all_wins in
+  check Alcotest.int "every register won exactly once" size total;
+  check Alcotest.int "set count" size (Atomic_tas.set_count t);
+  (* Claimed wins match recorded owners. *)
+  List.iteri
+    (fun _ wins -> List.iter (fun idx -> check Alcotest.bool "owned" true (Atomic_tas.is_set t idx)) wins)
+    all_wins
+
+let test_atomic_to_assignment () =
+  let t = Atomic_tas.create 4 in
+  ignore (Atomic_tas.test_and_set t ~idx:2 ~pid:0);
+  let a = Atomic_tas.to_assignment t ~processes:2 in
+  check Alcotest.(option int) "pid 0 name" (Some 2) a.Assignment.names.(0);
+  check Alcotest.(option int) "pid 1 unnamed" None a.Assignment.names.(1)
+
+let test_mc_loose_geometric () =
+  let result = Mc_run.loose_geometric ~domains:4 ~n:4096 ~ell:2 ~seed:1L () in
+  check Alcotest.bool "valid assignment" true (Assignment.is_valid result.Mc_run.assignment);
+  check Alcotest.bool "some processes named" true
+    (Assignment.named_count result.Mc_run.assignment > 4096 / 2);
+  (* Step budget of Lemma 6. *)
+  check Alcotest.bool "steps within budget" true (Mc_run.max_steps result <= 30)
+
+let test_mc_loose_clustered () =
+  let result = Mc_run.loose_clustered ~domains:4 ~n:4096 ~ell:1 ~seed:2L () in
+  check Alcotest.bool "valid assignment" true (Assignment.is_valid result.Mc_run.assignment);
+  check Alcotest.bool "mostly named" true
+    (Mc_run.unnamed_count result < 4096 / 8)
+
+let test_mc_uniform_probing_complete () =
+  let result = Mc_run.uniform_probing ~domains:4 ~n:1024 ~m:2048 ~seed:3L () in
+  check Alcotest.bool "valid" true (Assignment.is_valid result.Mc_run.assignment);
+  check Alcotest.int "complete" 0 (Mc_run.unnamed_count result)
+
+let test_mc_single_domain () =
+  (* domains=1 must work (no spawns). *)
+  let result = Mc_run.loose_geometric ~domains:1 ~n:512 ~ell:1 ~seed:4L () in
+  check Alcotest.bool "valid" true (Assignment.is_valid result.Mc_run.assignment);
+  check Alcotest.int "domains" 1 result.Mc_run.domains
+
+let test_mc_steps_recorded () =
+  let result = Mc_run.uniform_probing ~domains:2 ~n:256 ~m:512 ~seed:5L () in
+  let nonzero = Array.for_all (fun s -> s > 0) result.Mc_run.steps in
+  check Alcotest.bool "every process took steps" true nonzero
+
+let test_recommended_domains_positive () =
+  check Alcotest.bool "at least one" true (Mc_run.recommended_domains () >= 1)
+
+let tests =
+  [
+    ( "concurrent",
+      [
+        Alcotest.test_case "atomic tas basics" `Quick test_atomic_tas_basics;
+        Alcotest.test_case "parallel single winner" `Quick test_atomic_tas_parallel_single_winner;
+        Alcotest.test_case "to assignment" `Quick test_atomic_to_assignment;
+        Alcotest.test_case "mc loose geometric" `Quick test_mc_loose_geometric;
+        Alcotest.test_case "mc loose clustered" `Quick test_mc_loose_clustered;
+        Alcotest.test_case "mc probing complete" `Quick test_mc_uniform_probing_complete;
+        Alcotest.test_case "mc single domain" `Quick test_mc_single_domain;
+        Alcotest.test_case "mc steps recorded" `Quick test_mc_steps_recorded;
+        Alcotest.test_case "recommended domains" `Quick test_recommended_domains_positive;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+(* Tests for the array-based synchronous engine, including
+   cross-validation against the free-monad executor. *)
+
+module Fastsim = Renaming_fastsim.Fastsim
+module Geometric = Renaming_core.Loose_geometric
+module Clustered = Renaming_core.Loose_clustered
+module Report = Renaming_sched.Report
+
+let check = Alcotest.check
+
+let test_geometric_within_budget () =
+  let r = Fastsim.loose_geometric ~n:4096 ~ell:2 ~seed:1L in
+  let cfg = { Geometric.n = 4096; ell = 2 } in
+  check Alcotest.bool "steps within budget" true (r.Fastsim.max_steps <= Geometric.step_budget cfg);
+  check Alcotest.bool "unnamed below bound" true
+    (float_of_int r.Fastsim.unnamed <= Geometric.predicted_unnamed cfg);
+  check Alcotest.int "accounting adds up" 4096
+    (r.Fastsim.unnamed + Array.fold_left ( + ) 0 r.Fastsim.named_per_phase)
+
+let test_geometric_deterministic () =
+  let a = Fastsim.loose_geometric ~n:2048 ~ell:1 ~seed:9L in
+  let b = Fastsim.loose_geometric ~n:2048 ~ell:1 ~seed:9L in
+  check Alcotest.int "same unnamed" a.Fastsim.unnamed b.Fastsim.unnamed;
+  check Alcotest.int "same max steps" a.Fastsim.max_steps b.Fastsim.max_steps
+
+let test_geometric_seed_sensitivity () =
+  let a = Fastsim.loose_geometric ~n:8192 ~ell:2 ~seed:1L in
+  let b = Fastsim.loose_geometric ~n:8192 ~ell:2 ~seed:2L in
+  (* Distinct seeds should give distinct trajectories (same bounds). *)
+  check Alcotest.bool "different phase profiles" true
+    (a.Fastsim.named_per_phase <> b.Fastsim.named_per_phase || a.Fastsim.unnamed <> b.Fastsim.unnamed)
+
+let test_clustered_within_budget () =
+  let r = Fastsim.loose_clustered ~n:4096 ~ell:1 ~seed:2L () in
+  let cfg = { Clustered.n = 4096; ell = 1 } in
+  check Alcotest.bool "steps within budget" true (r.Fastsim.max_steps <= Clustered.step_budget cfg)
+
+let test_clustered_boost_reduces_unnamed () =
+  let base = Fastsim.loose_clustered ~n:16384 ~ell:1 ~seed:3L () in
+  let boosted = Fastsim.loose_clustered ~boost:2 ~n:16384 ~ell:1 ~seed:3L () in
+  check Alcotest.bool "boost helps" true (boosted.Fastsim.unnamed < base.Fastsim.unnamed)
+
+let test_uniform_probing_complete () =
+  let r = Fastsim.uniform_probing ~n:10_000 ~m:20_000 ~seed:4L in
+  check Alcotest.int "everyone named" 0 r.Fastsim.unnamed;
+  check Alcotest.bool "fast when loose" true (r.Fastsim.max_steps < 200)
+
+let test_uniform_probing_tight_completes_via_sweep () =
+  let r = Fastsim.uniform_probing ~n:1000 ~m:1000 ~seed:5L in
+  check Alcotest.int "everyone named (sweep)" 0 r.Fastsim.unnamed
+
+let test_cross_validation_with_executor () =
+  (* Both backends implement Lemma 6; for the same n they must both sit
+     inside the lemma's bound (they are distinct samplers, so we compare
+     bounds, not values). *)
+  let n = 2048 and ell = 2 in
+  let cfg = { Geometric.n; ell } in
+  let fast = Fastsim.loose_geometric ~n ~ell ~seed:6L in
+  let exec = Geometric.run cfg ~seed:6L in
+  let bound = Geometric.predicted_unnamed cfg in
+  check Alcotest.bool "fastsim within bound" true (float_of_int fast.Fastsim.unnamed <= bound);
+  check Alcotest.bool "executor within bound" true
+    (float_of_int (List.length (Report.surviving_unnamed exec)) <= bound);
+  (* And the means should not be wildly apart (factor < 3). *)
+  let fu = float_of_int (max 1 fast.Fastsim.unnamed) in
+  let eu = float_of_int (max 1 (List.length (Report.surviving_unnamed exec))) in
+  check Alcotest.bool "backends agree within 3x" true (fu /. eu < 3. && eu /. fu < 3.)
+
+let test_validation () =
+  Alcotest.check_raises "bad n" (Invalid_argument "Fastsim.loose_geometric: bad parameters")
+    (fun () -> ignore (Fastsim.loose_geometric ~n:2 ~ell:1 ~seed:1L));
+  Alcotest.check_raises "bad m" (Invalid_argument "Fastsim.uniform_probing: bad parameters")
+    (fun () -> ignore (Fastsim.uniform_probing ~n:10 ~m:5 ~seed:1L))
+
+let qcheck_fastsim_bounds =
+  QCheck.Test.make ~count:20 ~name:"fastsim Lemma 6 bound holds on random seeds"
+    QCheck.small_int
+    (fun seed ->
+      let n = 4096 and ell = 2 in
+      let r = Fastsim.loose_geometric ~n ~ell ~seed:(Int64.of_int seed) in
+      float_of_int r.Fastsim.unnamed <= Geometric.predicted_unnamed { Geometric.n; ell })
+
+let tests =
+  [
+    ( "fastsim",
+      [
+        Alcotest.test_case "geometric within budget" `Quick test_geometric_within_budget;
+        Alcotest.test_case "geometric deterministic" `Quick test_geometric_deterministic;
+        Alcotest.test_case "geometric seed sensitivity" `Quick test_geometric_seed_sensitivity;
+        Alcotest.test_case "clustered within budget" `Quick test_clustered_within_budget;
+        Alcotest.test_case "clustered boost helps" `Quick test_clustered_boost_reduces_unnamed;
+        Alcotest.test_case "probing complete" `Quick test_uniform_probing_complete;
+        Alcotest.test_case "probing tight sweep" `Quick test_uniform_probing_tight_completes_via_sweep;
+        Alcotest.test_case "cross-validation" `Quick test_cross_validation_with_executor;
+        Alcotest.test_case "validation" `Quick test_validation;
+        QCheck_alcotest.to_alcotest qcheck_fastsim_bounds;
+      ] );
+  ]

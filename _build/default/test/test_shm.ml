@@ -1,0 +1,141 @@
+(* Tests for TAS arrays, step ledgers and assignment validation. *)
+
+open Renaming_shm
+
+let check = Alcotest.check
+
+let test_tas_win_once () =
+  let t = Tas_array.create 4 in
+  check Alcotest.bool "first wins" true (Tas_array.test_and_set t ~idx:2 ~pid:7);
+  check Alcotest.bool "second loses" false (Tas_array.test_and_set t ~idx:2 ~pid:8);
+  check Alcotest.(option int) "owner stays" (Some 7) (Tas_array.owner t 2)
+
+let test_tas_counts () =
+  let t = Tas_array.create 10 in
+  check Alcotest.int "free initially" 10 (Tas_array.free_count t);
+  ignore (Tas_array.test_and_set t ~idx:0 ~pid:1);
+  ignore (Tas_array.test_and_set t ~idx:5 ~pid:2);
+  ignore (Tas_array.test_and_set t ~idx:5 ~pid:3);
+  check Alcotest.int "set count" 2 (Tas_array.set_count t);
+  check Alcotest.int "free count" 8 (Tas_array.free_count t)
+
+let test_tas_get () =
+  let t = Tas_array.create 2 in
+  (match Tas_array.get t 0 with
+  | Tas_array.Free -> ()
+  | Tas_array.Won _ -> Alcotest.fail "expected Free");
+  ignore (Tas_array.test_and_set t ~idx:0 ~pid:9);
+  match Tas_array.get t 0 with
+  | Tas_array.Won pid -> check Alcotest.int "winner" 9 pid
+  | Tas_array.Free -> Alcotest.fail "expected Won"
+
+let test_tas_reset () =
+  let t = Tas_array.create 3 in
+  ignore (Tas_array.test_and_set t ~idx:1 ~pid:0);
+  Tas_array.reset t;
+  check Alcotest.int "reset clears" 0 (Tas_array.set_count t);
+  check Alcotest.bool "winnable again" true (Tas_array.test_and_set t ~idx:1 ~pid:1)
+
+let test_tas_bounds () =
+  let t = Tas_array.create 3 in
+  Alcotest.check_raises "negative idx" (Invalid_argument "Tas_array: index out of range")
+    (fun () -> ignore (Tas_array.test_and_set t ~idx:(-1) ~pid:0));
+  Alcotest.check_raises "overflow idx" (Invalid_argument "Tas_array: index out of range")
+    (fun () -> ignore (Tas_array.is_set t 3))
+
+let test_tas_iter_set () =
+  let t = Tas_array.create 5 in
+  ignore (Tas_array.test_and_set t ~idx:4 ~pid:1);
+  ignore (Tas_array.test_and_set t ~idx:1 ~pid:2);
+  let acc = ref [] in
+  Tas_array.iter_set t ~f:(fun ~idx ~pid -> acc := (idx, pid) :: !acc);
+  check Alcotest.(list (pair int int)) "set cells in index order" [ (4, 1); (1, 2) ] !acc
+
+let test_ledger () =
+  let l = Step_ledger.create ~processes:3 in
+  Step_ledger.record l ~pid:0;
+  Step_ledger.record l ~pid:0;
+  Step_ledger.record_many l ~pid:2 ~steps:5;
+  check Alcotest.int "pid 0" 2 (Step_ledger.steps_of l ~pid:0);
+  check Alcotest.int "pid 1" 0 (Step_ledger.steps_of l ~pid:1);
+  check Alcotest.int "total" 7 (Step_ledger.total l);
+  check Alcotest.int "max" 5 (Step_ledger.max_steps l);
+  Step_ledger.reset l;
+  check Alcotest.int "reset" 0 (Step_ledger.total l)
+
+let test_ledger_summary () =
+  let l = Step_ledger.create ~processes:4 in
+  List.iteri (fun pid steps -> Step_ledger.record_many l ~pid ~steps) [ 1; 2; 3; 4 ];
+  let s = Step_ledger.summary l in
+  check (Alcotest.float 1e-9) "mean" 2.5 (Renaming_stats.Summary.mean s)
+
+let test_assignment_valid () =
+  let a = Assignment.make ~namespace:4 [| Some 0; Some 3; None |] in
+  check Alcotest.bool "valid" true (Assignment.is_valid a);
+  check Alcotest.bool "incomplete" false (Assignment.is_complete a);
+  check Alcotest.int "named" 2 (Assignment.named_count a);
+  check Alcotest.(list int) "unnamed" [ 2 ] (Assignment.unnamed a)
+
+let test_assignment_duplicate () =
+  let a = Assignment.make ~namespace:4 [| Some 1; Some 1 |] in
+  check Alcotest.bool "invalid" false (Assignment.is_valid a);
+  match Assignment.violations a with
+  | [ Assignment.Duplicate { name; pid_a; pid_b } ] ->
+    check Alcotest.int "name" 1 name;
+    check Alcotest.int "pid_a" 0 pid_a;
+    check Alcotest.int "pid_b" 1 pid_b
+  | _ -> Alcotest.fail "expected one duplicate violation"
+
+let test_assignment_out_of_range () =
+  let a = Assignment.make ~namespace:2 [| Some 2 |] in
+  match Assignment.violations a with
+  | [ Assignment.Out_of_range { pid; name } ] ->
+    check Alcotest.int "pid" 0 pid;
+    check Alcotest.int "name" 2 name
+  | _ -> Alcotest.fail "expected one out-of-range violation"
+
+let test_assignment_of_names () =
+  let t = Tas_array.create 4 in
+  ignore (Tas_array.test_and_set t ~idx:2 ~pid:0);
+  ignore (Tas_array.test_and_set t ~idx:0 ~pid:1);
+  let a = Assignment.of_names ~namespace:4 t ~processes:2 in
+  check Alcotest.bool "complete" true (Assignment.is_complete a);
+  check Alcotest.(option int) "pid 0 -> 2" (Some 2) a.Assignment.names.(0);
+  check Alcotest.(option int) "pid 1 -> 0" (Some 0) a.Assignment.names.(1)
+
+let qcheck_tas_single_winner =
+  QCheck.Test.make ~count:200 ~name:"each register has at most one winner"
+    QCheck.(pair (int_bound 100) (list_of_size (Gen.int_range 1 200) (int_bound 30)))
+    (fun (size0, probes) ->
+      let size = size0 + 1 in
+      let t = Tas_array.create size in
+      let winners = Hashtbl.create 16 in
+      List.iteri
+        (fun pid idx0 ->
+          let idx = idx0 mod size in
+          if Tas_array.test_and_set t ~idx ~pid then
+            if Hashtbl.mem winners idx then raise Exit else Hashtbl.add winners idx pid)
+        probes;
+      Hashtbl.fold
+        (fun idx pid ok -> ok && Tas_array.owner t idx = Some pid)
+        winners true)
+
+let tests =
+  [
+    ( "shm",
+      [
+        Alcotest.test_case "tas win once" `Quick test_tas_win_once;
+        Alcotest.test_case "tas counts" `Quick test_tas_counts;
+        Alcotest.test_case "tas get" `Quick test_tas_get;
+        Alcotest.test_case "tas reset" `Quick test_tas_reset;
+        Alcotest.test_case "tas bounds" `Quick test_tas_bounds;
+        Alcotest.test_case "tas iter_set" `Quick test_tas_iter_set;
+        Alcotest.test_case "ledger" `Quick test_ledger;
+        Alcotest.test_case "ledger summary" `Quick test_ledger_summary;
+        Alcotest.test_case "assignment valid" `Quick test_assignment_valid;
+        Alcotest.test_case "assignment duplicate" `Quick test_assignment_duplicate;
+        Alcotest.test_case "assignment out of range" `Quick test_assignment_out_of_range;
+        Alcotest.test_case "assignment of names" `Quick test_assignment_of_names;
+        QCheck_alcotest.to_alcotest qcheck_tas_single_winner;
+      ] );
+  ]

@@ -1,0 +1,260 @@
+(* Tests for summaries, histograms, fits, whp checks and Chernoff
+   calculators. *)
+
+open Renaming_stats
+
+let check = Alcotest.check
+let checkf msg expected actual = check (Alcotest.float 1e-9) msg expected actual
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 1.; 2.; 3.; 4. ];
+  check Alcotest.int "count" 4 (Summary.count s);
+  checkf "mean" 2.5 (Summary.mean s);
+  checkf "min" 1. (Summary.min s);
+  checkf "max" 4. (Summary.max s);
+  check (Alcotest.float 1e-6) "variance" (5. /. 3.) (Summary.variance s)
+
+let test_summary_single () =
+  let s = Summary.create () in
+  Summary.add s 7.;
+  checkf "variance of single" 0. (Summary.variance s);
+  checkf "median of single" 7. (Summary.median s)
+
+let test_summary_percentiles () =
+  let s = Summary.create () in
+  for i = 1 to 100 do
+    Summary.add_int s i
+  done;
+  checkf "p0" 1. (Summary.percentile s 0.);
+  checkf "p100" 100. (Summary.percentile s 100.);
+  check (Alcotest.float 0.6) "median ~50.5" 50.5 (Summary.median s)
+
+let test_summary_percentile_empty () =
+  let s = Summary.create () in
+  Alcotest.check_raises "empty percentile" (Invalid_argument "Summary.percentile: empty")
+    (fun () -> ignore (Summary.percentile s 50.))
+
+let test_summary_merge () =
+  let a = Summary.create () and b = Summary.create () in
+  List.iter (Summary.add a) [ 1.; 2. ];
+  List.iter (Summary.add b) [ 3.; 4. ];
+  let m = Summary.merge a b in
+  check Alcotest.int "merged count" 4 (Summary.count m);
+  checkf "merged mean" 2.5 (Summary.mean m)
+
+let test_histogram_basic () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 1; 2; 5 ];
+  check Alcotest.int "count" 4 (Histogram.count h);
+  check Alcotest.int "freq 1" 2 (Histogram.frequency h 1);
+  check Alcotest.int "freq 3" 0 (Histogram.frequency h 3);
+  check Alcotest.int "max value" 5 (Histogram.max_value h);
+  check Alcotest.int "mode" 1 (Histogram.mode h);
+  check Alcotest.int "tail > 1" 2 (Histogram.tail_count h ~threshold:1)
+
+let test_histogram_assoc_sorted () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 5; 1; 3; 1 ];
+  check
+    Alcotest.(list (pair int int))
+    "sorted assoc"
+    [ (1, 2); (3, 1); (5, 1) ]
+    (Histogram.to_assoc h)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  check Alcotest.int "empty max" (-1) (Histogram.max_value h);
+  Alcotest.check_raises "empty mode" (Invalid_argument "Histogram.mode: empty") (fun () ->
+      ignore (Histogram.mode h))
+
+let test_fit_recovers_log () =
+  (* y = 3 log2 n + 1 exactly. *)
+  let points =
+    Array.map
+      (fun n ->
+        let nf = float_of_int n in
+        (nf, (3. *. Fit.eval_shape Fit.Log nf) +. 1.))
+      [| 16; 32; 64; 128; 256; 1024 |]
+  in
+  let fit = Fit.fit_shape Fit.Log points in
+  check (Alcotest.float 1e-6) "slope" 3. fit.Fit.slope;
+  check (Alcotest.float 1e-6) "intercept" 1. fit.Fit.intercept;
+  check (Alcotest.float 1e-9) "R^2" 1. fit.Fit.r_squared
+
+let test_best_fit_prefers_true_shape () =
+  let points =
+    Array.map
+      (fun n ->
+        let nf = float_of_int n in
+        (nf, 2. *. Fit.eval_shape Fit.Log_squared nf))
+      [| 16; 64; 256; 1024; 4096; 16384 |]
+  in
+  let best = Fit.best_fit points in
+  check Alcotest.string "shape" "log^2 n" (Fit.shape_name best.Fit.shape)
+
+let test_best_fit_linear () =
+  let points = Array.map (fun n -> (float_of_int n, float_of_int n)) [| 2; 8; 32; 512; 2048 |] in
+  let best = Fit.best_fit points in
+  check Alcotest.string "linear" "n" (Fit.shape_name best.Fit.shape)
+
+let test_fit_constant_data () =
+  let points = [| (16., 5.); (64., 5.); (1024., 5.) |] in
+  let fit = Fit.fit_shape Fit.Constant points in
+  check (Alcotest.float 1e-9) "constant R^2 = 1" 1. fit.Fit.r_squared;
+  check (Alcotest.float 1e-9) "constant value" 5. fit.Fit.intercept
+
+let test_fit_too_few_points () =
+  Alcotest.check_raises "one point" (Invalid_argument "Fit.fit_shape: need at least two points")
+    (fun () -> ignore (Fit.fit_shape Fit.Log [| (4., 1.) |]))
+
+let test_whp_accepts_zero_failures () =
+  let v = Whp.check ~trials:100 ~bound:0.01 ~failed:(fun _ -> false) in
+  check Alcotest.bool "holds" true v.Whp.holds;
+  check Alcotest.int "failures" 0 v.Whp.failures
+
+let test_whp_allows_one_stray () =
+  let v = Whp.check ~trials:1000 ~bound:1e-9 ~failed:(fun i -> i = 0) in
+  check Alcotest.bool "one stray tolerated" true v.Whp.holds
+
+let test_whp_rejects_gross_violation () =
+  let v = Whp.check ~trials:1000 ~bound:0.001 ~failed:(fun i -> i mod 2 = 0) in
+  check Alcotest.bool "violated" false v.Whp.holds;
+  check Alcotest.int "failures" 500 v.Whp.failures
+
+let test_chernoff_monotone () =
+  let b1 = Chernoff.upper ~mu:10. ~delta:0.5 in
+  let b2 = Chernoff.upper ~mu:10. ~delta:0.9 in
+  check Alcotest.bool "larger delta, smaller bound" true (b2 < b1);
+  let b3 = Chernoff.upper ~mu:20. ~delta:0.5 in
+  check Alcotest.bool "larger mu, smaller bound" true (b3 < b1)
+
+let test_chernoff_branches () =
+  (* delta > 1 uses the linear exponent branch. *)
+  check (Alcotest.float 1e-12) "delta=2" (exp (-20. /. 3.)) (Chernoff.upper ~mu:10. ~delta:2.);
+  check (Alcotest.float 1e-12) "delta=1 both branches agree"
+    (Chernoff.upper ~mu:10. ~delta:1.)
+    (exp (-10. /. 3.))
+
+let test_empty_bins_expected () =
+  (* 1 ball, 2 bins: exactly one bin stays empty. *)
+  checkf "1 ball 2 bins" 1. (Chernoff.empty_bins_expected ~balls:1 ~bins:2);
+  let e = Chernoff.empty_bins_expected ~balls:64 ~bins:16 in
+  check Alcotest.bool "64 into 16 leaves <1 empty" true (e < 1.)
+
+let test_lemma3_bound_below_inverse_poly () =
+  List.iter
+    (fun n ->
+      let bound = Chernoff.lemma3_failure_bound ~n ~c:4. ~ell:1. in
+      check Alcotest.bool
+        (Printf.sprintf "bound < 1/n at n=%d" n)
+        true
+        (bound < 1. /. float_of_int n))
+    [ 64; 256; 1024; 65536 ]
+
+let test_lemma3_min_c () =
+  checkf "l=1" 4. (Chernoff.lemma3_min_c ~ell:1.);
+  checkf "l=2" 6. (Chernoff.lemma3_min_c ~ell:2.)
+
+let test_vec () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.add_last v i
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  check Alcotest.int "get" 37 (Vec.get v 37);
+  check Alcotest.(array int) "to_array" (Array.init 100 Fun.id) (Vec.to_array v);
+  Vec.clear v;
+  check Alcotest.int "cleared" 0 (Vec.length v)
+
+let qcheck_summary_mean_bounds =
+  QCheck.Test.make ~count:300 ~name:"mean lies within [min, max]"
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) xs;
+      Summary.mean s >= Summary.min s -. 1e-9 && Summary.mean s <= Summary.max s +. 1e-9)
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentiles are monotone in p"
+    QCheck.(list_of_size (Gen.int_range 2 40) (float_range 0. 100.))
+    (fun xs ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) xs;
+      Summary.percentile s 25. <= Summary.percentile s 75. +. 1e-9)
+
+let tests =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "summary basic" `Quick test_summary_basic;
+        Alcotest.test_case "summary single" `Quick test_summary_single;
+        Alcotest.test_case "summary percentiles" `Quick test_summary_percentiles;
+        Alcotest.test_case "summary empty percentile" `Quick test_summary_percentile_empty;
+        Alcotest.test_case "summary merge" `Quick test_summary_merge;
+        Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
+        Alcotest.test_case "histogram sorted assoc" `Quick test_histogram_assoc_sorted;
+        Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+        Alcotest.test_case "fit recovers log" `Quick test_fit_recovers_log;
+        Alcotest.test_case "best fit log^2" `Quick test_best_fit_prefers_true_shape;
+        Alcotest.test_case "best fit linear" `Quick test_best_fit_linear;
+        Alcotest.test_case "fit constant data" `Quick test_fit_constant_data;
+        Alcotest.test_case "fit needs points" `Quick test_fit_too_few_points;
+        Alcotest.test_case "whp zero failures" `Quick test_whp_accepts_zero_failures;
+        Alcotest.test_case "whp one stray" `Quick test_whp_allows_one_stray;
+        Alcotest.test_case "whp gross violation" `Quick test_whp_rejects_gross_violation;
+        Alcotest.test_case "chernoff monotone" `Quick test_chernoff_monotone;
+        Alcotest.test_case "chernoff branches" `Quick test_chernoff_branches;
+        Alcotest.test_case "empty bins expectation" `Quick test_empty_bins_expected;
+        Alcotest.test_case "lemma3 bound" `Quick test_lemma3_bound_below_inverse_poly;
+        Alcotest.test_case "lemma3 min c" `Quick test_lemma3_min_c;
+        Alcotest.test_case "vec" `Quick test_vec;
+        QCheck_alcotest.to_alcotest qcheck_summary_mean_bounds;
+        QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+      ] );
+  ]
+
+(* --- appended: bootstrap confidence intervals --- *)
+
+let test_bootstrap_interval_brackets_mean () =
+  let rng = Renaming_rng.Xoshiro.create 77L in
+  let samples = Array.init 40 (fun i -> float_of_int (i mod 10)) in
+  let ci = Bootstrap.mean_ci ~rng samples in
+  check Alcotest.bool "lo <= mean" true (ci.Bootstrap.lo <= ci.Bootstrap.mean +. 1e-9);
+  check Alcotest.bool "mean <= hi" true (ci.Bootstrap.mean <= ci.Bootstrap.hi +. 1e-9);
+  check (Alcotest.float 1e-9) "mean is sample mean" 4.5 ci.Bootstrap.mean
+
+let test_bootstrap_degenerate_sample () =
+  let rng = Renaming_rng.Xoshiro.create 78L in
+  let ci = Bootstrap.mean_ci ~rng (Array.make 10 3.) in
+  check (Alcotest.float 1e-9) "lo" 3. ci.Bootstrap.lo;
+  check (Alcotest.float 1e-9) "hi" 3. ci.Bootstrap.hi
+
+let test_bootstrap_validation () =
+  let rng = Renaming_rng.Xoshiro.create 79L in
+  Alcotest.check_raises "empty" (Invalid_argument "Bootstrap.mean_ci: empty sample") (fun () ->
+      ignore (Bootstrap.mean_ci ~rng [||]));
+  Alcotest.check_raises "bad confidence"
+    (Invalid_argument "Bootstrap.mean_ci: confidence outside (0, 1)") (fun () ->
+      ignore (Bootstrap.mean_ci ~confidence:1.5 ~rng [| 1. |]))
+
+let test_bootstrap_narrows_with_samples () =
+  let rng = Renaming_rng.Xoshiro.create 80L in
+  let noisy k = Array.init k (fun i -> if i mod 2 = 0 then 0. else 10.) in
+  let small = Bootstrap.mean_ci ~rng (noisy 8) in
+  let large = Bootstrap.mean_ci ~rng (noisy 512) in
+  check Alcotest.bool "wider with fewer samples" true
+    (small.Bootstrap.hi -. small.Bootstrap.lo > large.Bootstrap.hi -. large.Bootstrap.lo)
+
+let bootstrap_tests =
+  [
+    ( "bootstrap",
+      [
+        Alcotest.test_case "interval brackets mean" `Quick test_bootstrap_interval_brackets_mean;
+        Alcotest.test_case "degenerate sample" `Quick test_bootstrap_degenerate_sample;
+        Alcotest.test_case "validation" `Quick test_bootstrap_validation;
+        Alcotest.test_case "narrows with samples" `Quick test_bootstrap_narrows_with_samples;
+      ] );
+  ]
+
+let tests = tests @ bootstrap_tests

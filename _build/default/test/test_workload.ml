@@ -1,0 +1,83 @@
+(* Tests for arrival patterns and crash patterns. *)
+
+module Arrival = Renaming_workload.Arrival
+module Crash_pattern = Renaming_workload.Crash_pattern
+
+let check = Alcotest.check
+
+let test_all_at_once () =
+  check Alcotest.(array int) "zeros" [| 0; 0; 0 |] (Arrival.times Arrival.All_at_once ~n:3)
+
+let test_staggered () =
+  check Alcotest.(array int) "gaps" [| 0; 5; 10; 15 |]
+    (Arrival.times (Arrival.Staggered { gap = 5 }) ~n:4)
+
+let test_bursty () =
+  let times = Arrival.times (Arrival.Bursty { bursts = 2; gap = 10 }) ~n:6 in
+  check Alcotest.(array int) "two bursts" [| 0; 0; 0; 10; 10; 10 |] times
+
+let test_bursty_uneven () =
+  let times = Arrival.times (Arrival.Bursty { bursts = 3; gap = 2 }) ~n:4 in
+  (* per_burst = 1; pids 0,1,2 in bursts 0,1,2, pid 3 clamped to last. *)
+  check Alcotest.(array int) "clamped" [| 0; 2; 4; 4 |] times
+
+let test_explicit () =
+  let times = Arrival.times (Arrival.Explicit [| 3; 1 |]) ~n:2 in
+  check Alcotest.(array int) "copied" [| 3; 1 |] times;
+  Alcotest.check_raises "wrong length" (Invalid_argument "Arrival.times: wrong array length")
+    (fun () -> ignore (Arrival.times (Arrival.Explicit [| 1 |]) ~n:2))
+
+let test_crash_random_properties () =
+  let rng = Renaming_rng.Xoshiro.create 9L in
+  let crashes = Crash_pattern.random ~rng ~n:100 ~failures:20 ~horizon:50 in
+  check Alcotest.int "count" 20 (List.length crashes);
+  let pids = List.map snd crashes in
+  let distinct = List.sort_uniq compare pids in
+  check Alcotest.int "distinct pids" 20 (List.length distinct);
+  List.iter
+    (fun (t, pid) ->
+      check Alcotest.bool "time in horizon" true (t >= 0 && t < 50);
+      check Alcotest.bool "pid in range" true (pid >= 0 && pid < 100))
+    crashes
+
+let test_crash_early_half () =
+  let crashes = Crash_pattern.early_half ~n:10 ~failures:4 in
+  check
+    Alcotest.(list (pair int int))
+    "prefix at time zero"
+    [ (0, 0); (0, 1); (0, 2); (0, 3) ]
+    crashes
+
+let test_crash_spread () =
+  let crashes = Crash_pattern.spread ~n:100 ~failures:4 ~horizon:40 in
+  check
+    Alcotest.(list (pair int int))
+    "even spread"
+    [ (0, 0); (10, 25); (20, 50); (30, 75) ]
+    crashes
+
+let test_crash_validation () =
+  let rng = Renaming_rng.Xoshiro.create 9L in
+  Alcotest.check_raises "too many failures"
+    (Invalid_argument "Crash_pattern: failures must be in [0, n)") (fun () ->
+      ignore (Crash_pattern.random ~rng ~n:10 ~failures:10 ~horizon:5))
+
+let test_crash_empty () =
+  check Alcotest.(list (pair int int)) "no failures" [] (Crash_pattern.spread ~n:10 ~failures:0 ~horizon:5)
+
+let tests =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "all at once" `Quick test_all_at_once;
+        Alcotest.test_case "staggered" `Quick test_staggered;
+        Alcotest.test_case "bursty" `Quick test_bursty;
+        Alcotest.test_case "bursty uneven" `Quick test_bursty_uneven;
+        Alcotest.test_case "explicit" `Quick test_explicit;
+        Alcotest.test_case "crash random" `Quick test_crash_random_properties;
+        Alcotest.test_case "crash early half" `Quick test_crash_early_half;
+        Alcotest.test_case "crash spread" `Quick test_crash_spread;
+        Alcotest.test_case "crash validation" `Quick test_crash_validation;
+        Alcotest.test_case "crash empty" `Quick test_crash_empty;
+      ] );
+  ]
