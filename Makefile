@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full examples clean loc
+.PHONY: all build test bench bench-full chaos examples clean loc
 
 all: build test
 
@@ -17,6 +17,12 @@ bench:
 # The EXPERIMENTS.md configuration (~15 minutes).
 bench-full:
 	RENAMING_SCALE=full dune exec bench/main.exe
+
+# Deterministic fault-injection campaign: every algorithm under crash,
+# crash-recovery and transient faults with the safety monitor attached.
+# Exits nonzero on any safety violation; JSON lands in results/chaos.json.
+chaos:
+	dune exec bin/main.exe -- chaos
 
 examples:
 	dune exec examples/quickstart.exe

@@ -142,7 +142,59 @@ let multicore_cmd =
   Cmd.v (Cmd.info "multicore" ~doc:"Run the Lemma 6 algorithm on real OCaml 5 domains.")
     Term.(const run $ n $ ell $ domains $ seed)
 
+let chaos_cmd =
+  let module Campaign = Renaming_faults.Campaign in
+  let module Chaos = Renaming_harness.Chaos in
+  let n = Arg.(value & opt int 48 & info [ "n" ] ~doc:"Number of processes per run.") in
+  let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Number of deterministic seeds per cell.") in
+  let max_ticks =
+    Arg.(value & opt int 2_000_000 & info [ "max-ticks" ] ~doc:"Livelock guard per run.")
+  in
+  let out =
+    Arg.(value & opt string "results/chaos.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the JSON summary to $(docv).")
+  in
+  let rec mkdir_p dir =
+    if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      Sys.mkdir dir 0o755
+    end
+  in
+  let run n seed_count max_ticks out =
+    if n < 8 then begin
+      Printf.eprintf "chaos: -n must be >= 8 (the tight schedule's minimum)\n";
+      exit 2
+    end;
+    if seed_count < 1 then begin
+      Printf.eprintf "chaos: --seeds must be >= 1\n";
+      exit 2
+    end;
+    let spec = Chaos.spec ~n ~seed_count ~max_ticks () in
+    let progress ~done_ ~total =
+      Printf.eprintf "\rchaos: cell %d/%d%!" done_ total;
+      if done_ = total then prerr_newline ()
+    in
+    let summary = Campaign.run ~progress spec in
+    Format.printf "%a@." Campaign.pp summary;
+    mkdir_p (Filename.dirname out);
+    let oc = open_out out in
+    output_string oc (Campaign.to_json summary);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(json written to %s)\n" out;
+    if summary.Campaign.total_violations > 0 then begin
+      Printf.eprintf "chaos: %d safety violation(s) detected\n" summary.Campaign.total_violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the deterministic chaos campaign: every algorithm under crash, crash-recovery and \
+          transient-fault injection with the online safety monitor attached.")
+    Term.(const run $ n $ seeds $ max_ticks $ out)
+
 let () =
   let doc = "Randomized renaming in shared memory systems (IPDPS 2015) — reproduction toolkit" in
   let info = Cmd.info "renaming" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd; multicore_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd; multicore_cmd; chaos_cmd ]))

@@ -1,4 +1,5 @@
 module Program = Renaming_sched.Program
+module Retry = Renaming_faults.Retry
 module Executor = Renaming_sched.Executor
 module Memory = Renaming_sched.Memory
 module Adversary = Renaming_sched.Adversary
@@ -11,7 +12,7 @@ let validate { n; m } =
 
 let program cfg =
   validate cfg;
-  Program.scan_names ~first:0 ~count:cfg.m
+  Retry.scan_names ~first:0 ~count:cfg.m ()
 
 let instance cfg =
   validate cfg;

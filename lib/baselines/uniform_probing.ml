@@ -2,6 +2,7 @@ module Program = Renaming_sched.Program
 module Executor = Renaming_sched.Executor
 module Memory = Renaming_sched.Memory
 module Adversary = Renaming_sched.Adversary
+module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
 open Program.Syntax
@@ -17,10 +18,10 @@ let make_config ?max_probes ~n ~m () =
 
 let program cfg ~rng =
   let rec probe remaining =
-    if remaining = 0 then Program.scan_names ~first:0 ~count:cfg.m
+    if remaining = 0 then Retry.scan_names ~first:0 ~count:cfg.m ()
     else
       let target = Sample.uniform_int rng cfg.m in
-      let* won = Program.tas_name target in
+      let* won = Retry.tas_name target in
       if won then Program.return (Some target) else probe (remaining - 1)
   in
   probe cfg.max_probes

@@ -2,6 +2,7 @@ module Program = Renaming_sched.Program
 module Executor = Renaming_sched.Executor
 module Memory = Renaming_sched.Memory
 module Adversary = Renaming_sched.Adversary
+module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
 open Program.Syntax
@@ -53,10 +54,10 @@ let program cfg ~rng =
       (* Unconditional termination: sweep the final (oversized) block,
          then the whole namespace. *)
       let base, size = bounds.(last) in
-      let* name = Program.scan_names ~first:base ~count:size in
+      let* name = Retry.scan_names ~first:base ~count:size () in
       (match name with
       | Some nm -> Program.return (Some nm)
-      | None -> Program.scan_names ~first:0 ~count:base)
+      | None -> Retry.scan_names ~first:0 ~count:base ())
     else begin
       let base, size = bounds.(j) in
       let budget = level_budget cfg j in
@@ -64,7 +65,7 @@ let program cfg ~rng =
         if remaining = 0 then level (j + 1)
         else
           let target = base + Sample.uniform_int rng size in
-          let* won = Program.tas_name target in
+          let* won = Retry.tas_name target in
           if won then Program.return (Some target) else probe (remaining - 1)
       in
       probe budget

@@ -1,4 +1,5 @@
 module Program = Renaming_sched.Program
+module Retry = Renaming_faults.Retry
 module Sample = Renaming_rng.Sample
 open Program.Syntax
 
@@ -16,13 +17,13 @@ let program ~base ~size ~rng =
     if batch > cap then
       (* Deterministic sweep: termination no matter what the adversary
          did to the random phase. *)
-      Program.scan_names ~first:base ~count:size
+      Retry.scan_names ~first:base ~count:size ()
     else step batch batch
   and step batch remaining =
     if remaining = 0 then round (2 * batch)
     else
       let target = base + Sample.uniform_int rng size in
-      let* won = Program.tas_name target in
+      let* won = Retry.tas_name target in
       if won then Program.return (Some target) else step batch (remaining - 1)
   in
   round 1

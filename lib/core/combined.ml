@@ -2,6 +2,7 @@ module Program = Renaming_sched.Program
 module Executor = Renaming_sched.Executor
 module Memory = Renaming_sched.Memory
 module Adversary = Renaming_sched.Adversary
+module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
 open Program.Syntax
 
@@ -51,7 +52,7 @@ let program cfg ~rng =
       (* Extension exhausted (possible only when the first phase left
          more than [ext] unnamed — the event the corollary bounds).
          With m > n a free main-namespace register must exist. *)
-      Program.scan_names ~first:0 ~count:cfg.n)
+      Retry.scan_names ~first:0 ~count:cfg.n ())
 
 let instance cfg ~stream =
   let memory = Memory.create ~namespace:(namespace cfg) () in

@@ -2,6 +2,7 @@ module Program = Renaming_sched.Program
 module Executor = Renaming_sched.Executor
 module Memory = Renaming_sched.Memory
 module Adversary = Renaming_sched.Adversary
+module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
 open Program.Syntax
@@ -61,7 +62,7 @@ let program ?instr cfg ~rng =
     else begin
       let base, size = bounds.(j) in
       let target = base + Sample.uniform_int rng size in
-      let* won = Program.tas_name target in
+      let* won = Retry.tas_name target in
       if won then begin
         record j;
         Program.return (Some target)

@@ -2,6 +2,7 @@ module Program = Renaming_sched.Program
 module Executor = Renaming_sched.Executor
 module Memory = Renaming_sched.Memory
 module Adversary = Renaming_sched.Adversary
+module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
 open Program.Syntax
@@ -38,7 +39,7 @@ let program ?instr cfg ~rng =
     if remaining = 0 then round (i + 1)
     else
       let target = Sample.uniform_int rng cfg.n in
-      let* won = Program.tas_name target in
+      let* won = Retry.tas_name target in
       if won then begin
         record (i - 1);
         Program.return (Some target)

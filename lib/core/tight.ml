@@ -3,6 +3,7 @@ module Executor = Renaming_sched.Executor
 module Memory = Renaming_sched.Memory
 module Adversary = Renaming_sched.Adversary
 module Tau_register = Renaming_device.Tau_register
+module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
 open Program.Syntax
@@ -45,8 +46,8 @@ let program ?instr (params : Params.t) ~rng =
       if won then begin
         record (fun s -> s.wins_per_round.(i) <- s.wins_per_round.(i) + 1);
         let* name =
-          Program.scan_names ~first:(Params.block_of_tau params tau_id).Params.name_base
-            ~count:params.Params.tau
+          Retry.scan_names ~first:(Params.block_of_tau params tau_id).Params.name_base
+            ~count:params.Params.tau ()
         in
         match name with
         | Some nm -> Program.return (Some nm)
@@ -63,7 +64,7 @@ let program ?instr (params : Params.t) ~rng =
   and reserve_scan () =
     record (fun s -> s.reserve_entries <- s.reserve_entries + 1);
     let* name =
-      Program.scan_names ~first:params.Params.reserve_base ~count:(Params.reserve_size params)
+      Retry.scan_names ~first:params.Params.reserve_base ~count:(Params.reserve_size params) ()
     in
     match name with
     | Some nm -> Program.return (Some nm)
@@ -72,7 +73,7 @@ let program ?instr (params : Params.t) ~rng =
     (* Names burnt by crashed device winners live below reserve_base and
        are still free TAS registers; a full scan finds them. *)
     record (fun s -> s.safety_net_entries <- s.safety_net_entries + 1);
-    let* name = Program.scan_names ~first:0 ~count:params.Params.reserve_base in
+    let* name = Retry.scan_names ~first:0 ~count:params.Params.reserve_base () in
     Program.return name
   in
   rounds 0

@@ -1,0 +1,34 @@
+module Op = Renaming_sched.Op
+module Sample = Renaming_rng.Sample
+
+type t = time:int -> pid:int -> op:Op.t -> bool
+
+let none : t = fun ~time:_ ~pid:_ ~op:_ -> false
+
+let bernoulli ~rate ~rng : t =
+  if rate < 0. || rate > 1. then invalid_arg "Injector.bernoulli: rate must be in [0, 1]";
+  if rate = 0. then none
+  else fun ~time:_ ~pid:_ ~op -> Op.faultable op && Sample.bernoulli rng rate
+
+let window ~from_ ~until ~rate ~rng : t =
+  if from_ > until then invalid_arg "Injector.window: empty window";
+  let inner = bernoulli ~rate ~rng in
+  fun ~time ~pid ~op -> time >= from_ && time < until && inner ~time ~pid ~op
+
+let targeting ~pids ~rate ~rng : t =
+  let victims = Hashtbl.create (List.length pids) in
+  List.iter (fun pid -> Hashtbl.replace victims pid ()) pids;
+  let inner = bernoulli ~rate ~rng in
+  fun ~time ~pid ~op -> Hashtbl.mem victims pid && inner ~time ~pid ~op
+
+let any injectors : t =
+  fun ~time ~pid ~op -> List.exists (fun i -> i ~time ~pid ~op) injectors
+
+let counting inner =
+  let count = ref 0 in
+  let injector ~time ~pid ~op =
+    let hit = inner ~time ~pid ~op in
+    if hit then incr count;
+    hit
+  in
+  (injector, fun () -> !count)

@@ -1,0 +1,129 @@
+module Executor = Renaming_sched.Executor
+module Memory = Renaming_sched.Memory
+module Report = Renaming_sched.Report
+module Tas_array = Renaming_shm.Tas_array
+module Step_ledger = Renaming_shm.Step_ledger
+
+exception Violation of string
+
+type t = {
+  memory : Memory.t;
+  namespace : int;
+  processes : int;
+  check_ownership : bool;
+  steps : int array;
+  mutable total_steps : int;
+  crashed : bool array;
+  has_returned : bool array;
+  claimed : (int, int) Hashtbl.t;  (* name -> pid *)
+  (* Ring buffer of recent events, for the fail-fast trace excerpt. *)
+  ring : string array;
+  mutable ring_filled : int;
+  mutable ring_next : int;
+  mutable violations : int;
+}
+
+let create ?(check_ownership = false) ?(window = 24) ~memory ~processes () =
+  if processes < 0 then invalid_arg "Monitor.create: negative processes";
+  if window < 1 then invalid_arg "Monitor.create: window must be >= 1";
+  {
+    memory;
+    namespace = Memory.namespace memory;
+    processes;
+    check_ownership;
+    steps = Array.make processes 0;
+    total_steps = 0;
+    crashed = Array.make processes false;
+    has_returned = Array.make processes false;
+    claimed = Hashtbl.create (max 16 processes);
+    ring = Array.make window "";
+    ring_filled = 0;
+    ring_next = 0;
+    violations = 0;
+  }
+
+let remember t event =
+  t.ring.(t.ring_next) <- Format.asprintf "%a" Executor.pp_event event;
+  t.ring_next <- (t.ring_next + 1) mod Array.length t.ring;
+  if t.ring_filled < Array.length t.ring then t.ring_filled <- t.ring_filled + 1
+
+let excerpt t =
+  let w = Array.length t.ring in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "trace excerpt (oldest first):";
+  for i = 0 to t.ring_filled - 1 do
+    let idx = (t.ring_next - t.ring_filled + i + w) mod w in
+    Buffer.add_string buf "\n  ";
+    Buffer.add_string buf t.ring.(idx)
+  done;
+  Buffer.contents buf
+
+let violation_count t = t.violations
+
+let fail t fmt =
+  Format.kasprintf
+    (fun msg ->
+      t.violations <- t.violations + 1;
+      raise (Violation (Printf.sprintf "safety violation: %s\n%s" msg (excerpt t))))
+    fmt
+
+let check_pid t pid = if pid < 0 || pid >= t.processes then fail t "unknown pid %d" pid
+
+let hook t (event : Executor.event) =
+  remember t event;
+  match event with
+  | Executor.Stepped { pid; time; op; _ } ->
+    check_pid t pid;
+    if t.crashed.(pid) then
+      fail t "process %d stepped (%a) at t=%d after crashing" pid Renaming_sched.Op.pp op time;
+    if t.has_returned.(pid) then
+      fail t "process %d stepped (%a) at t=%d after returning" pid Renaming_sched.Op.pp op time;
+    t.steps.(pid) <- t.steps.(pid) + 1;
+    t.total_steps <- t.total_steps + 1
+  | Executor.Crashed { pid; time } ->
+    check_pid t pid;
+    if t.crashed.(pid) then fail t "process %d crashed twice (t=%d)" pid time;
+    if t.has_returned.(pid) then fail t "process %d crashed at t=%d after returning" pid time;
+    t.crashed.(pid) <- true
+  | Executor.Recovered { pid; time } ->
+    check_pid t pid;
+    if not t.crashed.(pid) then fail t "process %d recovered at t=%d without being crashed" pid time;
+    t.crashed.(pid) <- false
+  | Executor.Returned { pid; value; time } ->
+    check_pid t pid;
+    if t.has_returned.(pid) then fail t "process %d returned twice (t=%d)" pid time;
+    if t.crashed.(pid) then fail t "process %d returned at t=%d while crashed" pid time;
+    t.has_returned.(pid) <- true;
+    (match value with
+    | None -> ()
+    | Some name ->
+      if name < 0 || name >= t.namespace then
+        fail t "process %d claimed out-of-range name %d (namespace %d)" pid name t.namespace;
+      (match Hashtbl.find_opt t.claimed name with
+      | Some other -> fail t "duplicate name %d: claimed by both %d and %d" name other pid
+      | None -> Hashtbl.add t.claimed name pid);
+      if t.check_ownership then
+        match Tas_array.owner (Memory.names t.memory) name with
+        | Some owner when owner = pid -> ()
+        | Some owner ->
+          fail t "process %d claimed name %d owned by process %d" pid name owner
+        | None -> fail t "process %d claimed name %d whose register is free" pid name)
+
+let finalize t (report : Report.t) =
+  for pid = 0 to t.processes - 1 do
+    let ledger_steps = Step_ledger.steps_of report.Report.ledger ~pid in
+    if ledger_steps <> t.steps.(pid) then
+      fail t "step-ledger mismatch for process %d: ledger says %d, monitor counted %d" pid
+        ledger_steps t.steps.(pid)
+  done;
+  if report.Report.ticks <> t.total_steps then
+    fail t "tick mismatch: report says %d, monitor counted %d" report.Report.ticks t.total_steps;
+  Array.iteri
+    (fun pid value ->
+      match value with
+      | None -> ()
+      | Some name ->
+        if Hashtbl.find_opt t.claimed name <> Some pid then
+          fail t "final assignment gives %d to process %d but the monitor never saw that return"
+            name pid)
+    report.Report.assignment.Renaming_shm.Assignment.names

@@ -1,0 +1,66 @@
+module Program = Renaming_sched.Program
+module Op = Renaming_sched.Op
+
+type policy = { attempts : int; base_delay : int; max_delay : int }
+
+let make_policy ?(attempts = 8) ?(base_delay = 1) ?(max_delay = 64) () =
+  if attempts < 1 then invalid_arg "Retry.make_policy: attempts must be >= 1";
+  if base_delay < 0 then invalid_arg "Retry.make_policy: base_delay must be >= 0";
+  if max_delay < base_delay then invalid_arg "Retry.make_policy: max_delay < base_delay";
+  { attempts; base_delay; max_delay }
+
+let default = make_policy ()
+
+let backoff_delay policy ~attempt =
+  (* attempt is 1-based: the delay before attempt k+1 is base * 2^(k-1),
+     capped.  Shift guarded so huge attempt counts cannot overflow. *)
+  let exp = min 20 (attempt - 1) in
+  min policy.max_delay (policy.base_delay * (1 lsl exp))
+
+let rec idle k = if k <= 0 then Program.return () else Program.bind Program.yield (fun () -> idle (k - 1))
+
+(* Run a Bool-responding operation with bounded retry: [Some b] on a
+   normal response, [None] when every attempt was eaten by a transient
+   fault. *)
+let bool_result ~policy op =
+  let rec go attempt =
+    Program.Step
+      ( op,
+        function
+        | Op.Bool b -> Program.Done (Some b)
+        | Op.Faulted ->
+          if attempt >= policy.attempts then Program.Done None
+          else
+            Program.bind (idle (backoff_delay policy ~attempt)) (fun () -> go (attempt + 1))
+        | resp ->
+          Format.kasprintf failwith "Retry: operation %a got response %a" Op.pp op Op.pp_response
+            resp )
+  in
+  go 1
+
+(* Giving up must stay on the safe side of every invariant:
+   - a TAS that keeps faulting counts as *lost* — the process never
+     claims a name it cannot prove it won;
+   - a read that keeps faulting counts as *set* — a scanner skips the
+     register instead of fighting for information it cannot get. *)
+let tas_name ?(policy = default) i =
+  Program.map (function Some b -> b | None -> false) (bool_result ~policy (Op.Tas_name i))
+
+let tas_aux ?(policy = default) i =
+  Program.map (function Some b -> b | None -> false) (bool_result ~policy (Op.Tas_aux i))
+
+let read_name ?(policy = default) i =
+  Program.map (function Some b -> b | None -> true) (bool_result ~policy (Op.Read_name i))
+
+let read_aux ?(policy = default) i =
+  Program.map (function Some b -> b | None -> true) (bool_result ~policy (Op.Read_aux i))
+
+let scan_names ?(policy = default) ~first ~count () =
+  let open Program.Syntax in
+  let rec loop k =
+    if k >= count then Program.return None
+    else
+      let* won = tas_name ~policy (first + k) in
+      if won then Program.return (Some (first + k)) else loop (k + 1)
+  in
+  loop 0

@@ -1,0 +1,41 @@
+(** Bounded retry with exponential backoff over transient memory faults.
+
+    Transient faults (docs/fault_model.md) make a TAS or read respond
+    {!Renaming_sched.Op.Faulted} instead of taking effect.  These
+    combinators retry the operation up to [attempts] times, idling
+    [base_delay * 2^(k-1)] steps (capped at [max_delay]) before the
+    k+1-th attempt via explicit {!Renaming_sched.Op.Yield} steps — in an
+    asynchronous model, backing off can only mean burning scheduled
+    steps.
+
+    In a fault-free run every combinator behaves exactly like its
+    {!Renaming_sched.Program} counterpart at identical step cost, so the
+    core algorithms route all namespace traffic through here
+    unconditionally.
+
+    Exhaustion is resolved in the safe direction: a TAS that faults
+    every attempt reports *lost* (the process never claims an unproven
+    name), a read reports *set* (the scanner moves on). *)
+
+type policy = { attempts : int; base_delay : int; max_delay : int }
+
+val make_policy : ?attempts:int -> ?base_delay:int -> ?max_delay:int -> unit -> policy
+(** Defaults: 8 attempts, base delay 1, delay cap 64. *)
+
+val default : policy
+
+val backoff_delay : policy -> attempt:int -> int
+(** Yield steps inserted after failed attempt [attempt] (1-based). *)
+
+val tas_name : ?policy:policy -> int -> bool Renaming_sched.Program.t
+
+val tas_aux : ?policy:policy -> int -> bool Renaming_sched.Program.t
+
+val read_name : ?policy:policy -> int -> bool Renaming_sched.Program.t
+
+val read_aux : ?policy:policy -> int -> bool Renaming_sched.Program.t
+
+val scan_names :
+  ?policy:policy -> first:int -> count:int -> unit -> int option Renaming_sched.Program.t
+(** Fault-tolerant {!Renaming_sched.Program.scan_names}: registers whose
+    retries exhaust are skipped as if taken. *)

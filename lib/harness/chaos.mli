@@ -1,0 +1,38 @@
+(** The standard chaos-campaign roster: the paper's algorithms wired
+    into {!Renaming_faults.Campaign}.
+
+    [lib/faults] is generic over instance builders (it sits below
+    [lib/core] in the dependency order); this module supplies the
+    concrete cross-product — every TAS-claiming algorithm, the adversary
+    suite, the crash/recovery patterns and the default fault rates —
+    used by [renaming chaos], [make chaos] and the tier-1 subset in the
+    test suite. *)
+
+val algorithms : n:int -> Renaming_faults.Campaign.algorithm list
+(** loose-geometric, loose-clustered, combined-geometric, tight,
+    adaptive, uniform-probing, linear-scan — all with the ownership
+    check enabled.  [n] must be ≥ 8 (the tight schedule's minimum). *)
+
+val adversaries : unit -> Renaming_faults.Campaign.adversary_spec list
+(** round-robin, uniform, adaptive-contention, colluding. *)
+
+val patterns : n:int -> Renaming_faults.Campaign.pattern list
+(** none, crash-permanent, crash-recovery, burst-recovery; n/4 failures
+    over a 2n-tick horizon, recovery n/2 ticks after each crash. *)
+
+val default_fault_rates : float list
+
+val spec :
+  ?n:int ->
+  ?seed_count:int ->
+  ?fault_rates:float list ->
+  ?max_ticks:int ->
+  unit ->
+  Renaming_faults.Campaign.spec
+(** The full deterministic campaign (defaults: n=48, 3 seeds, rates
+    0/0.02/0.1) behind [make chaos]. *)
+
+val tier1_spec : unit -> Renaming_faults.Campaign.spec
+(** The fast subset run on every [dune runtest]: 3 algorithms × 3
+    adversaries × {crash-recovery, burst-recovery} × rate 0.05 × 2
+    seeds at n=20. *)

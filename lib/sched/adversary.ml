@@ -5,11 +5,12 @@ type view = {
   runnable_count : int;
   runnable_nth : int -> int;
   is_runnable : int -> bool;
+  is_crashed : int -> bool;
   pending_op : int -> Op.t;
   memory : Memory.t;
 }
 
-type decision = Schedule of int | Crash of int
+type decision = Schedule of int | Crash of int | Recover of int
 
 type t = { name : string; decide : view -> decision }
 
@@ -49,8 +50,8 @@ let op_is_wasted view pid =
   match view.pending_op pid with
   | Op.Tas_name i -> Renaming_shm.Tas_array.is_set (Memory.names view.memory) i
   | Op.Tas_aux i -> Renaming_shm.Tas_array.is_set (Memory.aux view.memory) i
-  | Op.Read_name _ | Op.Read_aux _ | Op.Tau_submit _ | Op.Tau_poll _ | Op.Read_word _
-  | Op.Write_word _ | Op.Release_name _ ->
+  | Op.Read_name _ | Op.Read_aux _ | Op.Owned_name _ | Op.Tau_submit _ | Op.Tau_poll _
+  | Op.Read_word _ | Op.Write_word _ | Op.Release_name _ | Op.Yield ->
     false
 
 (* The adaptive heuristics inspect at most this many runnable processes
@@ -124,6 +125,45 @@ let with_crashes ~base ~crash_times =
         match try_crash () with
         | Some d -> d
         | None -> base.decide view);
+  }
+
+let with_crash_recovery ~base ~crashes ~recover_after =
+  if recover_after < 1 then invalid_arg "Adversary.with_crash_recovery: recover_after must be >= 1";
+  let pending_crashes = ref (List.sort compare crashes) in
+  (* Filled as crashes actually land; times are monotone because crashes
+     are processed in time order and all get the same recovery delay. *)
+  let pending_recoveries = ref [] in
+  {
+    name = base.name ^ "+crash-recovery";
+    decide =
+      (fun view ->
+        let rec try_recover () =
+          match !pending_recoveries with
+          | (at, pid) :: rest when at <= view.time ->
+            pending_recoveries := rest;
+            if view.is_crashed pid then Some (Recover pid) else try_recover ()
+          | _ -> None
+        in
+        let rec try_crash () =
+          match !pending_crashes with
+          | (at, pid) :: rest when at <= view.time ->
+            pending_crashes := rest;
+            (* Never kill the last runnable process: the executor stops
+               when nobody can step, which would strand the pending
+               recoveries forever. *)
+            if view.is_runnable pid && view.runnable_count > 1 then begin
+              pending_recoveries := !pending_recoveries @ [ (view.time + recover_after, pid) ];
+              Some (Crash pid)
+            end
+            else try_crash ()
+          | _ -> None
+        in
+        match try_recover () with
+        | Some d -> d
+        | None -> (
+          match try_crash () with
+          | Some d -> d
+          | None -> base.decide view));
   }
 
 let crash_random ~fraction ~rng ~base =

@@ -17,6 +17,7 @@ type view = {
   runnable_count : int;
   runnable_nth : int -> int;  (** pid by index in [0, runnable_count); arbitrary stable order *)
   is_runnable : int -> bool;  (** by pid *)
+  is_crashed : int -> bool;  (** by pid: crashed and not since recovered *)
   pending_op : int -> Op.t;  (** next operation of a runnable pid *)
   memory : Memory.t;
 }
@@ -24,6 +25,10 @@ type view = {
 type decision =
   | Schedule of int  (** execute this pid's pending operation *)
   | Crash of int  (** crash this pid (costs the adversary nothing) *)
+  | Recover of int
+      (** resurrect a crashed pid: it restarts its program from the top
+          (crash-recovery mode, docs/fault_model.md).  Only valid for a
+          currently crashed pid. *)
 
 type t = { name : string; decide : view -> decision }
 
@@ -55,6 +60,15 @@ val with_crashes : base:t -> crash_times:(int * int) list -> t
 (** [with_crashes ~base ~crash_times] behaves like [base] but crashes
     pid [p] at the first tick at or after time [s] for every [(s, p)] in
     [crash_times].  Entries whose pid already finished are skipped. *)
+
+val with_crash_recovery : base:t -> crashes:(int * int) list -> recover_after:int -> t
+(** Crash-recovery schedule: behaves like {!with_crashes} for the
+    [(time, pid)] entries of [crashes], and additionally resurrects each
+    successfully crashed pid [recover_after] ticks after its crash (the
+    executor restarts its program from the top, behind the recovery
+    preamble — see {!Executor.run}).  Crashes that would kill the last
+    runnable process are skipped, so pending recoveries are never
+    stranded. *)
 
 val crash_random : fraction:float -> rng:Renaming_rng.Xoshiro.t -> base:t -> t
 (** Randomly crashes processes during the run (roughly [fraction] of

@@ -4,10 +4,25 @@ type instance = {
   label : string;
 }
 
+type event =
+  | Stepped of { time : int; pid : int; op : Op.t; response : Op.response }
+  | Crashed of { time : int; pid : int }
+  | Recovered of { time : int; pid : int }
+  | Returned of { time : int; pid : int; value : int option }
+
+let pp_event fmt = function
+  | Stepped { time; pid; op; response } ->
+    Format.fprintf fmt "t=%d p%d %a -> %a" time pid Op.pp op Op.pp_response response
+  | Crashed { time; pid } -> Format.fprintf fmt "t=%d p%d CRASH" time pid
+  | Recovered { time; pid } -> Format.fprintf fmt "t=%d p%d RECOVER" time pid
+  | Returned { time; pid; value } ->
+    Format.fprintf fmt "t=%d p%d return %s" time pid
+      (match value with Some v -> string_of_int v | None -> "none")
+
 type process_state =
   | Running of int option Program.t
   | Finished of int option
-  | Crashed
+  | Crashed_state
 
 (* The runnable set is a swap-compacted array: [arr.(0 .. len-1)] are the
    runnable pids and [pos.(pid)] is the index of [pid] in [arr] (or -1).
@@ -25,18 +40,40 @@ let live_remove t pid =
   t.pos.(pid) <- -1;
   t.len <- t.len - 1
 
-let run ?(tau_cadence = 1) ?(max_ticks = 1_000_000_000) ?on_tick ~adversary instance =
+let live_add t pid =
+  if t.pos.(pid) >= 0 then invalid_arg "Executor: adding already-live pid";
+  t.arr.(t.len) <- pid;
+  t.pos.(pid) <- t.len;
+  t.len <- t.len + 1
+
+let run ?(tau_cadence = 1) ?(max_ticks = 1_000_000_000) ?on_tick ?on_event ?inject ?recover
+    ~adversary instance =
   if tau_cadence < 1 then invalid_arg "Executor.run: tau_cadence must be >= 1";
   let n = Array.length instance.programs in
   let states = Array.map (fun p -> Running p) instance.programs in
   let live = live_create n in
   let ledger = Renaming_shm.Step_ledger.create ~processes:n in
-  let crashed = ref [] in
+  let crashed = Array.make n false in
+  let ever_recovered = Array.make n false in
   let time = ref 0 in
+  let outcome = ref Report.Completed in
+  let emit e = match on_event with Some f -> f e | None -> () in
+  (* Restarting a crashed process: rediscover a name already won (so it
+     is kept, not leaked), then rerun its program from the top.  An
+     explicit [recover] hook supplies an algorithm-specific restart. *)
+  let restart_program pid =
+    match recover with
+    | Some f -> f pid
+    | None ->
+      Program.bind (Program.recover_owned ~namespace:(Memory.namespace instance.memory))
+        (function
+          | Some nm -> Program.return (Some nm)
+          | None -> instance.programs.(pid))
+  in
   let pending_op pid =
     match states.(pid) with
     | Running (Program.Step (op, _)) -> op
-    | Running (Program.Done _) | Finished _ | Crashed ->
+    | Running (Program.Done _) | Finished _ | Crashed_state ->
       invalid_arg "Executor: pending_op on non-parked process"
   in
   (* A program may be Done without ever touching shared memory. *)
@@ -44,8 +81,9 @@ let run ?(tau_cadence = 1) ?(max_ticks = 1_000_000_000) ?on_tick ~adversary inst
     match states.(pid) with
     | Running (Program.Done v) ->
       states.(pid) <- Finished v;
-      live_remove live pid
-    | Running (Program.Step _) | Finished _ | Crashed -> ()
+      live_remove live pid;
+      emit (Returned { time = !time; pid; value = v })
+    | Running (Program.Step _) | Finished _ | Crashed_state -> ()
   in
   for pid = 0 to n - 1 do
     settle pid
@@ -56,50 +94,73 @@ let run ?(tau_cadence = 1) ?(max_ticks = 1_000_000_000) ?on_tick ~adversary inst
       runnable_count = 0;
       runnable_nth = (fun i -> live.arr.(i));
       is_runnable = (fun pid -> pid >= 0 && pid < n && live.pos.(pid) >= 0);
+      is_crashed = (fun pid -> pid >= 0 && pid < n && crashed.(pid));
       pending_op;
       memory = instance.memory;
     }
   in
-  while live.len > 0 do
+  while live.len > 0 && !outcome = Report.Completed do
     let view = { view with Adversary.time = !time; runnable_count = live.len } in
     match adversary.Adversary.decide view with
     | Adversary.Crash pid ->
       (match states.(pid) with
       | Running _ ->
-        states.(pid) <- Crashed;
+        states.(pid) <- Crashed_state;
+        crashed.(pid) <- true;
         live_remove live pid;
-        crashed := pid :: !crashed
-      | Finished _ | Crashed -> invalid_arg "Executor: adversary crashed a non-running process")
+        emit (Crashed { time = !time; pid })
+      | Finished _ | Crashed_state -> invalid_arg "Executor: adversary crashed a non-running process")
+    | Adversary.Recover pid ->
+      (match states.(pid) with
+      | Crashed_state ->
+        states.(pid) <- Running (restart_program pid);
+        crashed.(pid) <- false;
+        ever_recovered.(pid) <- true;
+        live_add live pid;
+        emit (Recovered { time = !time; pid });
+        settle pid
+      | Running _ | Finished _ ->
+        invalid_arg "Executor: adversary recovered a non-crashed process")
     | Adversary.Schedule pid ->
       (match states.(pid) with
       | Running (Program.Step (op, k)) ->
-        let response = Memory.apply instance.memory ~pid op in
+        let faulted =
+          match inject with Some f -> f ~time:!time ~pid ~op | None -> false
+        in
+        let response = if faulted then Op.Faulted else Memory.apply instance.memory ~pid op in
         Renaming_shm.Step_ledger.record ledger ~pid;
         (match on_tick with Some f -> f ~time:!time ~pid ~op | None -> ());
+        emit (Stepped { time = !time; pid; op; response });
         states.(pid) <- Running (k response);
         settle pid;
         incr time;
         if !time mod tau_cadence = 0 then Memory.tick_taus instance.memory;
-        if !time > max_ticks then
-          failwith
-            (Printf.sprintf "Executor: %s exceeded max_ticks=%d (livelock?)" instance.label
-               max_ticks)
-      | Running (Program.Done _) | Finished _ | Crashed ->
+        if !time > max_ticks then outcome := Report.Livelock { max_ticks }
+      | Running (Program.Done _) | Finished _ | Crashed_state ->
         invalid_arg "Executor: adversary scheduled a non-runnable process")
   done;
   let returns =
     Array.map
       (function
         | Finished v -> v
-        | Crashed -> None
+        | Crashed_state -> None
         | Running _ -> None)
       states
+  in
+  let pids_where flags =
+    let acc = ref [] in
+    for pid = n - 1 downto 0 do
+      if flags.(pid) then acc := pid :: !acc
+    done;
+    !acc
   in
   {
     Report.assignment = Memory.assignment_of_returns instance.memory returns;
     ledger;
     ticks = !time;
-    crashed = List.sort compare !crashed;
+    outcome = !outcome;
+    crashed = pids_where crashed;
+    recovered = pids_where ever_recovered;
     adversary = adversary.Adversary.name;
     counters = [];
   }

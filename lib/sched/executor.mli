@@ -1,11 +1,12 @@
 (** The asynchronous execution engine.
 
     Repeatedly asks the adversary which runnable process takes the next
-    step (or which process crashes), executes that process's pending
-    shared-memory operation, resumes its continuation (local computation
-    runs eagerly until the next operation), and ticks the τ-register
-    device clocks at a fixed cadence.  Terminates when every process has
-    returned or crashed.
+    step (or which process crashes, or which crashed process recovers),
+    executes that process's pending shared-memory operation, resumes its
+    continuation (local computation runs eagerly until the next
+    operation), and ticks the τ-register device clocks at a fixed
+    cadence.  Terminates when every process has returned or crashed, or
+    when the livelock guard trips.
 
     An *instance* bundles the shared memory with one program per
     process; each program returns the name it acquired ([Some name]) or
@@ -18,14 +19,47 @@ type instance = {
   label : string;  (** algorithm name, for reports *)
 }
 
+(** Everything observable about a run, in execution order — the feed of
+    the online safety monitor ({!Renaming_faults.Monitor}). *)
+type event =
+  | Stepped of { time : int; pid : int; op : Op.t; response : Op.response }
+  | Crashed of { time : int; pid : int }
+  | Recovered of { time : int; pid : int }
+  | Returned of { time : int; pid : int; value : int option }
+
+val pp_event : Format.formatter -> event -> unit
+
 val run :
   ?tau_cadence:int ->
   ?max_ticks:int ->
   ?on_tick:(time:int -> pid:int -> op:Op.t -> unit) ->
+  ?on_event:(event -> unit) ->
+  ?inject:(time:int -> pid:int -> op:Op.t -> bool) ->
+  ?recover:(int -> int option Program.t) ->
   adversary:Adversary.t ->
   instance ->
   Report.t
 (** [tau_cadence] (default 1): device cycles run after every [cadence]
-    executed steps — the paper's constant answer delay.  [max_ticks]
-    guards against livelock (default [10^9]); exceeding it raises
-    [Failure].  [on_tick] is an instrumentation hook. *)
+    executed steps — the paper's constant answer delay.
+
+    [max_ticks] guards against livelock (default [10^9]); exceeding it
+    ends the run with outcome {!Report.Livelock} (still-running
+    processes count as unnamed) instead of raising, so sweeps can record
+    it.
+
+    [on_tick] is the lightweight instrumentation hook (scheduled
+    operations only); [on_event] additionally sees responses, crashes,
+    recoveries and returns.
+
+    [inject ~time ~pid ~op] returning [true] makes that operation fail
+    transiently: it does not touch memory and responds {!Op.Faulted}
+    (the op still costs a step).  Injectors should only fault
+    {!Op.faultable} operations — programs built from the plain
+    primitives treat [Faulted] on other ops as a protocol error.
+
+    [recover pid] builds the program a crashed process restarts with
+    when the adversary issues {!Adversary.Recover}.  The default
+    restarts [programs.(pid)] from the top behind a
+    {!Program.recover_owned} preamble, so a process that crashed after
+    winning a register re-discovers and keeps that name rather than
+    leaking it. *)

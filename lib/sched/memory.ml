@@ -35,6 +35,8 @@ let apply t ~pid (op : Op.t) : Op.response =
   | Tas_aux i -> Bool (Tas_array.test_and_set t.aux ~idx:i ~pid)
   | Read_name i -> Bool (Tas_array.is_set t.names i)
   | Read_aux i -> Bool (Tas_array.is_set t.aux i)
+  | Owned_name i -> Bool (Tas_array.owner t.names i = Some pid)
+  | Yield -> Unit
   | Tau_submit { reg; bit } ->
     Tau_register.submit t.taus.(reg) ~pid ~bit;
     if not t.dirty_flag.(reg) then begin

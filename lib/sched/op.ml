@@ -3,28 +3,33 @@ type t =
   | Tas_aux of int
   | Read_name of int
   | Read_aux of int
+  | Owned_name of int
   | Tau_submit of { reg : int; bit : int }
   | Tau_poll of int
   | Read_word of int
   | Write_word of { idx : int; value : int }
   | Release_name of int
+  | Yield
 
 type response =
   | Bool of bool
   | Unit
   | Value of int
   | Tau of Renaming_device.Tau_register.answer
+  | Faulted
 
 let pp fmt = function
   | Tas_name i -> Format.fprintf fmt "tas-name[%d]" i
   | Tas_aux i -> Format.fprintf fmt "tas-aux[%d]" i
   | Read_name i -> Format.fprintf fmt "read-name[%d]" i
   | Read_aux i -> Format.fprintf fmt "read-aux[%d]" i
+  | Owned_name i -> Format.fprintf fmt "owned-name[%d]" i
   | Tau_submit { reg; bit } -> Format.fprintf fmt "tau-submit[%d].bit[%d]" reg bit
   | Tau_poll reg -> Format.fprintf fmt "tau-poll[%d]" reg
   | Read_word i -> Format.fprintf fmt "read-word[%d]" i
   | Write_word { idx; value } -> Format.fprintf fmt "write-word[%d]<-%d" idx value
   | Release_name i -> Format.fprintf fmt "release-name[%d]" i
+  | Yield -> Format.fprintf fmt "yield"
 
 let pp_response fmt = function
   | Bool b -> Format.fprintf fmt "bool:%b" b
@@ -33,7 +38,16 @@ let pp_response fmt = function
   | Tau Renaming_device.Tau_register.Pending -> Format.fprintf fmt "tau:pending"
   | Tau Renaming_device.Tau_register.Won_bit -> Format.fprintf fmt "tau:won"
   | Tau Renaming_device.Tau_register.Lost_bit -> Format.fprintf fmt "tau:lost"
+  | Faulted -> Format.fprintf fmt "faulted"
 
 let target_name = function
   | Tas_name i | Read_name i | Release_name i -> Some i
-  | Tas_aux _ | Read_aux _ | Tau_submit _ | Tau_poll _ | Read_word _ | Write_word _ -> None
+  | Owned_name _ | Tas_aux _ | Read_aux _ | Tau_submit _ | Tau_poll _ | Read_word _ | Write_word _
+  | Yield ->
+    None
+
+let faultable = function
+  | Tas_name _ | Tas_aux _ | Read_name _ | Read_aux _ -> true
+  | Owned_name _ | Tau_submit _ | Tau_poll _ | Read_word _ | Write_word _ | Release_name _ | Yield
+    ->
+    false

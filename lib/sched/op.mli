@@ -11,6 +11,11 @@ type t =
   | Tas_aux of int  (** test-and-set an auxiliary TAS bit; responds [Bool won] *)
   | Read_name of int  (** read whether a namespace register is set; responds [Bool] *)
   | Read_aux of int
+  | Owned_name of int
+      (** does the calling process own namespace register [i]?  Responds
+          [Bool owned].  The recovery primitive of the crash-recovery
+          extension (docs/fault_model.md): a resurrected process uses it
+          to re-discover a name it won before crashing.  Never faulted. *)
   | Tau_submit of { reg : int; bit : int }
       (** queue a request for TAS bit [bit] of τ-register [reg]; responds [Unit] *)
   | Tau_poll of int  (** poll τ-register [reg]; responds [Tau answer] *)
@@ -21,12 +26,20 @@ type t =
   | Release_name of int
       (** free a namespace register the process owns (long-lived
           renaming only); responds [Bool released] *)
+  | Yield
+      (** a deliberate no-op step: burns one scheduling step without
+          touching memory.  The backoff primitive of the transient-fault
+          retry helpers ({!Renaming_faults.Retry}); responds [Unit]. *)
 
 type response =
   | Bool of bool
   | Unit
   | Value of int
   | Tau of Renaming_device.Tau_register.answer
+  | Faulted
+      (** the operation was hit by an injected transient fault: it did
+          not take effect and conveyed no information.  Produced by the
+          executor's fault injector, never by {!Memory.apply}. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -35,3 +48,9 @@ val pp_response : Format.formatter -> response -> unit
 val target_name : t -> int option
 (** The namespace register this operation touches, if any — used by
     adaptive adversaries to detect contention. *)
+
+val faultable : t -> bool
+(** Whether a transient fault may hit this operation: true exactly for
+    the TAS and read operations on the namespace and auxiliary arrays.
+    τ-register, word, release, recovery and yield operations are exempt
+    (docs/fault_model.md discusses why). *)

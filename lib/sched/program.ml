@@ -30,6 +30,29 @@ let tas_name i = bool_op (Op.Tas_name i)
 let tas_aux i = bool_op (Op.Tas_aux i)
 let read_name i = bool_op (Op.Read_name i)
 let read_aux i = bool_op (Op.Read_aux i)
+let owned_name i = bool_op (Op.Owned_name i)
+
+let yield =
+  Step
+    ( Op.Yield,
+      function
+      | Op.Unit -> Done ()
+      | resp -> bad_response Op.Yield resp )
+
+(* Fault-aware variants: [Ok b] on a normal response, [Error `Faulted]
+   when the injected-fault layer ate the operation. *)
+let try_bool_op op =
+  Step
+    ( op,
+      function
+      | Op.Bool b -> Done (Ok b)
+      | Op.Faulted -> Done (Error `Faulted)
+      | resp -> bad_response op resp )
+
+let try_tas_name i = try_bool_op (Op.Tas_name i)
+let try_tas_aux i = try_bool_op (Op.Tas_aux i)
+let try_read_name i = try_bool_op (Op.Read_name i)
+let try_read_aux i = try_bool_op (Op.Read_aux i)
 
 let release_name i = bool_op (Op.Release_name i)
 
@@ -83,6 +106,16 @@ let scan_names ~first ~count =
     else
       let* won = tas_name (first + k) in
       if won then return (Some (first + k)) else loop (k + 1)
+  in
+  loop 0
+
+let recover_owned ~namespace =
+  let open Syntax in
+  let rec loop i =
+    if i >= namespace then return None
+    else
+      let* mine = owned_name i in
+      if mine then return (Some i) else loop (i + 1)
   in
   loop 0
 

@@ -33,6 +33,29 @@ val release_name : int -> bool t
 (** Free a namespace register this process owns; [true] iff it did own
     it (long-lived renaming only). *)
 
+val owned_name : int -> bool t
+(** Does this process own namespace register [i]?  The crash-recovery
+    primitive: a resurrected process re-discovers a name it won before
+    crashing.  Costs one step; never faulted. *)
+
+val yield : unit t
+(** One deliberate no-op step — the backoff unit of the transient-fault
+    retry helpers. *)
+
+(** {2 Fault-aware primitives}
+
+    Like their plain counterparts, but surface an injected transient
+    fault as [Error `Faulted] instead of raising.  The plain primitives
+    treat [Faulted] as a protocol error ([Failure]) so that code not
+    written for the fault model fails fast rather than misbehaving;
+    fault-tolerant retry loops ({!Renaming_faults.Retry}) build on these
+    variants. *)
+
+val try_tas_name : int -> (bool, [ `Faulted ]) result t
+val try_tas_aux : int -> (bool, [ `Faulted ]) result t
+val try_read_name : int -> (bool, [ `Faulted ]) result t
+val try_read_aux : int -> (bool, [ `Faulted ]) result t
+
 val read_word : int -> int t
 (** Read an atomic read/write register. *)
 
@@ -52,6 +75,12 @@ val tau_await : int -> bool t
 val scan_names : first:int -> count:int -> int option t
 (** TAS registers [first .. first+count-1] in order until one is won;
     returns the won name, or [None] if all were taken. *)
+
+val recover_owned : namespace:int -> int option t
+(** Sweep the namespace with {!owned_name} and return the register this
+    process already owns, if any.  The standard recovery preamble: run
+    after a crash-restart so a process that won a name before crashing
+    keeps it instead of leaking it.  Costs up to [namespace] steps. *)
 
 val run_local : 'a t -> 'a option
 (** Runs a program only if it performs no shared-memory operation;

@@ -1,10 +1,14 @@
 module Assignment = Renaming_shm.Assignment
 
+type outcome = Completed | Livelock of { max_ticks : int }
+
 type t = {
   assignment : Assignment.t;
   ledger : Renaming_shm.Step_ledger.t;
   ticks : int;
+  outcome : outcome;
   crashed : int list;
+  recovered : int list;
   adversary : string;
   counters : (string * float) list;
 }
@@ -19,12 +23,17 @@ let surviving_unnamed t =
 
 let is_sound t = Assignment.is_valid t.assignment
 
+let is_livelock t = match t.outcome with Livelock _ -> true | Completed -> false
+
+let outcome_name t = match t.outcome with Completed -> "completed" | Livelock _ -> "livelock"
+
 let pp fmt t =
-  Format.fprintf fmt "@[<v>adversary: %s@ named: %d/%d  crashed: %d  unnamed survivors: %d@ steps: max=%d total=%d ticks=%d@ sound: %b@]"
+  Format.fprintf fmt
+    "@[<v>adversary: %s@ named: %d/%d  crashed: %d  recovered: %d  unnamed survivors: %d@ steps: max=%d total=%d ticks=%d@ outcome: %s  sound: %b@]"
     t.adversary (named_count t)
     (Array.length t.assignment.Assignment.names)
-    (List.length t.crashed)
+    (List.length t.crashed) (List.length t.recovered)
     (List.length (surviving_unnamed t))
     (max_steps t)
     (Renaming_shm.Step_ledger.total t.ledger)
-    t.ticks (is_sound t)
+    t.ticks (outcome_name t) (is_sound t)

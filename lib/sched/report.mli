@@ -1,10 +1,21 @@
 (** Result of executing one renaming instance. *)
 
+type outcome =
+  | Completed  (** every process returned or is crashed *)
+  | Livelock of { max_ticks : int }
+      (** the run was cut off after [max_ticks] executed steps with
+          processes still running — the structured form of the livelock
+          guard, so chaos campaigns can record it instead of aborting *)
+
 type t = {
   assignment : Renaming_shm.Assignment.t;
   ledger : Renaming_shm.Step_ledger.t;
   ticks : int;  (** total executed operations across all processes *)
-  crashed : int list;  (** pids crashed by the adversary, ascending *)
+  outcome : outcome;
+  crashed : int list;
+      (** pids crashed by the adversary and still dead at the end
+          (recovered pids are not listed), ascending *)
+  recovered : int list;  (** pids resurrected at least once, ascending *)
   adversary : string;
   counters : (string * float) list;
       (** algorithm-specific metrics appended by instrumentation hooks,
@@ -23,5 +34,9 @@ val surviving_unnamed : t -> int list
 
 val is_sound : t -> bool
 (** No duplicate or out-of-range names. *)
+
+val is_livelock : t -> bool
+
+val outcome_name : t -> string
 
 val pp : Format.formatter -> t -> unit

@@ -3,6 +3,7 @@ module Vec = Renaming_stats.Vec
 type event =
   | Scheduled of { time : int; pid : int; op : Op.t }
   | Crashed of { time : int; pid : int }
+  | Recovered of { time : int; pid : int }
 
 type t = { events : event Vec.t; mutable cursor : int }
 
@@ -22,7 +23,9 @@ let recording t ~base =
         | Adversary.Schedule pid ->
           Vec.add_last t.events
             (Scheduled { time = view.Adversary.time; pid; op = view.Adversary.pending_op pid })
-        | Adversary.Crash pid -> Vec.add_last t.events (Crashed { time = view.Adversary.time; pid }));
+        | Adversary.Crash pid -> Vec.add_last t.events (Crashed { time = view.Adversary.time; pid })
+        | Adversary.Recover pid ->
+          Vec.add_last t.events (Recovered { time = view.Adversary.time; pid }));
         decision);
   }
 
@@ -36,14 +39,24 @@ let replaying t =
           failwith "Trace.replaying: trace exhausted but processes still run";
         let event = Vec.get t.events t.cursor in
         t.cursor <- t.cursor + 1;
-        let pid = match event with Scheduled { pid; _ } | Crashed { pid; _ } -> pid in
-        if not (view.Adversary.is_runnable pid) then
-          failwith
-            (Printf.sprintf "Trace.replaying: pid %d not runnable at replay step %d" pid
-               (t.cursor - 1));
+        let pid =
+          match event with Scheduled { pid; _ } | Crashed { pid; _ } | Recovered { pid; _ } -> pid
+        in
+        (match event with
+        | Recovered _ ->
+          if not (view.Adversary.is_crashed pid) then
+            failwith
+              (Printf.sprintf "Trace.replaying: pid %d not crashed at replay step %d" pid
+                 (t.cursor - 1))
+        | Scheduled _ | Crashed _ ->
+          if not (view.Adversary.is_runnable pid) then
+            failwith
+              (Printf.sprintf "Trace.replaying: pid %d not runnable at replay step %d" pid
+                 (t.cursor - 1)));
         match event with
         | Scheduled _ -> Adversary.Schedule pid
-        | Crashed _ -> Adversary.Crash pid);
+        | Crashed _ -> Adversary.Crash pid
+        | Recovered _ -> Adversary.Recover pid);
   }
 
 let op_kind op =
@@ -54,9 +67,11 @@ let op_kind op =
   | Read_aux _ -> "read-aux"
   | Tau_submit _ -> "tau-submit"
   | Tau_poll _ -> "tau-poll"
+  | Owned_name _ -> "owned-name"
   | Read_word _ -> "read-word"
   | Write_word _ -> "write-word"
   | Release_name _ -> "release-name"
+  | Yield -> "yield"
 
 let census t =
   let counts = Hashtbl.create 16 in
@@ -64,7 +79,8 @@ let census t =
   Vec.iter
     (function
       | Scheduled { op; _ } -> bump (op_kind op)
-      | Crashed _ -> bump "crash")
+      | Crashed _ -> bump "crash"
+      | Recovered _ -> bump "recover")
     t.events;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -78,11 +94,13 @@ let glyph_of_op (op : Op.t) =
   match op with
   | Tas_name _ | Tas_aux _ -> 't'
   | Read_name _ | Read_aux _ -> 'r'
+  | Owned_name _ -> 'm'
   | Tau_submit _ -> 's'
   | Tau_poll _ -> 'p'
   | Write_word _ -> 'w'
   | Read_word _ -> 'o'
   | Release_name _ -> 'l'
+  | Yield -> 'y'
 
 let pp_timeline ?(max_pids = 16) ?(max_events = 72) fmt t =
   let events = Vec.to_array t.events in
@@ -90,7 +108,7 @@ let pp_timeline ?(max_pids = 16) ?(max_events = 72) fmt t =
   let pids = Hashtbl.create 16 in
   Array.iter
     (fun e ->
-      let pid = match e with Scheduled { pid; _ } | Crashed { pid; _ } -> pid in
+      let pid = match e with Scheduled { pid; _ } | Crashed { pid; _ } | Recovered { pid; _ } -> pid in
       if not (Hashtbl.mem pids pid) then Hashtbl.add pids pid ())
     shown;
   let lanes = List.sort compare (Hashtbl.fold (fun pid () acc -> pid :: acc) pids []) in
@@ -105,7 +123,8 @@ let pp_timeline ?(max_pids = 16) ?(max_events = 72) fmt t =
             match e with
             | Scheduled { pid; op; _ } when pid = lane -> glyph_of_op op
             | Crashed { pid; _ } when pid = lane -> 'X'
-            | Scheduled _ | Crashed _ -> '.'
+            | Recovered { pid; _ } when pid = lane -> 'R'
+            | Scheduled _ | Crashed _ | Recovered _ -> '.'
           in
           Format.pp_print_char fmt c)
         shown;

@@ -14,6 +14,7 @@
 type event =
   | Scheduled of { time : int; pid : int; op : Op.t }
   | Crashed of { time : int; pid : int }
+  | Recovered of { time : int; pid : int }
 
 type t
 
@@ -43,6 +44,7 @@ val pp_summary : Format.formatter -> t -> unit
 val pp_timeline :
   ?max_pids:int -> ?max_events:int -> Format.formatter -> t -> unit
 (** ASCII timeline: one lane per process (lowest pids first), one column
-    per recorded event.  Lane glyphs: [t] TAS, [r] read, [s] τ-submit,
-    [p] τ-poll, [w] word write, [o] word read, [l] release, [X] crash,
-    [.] idle.  Intended for eyeballing small adversarial executions. *)
+    per recorded event.  Lane glyphs: [t] TAS, [r] read, [m] owned-name,
+    [s] τ-submit, [p] τ-poll, [w] word write, [o] word read, [l]
+    release, [y] yield, [X] crash, [R] recover, [.] idle.  Intended for
+    eyeballing small adversarial executions. *)

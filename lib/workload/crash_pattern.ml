@@ -14,6 +14,13 @@ let early_half ~n ~failures =
   validate ~n ~failures;
   List.init failures (fun pid -> (0, pid))
 
+let burst ~rng ~n ~failures ~at ~width =
+  validate ~n ~failures;
+  if at < 0 then invalid_arg "Crash_pattern.burst: at must be >= 0";
+  if width < 1 then invalid_arg "Crash_pattern.burst: width must be >= 1";
+  let pids = Array.sub (Sample.permutation rng n) 0 failures in
+  Array.to_list (Array.map (fun pid -> (at + Sample.uniform_int rng width, pid)) pids)
+
 let spread ~n ~failures ~horizon =
   validate ~n ~failures;
   if failures = 0 then []

@@ -16,3 +16,10 @@ val early_half :
 val spread :
   n:int -> failures:int -> horizon:int -> (int * int) list
 (** [failures] evenly spaced pids crash at evenly spaced times. *)
+
+val burst :
+  rng:Renaming_rng.Xoshiro.t -> n:int -> failures:int -> at:int -> width:int -> (int * int) list
+(** All [failures] crashes land in the short window [at, at + width):
+    [failures] distinct uniform pids at uniform times inside the window.
+    The burst adversary of the chaos campaigns — a correlated failure
+    (rack power loss) rather than independent attrition. *)

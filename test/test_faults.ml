@@ -1,0 +1,406 @@
+(* Tests for the fault-injection subsystem: retry combinators under
+   injection, injector determinism, crash-recovery in the executor, the
+   online safety monitor (including negative tests that seed violations)
+   and a deterministic mini chaos campaign. *)
+
+module Program = Renaming_sched.Program
+module Op = Renaming_sched.Op
+module Memory = Renaming_sched.Memory
+module Adversary = Renaming_sched.Adversary
+module Executor = Renaming_sched.Executor
+module Report = Renaming_sched.Report
+module Stream = Renaming_rng.Stream
+module Xoshiro = Renaming_rng.Xoshiro
+module Retry = Renaming_faults.Retry
+module Injector = Renaming_faults.Injector
+module Monitor = Renaming_faults.Monitor
+module Campaign = Renaming_faults.Campaign
+module Chaos = Renaming_harness.Chaos
+module Assignment = Renaming_shm.Assignment
+
+let check = Alcotest.check
+open Program.Syntax
+
+let run_single ?inject ?on_event program ~namespace =
+  let memory = Memory.create ~namespace () in
+  let instance = { Executor.memory; programs = [| program |]; label = "test" } in
+  (Executor.run ?inject ?on_event ~adversary:(Adversary.round_robin ()) instance, memory)
+
+(* Fault the first [k] faultable operations, whatever they are. *)
+let fault_first k =
+  let left = ref k in
+  fun ~time:_ ~pid:_ ~op ->
+    if Op.faultable op && !left > 0 then begin
+      decr left;
+      true
+    end
+    else false
+
+(* --- retry --- *)
+
+let test_backoff_delays () =
+  let policy = Retry.make_policy ~attempts:8 ~base_delay:1 ~max_delay:64 () in
+  check Alcotest.(list int) "doubling, capped"
+    [ 1; 2; 4; 8; 16; 32; 64; 64 ]
+    (List.map (fun a -> Retry.backoff_delay policy ~attempt:a) [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+let test_retry_tas_wins_after_faults () =
+  let program =
+    let* won = Retry.tas_name 0 in
+    Program.return (if won then Some 0 else None)
+  in
+  let report, memory = run_single program ~namespace:1 ~inject:(fault_first 3) in
+  check Alcotest.(option int) "eventually wins" (Some 0)
+    report.Report.assignment.Assignment.names.(0);
+  check Alcotest.bool "register really owned" true
+    (Renaming_shm.Tas_array.owner (Memory.names memory) 0 = Some 0);
+  (* 3 faulted attempts + backoff yields (1+2+4) + winning attempt. *)
+  check Alcotest.int "step cost" 11 report.Report.ticks
+
+let test_retry_tas_exhaustion_is_lost () =
+  (* Every attempt faults: the TAS must report lost, not claim name 0. *)
+  let policy = Retry.make_policy ~attempts:3 () in
+  let program =
+    let* won = Retry.tas_name ~policy 0 in
+    Program.return (if won then Some 0 else None)
+  in
+  let report, memory = run_single program ~namespace:1 ~inject:(fun ~time:_ ~pid:_ ~op -> Op.faultable op) in
+  check Alcotest.int "no name claimed" 0 (Report.named_count report);
+  check Alcotest.bool "register untouched" true
+    (Renaming_shm.Tas_array.owner (Memory.names memory) 0 = None)
+
+let test_retry_read_exhaustion_is_set () =
+  (* A read whose retries exhaust reports "set" — the safe direction: a
+     scanner skips the register instead of claiming on no information. *)
+  let policy = Retry.make_policy ~attempts:2 () in
+  let program =
+    let* set = Retry.read_name ~policy 0 in
+    Program.return (if set then None else Some 0)
+  in
+  let report, _ =
+    run_single program ~namespace:1 ~inject:(fun ~time:_ ~pid:_ ~op -> Op.faultable op)
+  in
+  check Alcotest.int "treated as set, nothing claimed" 0 (Report.named_count report)
+
+let test_retry_scan_skips_faulty_register () =
+  (* A register whose TAS retries exhaust is skipped as if taken; the
+     scan takes the next free one. *)
+  let policy = Retry.make_policy ~attempts:2 () in
+  let program = Retry.scan_names ~policy ~first:0 ~count:2 () in
+  let inject ~time:_ ~pid:_ ~op = match op with Op.Tas_name 0 -> true | _ -> false in
+  let report, memory = run_single program ~namespace:2 ~inject in
+  check Alcotest.(option int) "skips faulty register, takes next" (Some 1)
+    report.Report.assignment.Assignment.names.(0);
+  check Alcotest.bool "faulty register never set" true
+    (Renaming_shm.Tas_array.owner (Memory.names memory) 0 = None)
+
+let test_retry_fault_free_cost_matches_plain () =
+  (* Zero overhead when nothing faults: same ticks as the plain scan. *)
+  let plain = Program.scan_names ~first:0 ~count:4 in
+  let retried = Retry.scan_names ~first:0 ~count:4 () in
+  let r1, _ = run_single plain ~namespace:4 in
+  let r2, _ = run_single retried ~namespace:4 in
+  check Alcotest.int "identical step cost" r1.Report.ticks r2.Report.ticks;
+  check Alcotest.(option int) "identical result"
+    r1.Report.assignment.Assignment.names.(0)
+    r2.Report.assignment.Assignment.names.(0)
+
+(* --- injectors --- *)
+
+let test_injector_deterministic () =
+  let hits rate seed =
+    let inj = Injector.bernoulli ~rate ~rng:(Xoshiro.create seed) in
+    List.init 200 (fun i -> inj ~time:i ~pid:0 ~op:(Op.Tas_name 0))
+  in
+  check Alcotest.(list bool) "same seed, same faults" (hits 0.3 7L) (hits 0.3 7L);
+  check Alcotest.bool "some faults at rate 0.3" true (List.mem true (hits 0.3 7L));
+  check Alcotest.bool "no faults at rate 0" false (List.mem true (hits 0. 7L))
+
+let test_injector_respects_faultable () =
+  let inj = Injector.bernoulli ~rate:1.0 ~rng:(Xoshiro.create 7L) in
+  check Alcotest.bool "faults tas" true (inj ~time:0 ~pid:0 ~op:(Op.Tas_name 0));
+  check Alcotest.bool "never faults yield" false (inj ~time:0 ~pid:0 ~op:Op.Yield);
+  check Alcotest.bool "never faults owned-name" false (inj ~time:0 ~pid:0 ~op:(Op.Owned_name 0));
+  check Alcotest.bool "never faults tau" false
+    (inj ~time:0 ~pid:0 ~op:(Op.Tau_submit { reg = 0; bit = 0 }))
+
+let test_injector_window_and_counting () =
+  let inj = Injector.window ~from_:10 ~until:20 ~rate:1.0 ~rng:(Xoshiro.create 7L) in
+  check Alcotest.bool "before window" false (inj ~time:9 ~pid:0 ~op:(Op.Tas_name 0));
+  check Alcotest.bool "inside window" true (inj ~time:10 ~pid:0 ~op:(Op.Tas_name 0));
+  check Alcotest.bool "after window" false (inj ~time:20 ~pid:0 ~op:(Op.Tas_name 0));
+  let counted, count = Injector.counting (Injector.bernoulli ~rate:1.0 ~rng:(Xoshiro.create 7L)) in
+  ignore (counted ~time:0 ~pid:0 ~op:(Op.Tas_name 0));
+  ignore (counted ~time:1 ~pid:0 ~op:Op.Yield);
+  ignore (counted ~time:2 ~pid:0 ~op:(Op.Read_name 0));
+  check Alcotest.int "two hits counted" 2 (count ())
+
+(* --- crash recovery in the executor --- *)
+
+(* pid 0 wins register 0 then spins on yields so the adversary can crash
+   it mid-flight; after recovery the default preamble must re-discover
+   the win instead of leaking it. *)
+let rec idle k =
+  if k = 0 then Program.return () else Program.bind Program.yield (fun () -> idle (k - 1))
+
+let win_then_linger ~spin =
+  let* won = Program.tas_name 0 in
+  let* () = idle spin in
+  Program.return (if won then Some 0 else None)
+
+(* Companion that outlives the crash window (both crash wrappers refuse
+   to kill the last runnable process). *)
+let linger_then_scan ~spin ~count =
+  let* () = idle spin in
+  Program.scan_names ~first:0 ~count
+
+let test_recovered_process_keeps_won_name () =
+  let memory = Memory.create ~namespace:2 () in
+  let instance =
+    {
+      Executor.memory;
+      programs = [| win_then_linger ~spin:6; linger_then_scan ~spin:20 ~count:2 |];
+      label = "recovery-test";
+    }
+  in
+  let adversary =
+    Adversary.with_crash_recovery ~base:(Adversary.round_robin ())
+      ~crashes:[ (4, 0) ] ~recover_after:3
+  in
+  let report = Executor.run ~adversary instance in
+  check Alcotest.(list int) "pid 0 recovered" [ 0 ] report.Report.recovered;
+  check Alcotest.(list int) "nobody dead at end" [] report.Report.crashed;
+  check Alcotest.(option int) "kept the won name" (Some 0)
+    report.Report.assignment.Assignment.names.(0);
+  check Alcotest.(option int) "scanner got the other" (Some 1)
+    report.Report.assignment.Assignment.names.(1);
+  check Alcotest.bool "sound" true (Report.is_sound report)
+
+let test_permanent_crash_still_reported () =
+  let memory = Memory.create ~namespace:2 () in
+  let instance =
+    {
+      Executor.memory;
+      programs = [| win_then_linger ~spin:6; linger_then_scan ~spin:20 ~count:2 |];
+      label = "crash-test";
+    }
+  in
+  let adversary =
+    Adversary.with_crashes ~base:(Adversary.round_robin ()) ~crash_times:[ (4, 0) ]
+  in
+  let report = Executor.run ~adversary instance in
+  check Alcotest.(list int) "pid 0 dead" [ 0 ] report.Report.crashed;
+  check Alcotest.(list int) "nobody recovered" [] report.Report.recovered;
+  (* The won register stays burnt; the scanner must route around it. *)
+  check Alcotest.(option int) "scanner avoids burnt name" (Some 1)
+    report.Report.assignment.Assignment.names.(1)
+
+let test_recovery_under_monitor () =
+  (* Same recovery scenario with the monitor attached: no violation. *)
+  let memory = Memory.create ~namespace:2 () in
+  let instance =
+    {
+      Executor.memory;
+      programs = [| win_then_linger ~spin:6; linger_then_scan ~spin:20 ~count:2 |];
+      label = "recovery-monitored";
+    }
+  in
+  let monitor = Monitor.create ~check_ownership:true ~memory ~processes:2 () in
+  let adversary =
+    Adversary.with_crash_recovery ~base:(Adversary.round_robin ())
+      ~crashes:[ (4, 0) ] ~recover_after:3
+  in
+  let report = Executor.run ~on_event:(Monitor.hook monitor) ~adversary instance in
+  Monitor.finalize monitor report;
+  check Alcotest.int "no violations" 0 (Monitor.violation_count monitor)
+
+(* --- monitor negative tests: seeded violations must be caught --- *)
+
+let expect_violation name f =
+  match f () with
+  | exception Monitor.Violation _ -> ()
+  | _ -> Alcotest.failf "%s: expected Monitor.Violation" name
+
+let test_monitor_catches_duplicate_name () =
+  (* Mutation: both processes return name 0 (the second one lies). *)
+  let memory = Memory.create ~namespace:4 () in
+  let liar =
+    let* won = Program.tas_name 0 in
+    ignore won;
+    Program.return (Some 0)
+  in
+  let instance = { Executor.memory; programs = [| liar; liar |]; label = "dup-mutation" } in
+  let monitor = Monitor.create ~memory ~processes:2 () in
+  expect_violation "duplicate name" (fun () ->
+      Executor.run ~on_event:(Monitor.hook monitor) ~adversary:(Adversary.round_robin ()) instance);
+  check Alcotest.bool "violation recorded" true (Monitor.violation_count monitor > 0)
+
+let test_monitor_catches_out_of_range () =
+  let memory = Memory.create ~namespace:4 () in
+  let instance =
+    { Executor.memory; programs = [| Program.return (Some 99) |]; label = "range-mutation" }
+  in
+  let monitor = Monitor.create ~memory ~processes:1 () in
+  expect_violation "out of range" (fun () ->
+      Executor.run ~on_event:(Monitor.hook monitor) ~adversary:(Adversary.round_robin ()) instance)
+
+let test_monitor_catches_unbacked_claim () =
+  (* The ownership check: returning a name whose register the process
+     never won. *)
+  let memory = Memory.create ~namespace:4 () in
+  let instance =
+    { Executor.memory; programs = [| Program.return (Some 2) |]; label = "ownership-mutation" }
+  in
+  let monitor = Monitor.create ~check_ownership:true ~memory ~processes:1 () in
+  expect_violation "unbacked claim" (fun () ->
+      Executor.run ~on_event:(Monitor.hook monitor) ~adversary:(Adversary.round_robin ()) instance)
+
+let test_monitor_catches_step_after_crash () =
+  (* Synthetic event feed: activity by a crashed process. *)
+  let memory = Memory.create ~namespace:2 () in
+  let monitor = Monitor.create ~memory ~processes:2 () in
+  Monitor.hook monitor (Executor.Crashed { time = 0; pid = 1 });
+  expect_violation "step after crash" (fun () ->
+      Monitor.hook monitor
+        (Executor.Stepped { time = 1; pid = 1; op = Op.Tas_name 0; response = Op.Bool true }))
+
+let test_monitor_catches_recover_of_live () =
+  let memory = Memory.create ~namespace:2 () in
+  let monitor = Monitor.create ~memory ~processes:2 () in
+  expect_violation "recover of live pid" (fun () ->
+      Monitor.hook monitor (Executor.Recovered { time = 0; pid = 0 }))
+
+let test_monitor_violation_carries_trace () =
+  let memory = Memory.create ~namespace:2 () in
+  let monitor = Monitor.create ~memory ~processes:2 () in
+  Monitor.hook monitor
+    (Executor.Stepped { time = 0; pid = 0; op = Op.Tas_name 0; response = Op.Bool true });
+  Monitor.hook monitor (Executor.Crashed { time = 1; pid = 0 });
+  (match
+     Monitor.hook monitor (Executor.Returned { time = 2; pid = 0; value = Some 0 })
+   with
+  | exception Monitor.Violation msg ->
+    check Alcotest.bool "message embeds trace excerpt" true
+      (let contains s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       contains msg "crash")
+  | _ -> Alcotest.fail "expected Monitor.Violation")
+
+(* --- satellite 4: soundness property across algorithms, adversaries,
+   crash-recovery, seeds --- *)
+
+let algorithm_builders ~n =
+  List.map (fun a -> (a.Campaign.algo_name, a.Campaign.build)) (Chaos.algorithms ~n)
+
+let test_property_no_duplicates_under_adversity () =
+  let adversaries =
+    [
+      ("adaptive-contention", fun () -> Adversary.adaptive_contention);
+      ("colluding", fun () -> Adversary.colluding);
+      ( "crash-recovery",
+        fun () ->
+          Adversary.with_crash_recovery ~base:(Adversary.round_robin ())
+            ~crashes:[ (5, 1); (9, 3); (13, 5) ] ~recover_after:6 );
+    ]
+  in
+  List.iter
+    (fun (algo_name, build) ->
+      List.iter
+        (fun (adv_name, make_adv) ->
+          Array.iter
+            (fun seed ->
+              let report =
+                Executor.run ~max_ticks:500_000 ~adversary:(make_adv ()) (build ~seed)
+              in
+              if not (Report.is_sound report) then
+                Alcotest.failf "%s under %s seed %Ld: duplicate or out-of-range name" algo_name
+                  adv_name seed;
+              if Report.is_livelock report then
+                Alcotest.failf "%s under %s seed %Ld: livelock" algo_name adv_name seed)
+            (Renaming_harness.Seeds.take 3))
+        adversaries)
+    (algorithm_builders ~n:12)
+
+(* --- campaign --- *)
+
+let test_campaign_tier1_zero_violations () =
+  let summary = Campaign.run (Chaos.tier1_spec ()) in
+  check Alcotest.int "zero violations" 0 summary.Campaign.total_violations;
+  check Alcotest.int "zero livelocks" 0 summary.Campaign.total_livelocks;
+  check Alcotest.bool "faults were injected" true (summary.Campaign.total_injected > 0);
+  check Alcotest.bool "recoveries happened" true
+    (List.exists (fun c -> c.Campaign.c_recovered > 0) summary.Campaign.cells)
+
+let test_campaign_deterministic () =
+  let spec =
+    { (Chaos.tier1_spec ()) with Campaign.fault_rates = [ 0.1 ]; seeds = Renaming_harness.Seeds.take 1 }
+  in
+  let s1 = Campaign.run spec and s2 = Campaign.run spec in
+  check Alcotest.string "identical json" (Campaign.to_json s1) (Campaign.to_json s2)
+
+let test_campaign_json_shape () =
+  let spec =
+    { (Chaos.tier1_spec ()) with Campaign.fault_rates = [ 0.05 ]; seeds = Renaming_harness.Seeds.take 1 }
+  in
+  let json = Campaign.to_json (Campaign.run spec) in
+  let contains sub =
+    let n = String.length json and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub json i m = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "has totals" true (contains "\"total_violations\":0");
+  check Alcotest.bool "has cells" true (contains "\"cells\":[");
+  check Alcotest.bool "has degradation" true (contains "\"degradation\":")
+
+let tests =
+  [
+    ( "faults.retry",
+      [
+        Alcotest.test_case "backoff delays" `Quick test_backoff_delays;
+        Alcotest.test_case "tas wins after faults" `Quick test_retry_tas_wins_after_faults;
+        Alcotest.test_case "tas exhaustion is lost" `Quick test_retry_tas_exhaustion_is_lost;
+        Alcotest.test_case "read exhaustion is set" `Quick test_retry_read_exhaustion_is_set;
+        Alcotest.test_case "scan skips faulty register" `Quick
+          test_retry_scan_skips_faulty_register;
+        Alcotest.test_case "fault-free cost matches plain" `Quick
+          test_retry_fault_free_cost_matches_plain;
+      ] );
+    ( "faults.injector",
+      [
+        Alcotest.test_case "deterministic" `Quick test_injector_deterministic;
+        Alcotest.test_case "respects faultable" `Quick test_injector_respects_faultable;
+        Alcotest.test_case "window and counting" `Quick test_injector_window_and_counting;
+      ] );
+    ( "faults.recovery",
+      [
+        Alcotest.test_case "recovered process keeps won name" `Quick
+          test_recovered_process_keeps_won_name;
+        Alcotest.test_case "permanent crash reported" `Quick test_permanent_crash_still_reported;
+        Alcotest.test_case "recovery under monitor" `Quick test_recovery_under_monitor;
+      ] );
+    ( "faults.monitor",
+      [
+        Alcotest.test_case "catches duplicate name" `Quick test_monitor_catches_duplicate_name;
+        Alcotest.test_case "catches out-of-range name" `Quick test_monitor_catches_out_of_range;
+        Alcotest.test_case "catches unbacked claim" `Quick test_monitor_catches_unbacked_claim;
+        Alcotest.test_case "catches step after crash" `Quick test_monitor_catches_step_after_crash;
+        Alcotest.test_case "catches recover of live pid" `Quick
+          test_monitor_catches_recover_of_live;
+        Alcotest.test_case "violation carries trace" `Quick test_monitor_violation_carries_trace;
+      ] );
+    ( "faults.property",
+      [
+        Alcotest.test_case "no duplicates under adversity" `Slow
+          test_property_no_duplicates_under_adversity;
+      ] );
+    ( "faults.campaign",
+      [
+        Alcotest.test_case "tier1 campaign zero violations" `Slow
+          test_campaign_tier1_zero_violations;
+        Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+        Alcotest.test_case "json shape" `Quick test_campaign_json_shape;
+      ] );
+  ]

@@ -20,4 +20,5 @@ let () =
          Test_fastsim.tests;
          Test_trace.tests;
          Test_longlived.tests;
+         Test_faults.tests;
        ])

@@ -152,16 +152,19 @@ let test_lifo_starves_low_pids () =
   check Alcotest.(option int) "pid 3 wins" (Some 0) names.(3)
 
 let test_max_ticks_guard () =
+  (* A livelocked run ends with a structured Livelock outcome (so chaos
+     sweeps can record it) instead of an exception. *)
   let rec spin () =
     let* _ = Program.read_name 0 in
     spin ()
   in
   let memory = Memory.create ~namespace:1 () in
   let instance = { Executor.memory; programs = [| spin () |]; label = "spinner" } in
-  let raised = ref false in
-  (try ignore (Executor.run ~max_ticks:100 ~adversary:(Adversary.round_robin ()) instance)
-   with Failure _ -> raised := true);
-  check Alcotest.bool "livelock detected" true !raised
+  let report = Executor.run ~max_ticks:100 ~adversary:(Adversary.round_robin ()) instance in
+  check Alcotest.bool "livelock detected" true (Report.is_livelock report);
+  check Alcotest.string "outcome name" "livelock" (Report.outcome_name report);
+  check Alcotest.bool "ticks bounded" true (report.Report.ticks <= 101);
+  check Alcotest.int "nobody named" 0 (Report.named_count report)
 
 let test_on_tick_hook () =
   let ops = ref [] in

@@ -56,6 +56,61 @@ let test_crash_spread () =
     [ (0, 0); (10, 25); (20, 50); (30, 75) ]
     crashes
 
+let test_crash_burst_properties () =
+  let rng = Renaming_rng.Xoshiro.create 11L in
+  let crashes = Crash_pattern.burst ~rng ~n:50 ~failures:12 ~at:30 ~width:5 in
+  check Alcotest.int "count" 12 (List.length crashes);
+  let distinct = List.sort_uniq compare (List.map snd crashes) in
+  check Alcotest.int "distinct pids" 12 (List.length distinct);
+  List.iter
+    (fun (t, pid) ->
+      check Alcotest.bool "time in window" true (t >= 30 && t < 35);
+      check Alcotest.bool "pid in range" true (pid >= 0 && pid < 50))
+    crashes
+
+let test_crash_burst_width_one () =
+  (* width 1 degenerates to "everyone at tick [at]". *)
+  let rng = Renaming_rng.Xoshiro.create 11L in
+  let crashes = Crash_pattern.burst ~rng ~n:8 ~failures:3 ~at:7 ~width:1 in
+  List.iter (fun (t, _) -> check Alcotest.int "pinned time" 7 t) crashes
+
+let test_crash_burst_validation () =
+  let rng = Renaming_rng.Xoshiro.create 11L in
+  Alcotest.check_raises "too many failures"
+    (Invalid_argument "Crash_pattern: failures must be in [0, n)") (fun () ->
+      ignore (Crash_pattern.burst ~rng ~n:4 ~failures:4 ~at:0 ~width:2));
+  Alcotest.check_raises "negative at"
+    (Invalid_argument "Crash_pattern.burst: at must be >= 0") (fun () ->
+      ignore (Crash_pattern.burst ~rng ~n:4 ~failures:2 ~at:(-1) ~width:2));
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Crash_pattern.burst: width must be >= 1") (fun () ->
+      ignore (Crash_pattern.burst ~rng ~n:4 ~failures:2 ~at:0 ~width:0))
+
+(* Shared bounds contract: every pattern emits distinct in-range pids and
+   non-negative times, exactly [failures] of them. *)
+let test_crash_bounds_all_patterns () =
+  let n = 40 and failures = 9 and horizon = 25 in
+  let rng () = Renaming_rng.Xoshiro.create 13L in
+  let patterns =
+    [
+      ("random", Crash_pattern.random ~rng:(rng ()) ~n ~failures ~horizon);
+      ("early_half", Crash_pattern.early_half ~n ~failures);
+      ("spread", Crash_pattern.spread ~n ~failures ~horizon);
+      ("burst", Crash_pattern.burst ~rng:(rng ()) ~n ~failures ~at:6 ~width:4);
+    ]
+  in
+  List.iter
+    (fun (name, crashes) ->
+      check Alcotest.int (name ^ ": count") failures (List.length crashes);
+      let distinct = List.sort_uniq compare (List.map snd crashes) in
+      check Alcotest.int (name ^ ": distinct pids") failures (List.length distinct);
+      List.iter
+        (fun (t, pid) ->
+          check Alcotest.bool (name ^ ": time >= 0") true (t >= 0);
+          check Alcotest.bool (name ^ ": pid in [0,n)") true (pid >= 0 && pid < n))
+        crashes)
+    patterns
+
 let test_crash_validation () =
   let rng = Renaming_rng.Xoshiro.create 9L in
   Alcotest.check_raises "too many failures"
@@ -77,6 +132,10 @@ let tests =
         Alcotest.test_case "crash random" `Quick test_crash_random_properties;
         Alcotest.test_case "crash early half" `Quick test_crash_early_half;
         Alcotest.test_case "crash spread" `Quick test_crash_spread;
+        Alcotest.test_case "crash burst" `Quick test_crash_burst_properties;
+        Alcotest.test_case "crash burst width one" `Quick test_crash_burst_width_one;
+        Alcotest.test_case "crash burst validation" `Quick test_crash_burst_validation;
+        Alcotest.test_case "crash bounds all patterns" `Quick test_crash_bounds_all_patterns;
         Alcotest.test_case "crash validation" `Quick test_crash_validation;
         Alcotest.test_case "crash empty" `Quick test_crash_empty;
       ] );
