@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full chaos examples clean loc
+.PHONY: all build test bench bench-full chaos mcheck mcheck-tier1 examples clean loc
 
 all: build test
 
@@ -23,6 +23,18 @@ bench-full:
 # Exits nonzero on any safety violation; JSON lands in results/chaos.json.
 chaos:
 	dune exec bin/main.exe -- chaos
+
+# Bounded model checking: exhaustively explore every schedule of the
+# small roster instances (preemption-bounded, sleep-set pruned) with the
+# safety monitor on every interleaving.  Violations are auto-shrunk to
+# minimal repros under results/repros/; exits nonzero on any violation;
+# JSON lands in results/mcheck.json.
+mcheck:
+	dune exec bin/main.exe -- mcheck
+
+# The fast subset that also runs inside `dune runtest`.
+mcheck-tier1:
+	dune exec bin/main.exe -- mcheck --tier1
 
 examples:
 	dune exec examples/quickstart.exe

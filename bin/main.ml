@@ -142,6 +142,32 @@ let multicore_cmd =
   Cmd.v (Cmd.info "multicore" ~doc:"Run the Lemma 6 algorithm on real OCaml 5 domains.")
     Term.(const run $ n $ ell $ domains $ seed)
 
+let rec mkdir_p dir =
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let write_file path contents =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Persist shrunk counterexamples as replayable artifacts for
+   `renaming shrink`. *)
+let write_repros ~dir repros =
+  List.iteri
+    (fun i (r : Renaming_faults.Shrink.repro) ->
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s-%s-%d.repro" r.Renaming_faults.Shrink.rp_algorithm
+             r.Renaming_faults.Shrink.rp_kind i)
+      in
+      write_file path (Renaming_faults.Shrink.repro_to_string r);
+      Printf.printf "(repro written to %s)\n" path)
+    repros
+
 let chaos_cmd =
   let module Campaign = Renaming_faults.Campaign in
   let module Chaos = Renaming_harness.Chaos in
@@ -153,12 +179,6 @@ let chaos_cmd =
   let out =
     Arg.(value & opt string "results/chaos.json" & info [ "out" ] ~docv:"FILE"
            ~doc:"Write the JSON summary to $(docv).")
-  in
-  let rec mkdir_p dir =
-    if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-      mkdir_p (Filename.dirname dir);
-      Sys.mkdir dir 0o755
-    end
   in
   let run n seed_count max_ticks out =
     if n < 8 then begin
@@ -176,12 +196,10 @@ let chaos_cmd =
     in
     let summary = Campaign.run ~progress spec in
     Format.printf "%a@." Campaign.pp summary;
-    mkdir_p (Filename.dirname out);
-    let oc = open_out out in
-    output_string oc (Campaign.to_json summary);
-    output_char oc '\n';
-    close_out oc;
+    write_file out (Campaign.to_json summary ^ "\n");
     Printf.printf "(json written to %s)\n" out;
+    write_repros ~dir:(Filename.concat (Filename.dirname out) "repros")
+      (List.concat_map (fun c -> c.Campaign.c_repros) summary.Campaign.cells);
     if summary.Campaign.total_violations > 0 then begin
       Printf.eprintf "chaos: %d safety violation(s) detected\n" summary.Campaign.total_violations;
       exit 1
@@ -194,7 +212,140 @@ let chaos_cmd =
           transient-fault injection with the online safety monitor attached.")
     Term.(const run $ n $ seeds $ max_ticks $ out)
 
+let mcheck_cmd =
+  let module Mcheck = Renaming_mcheck.Mcheck in
+  let module Roster = Renaming_harness.Mcheck_roster in
+  let tier1 =
+    Arg.(value & flag & info [ "tier1" ]
+           ~doc:"Check only the fast tier-1 subset of the roster.")
+  in
+  let out =
+    Arg.(value & opt string "results/mcheck.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the JSON summary to $(docv).")
+  in
+  let only =
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME"
+           ~doc:"Check only the named roster entries (repeatable).")
+  in
+  let run tier1 out only =
+    let entries = if tier1 then Roster.tier1 () else Roster.roster () in
+    let entries =
+      if only = [] then entries
+      else List.filter (fun e -> List.mem e.Roster.e_name only) entries
+    in
+    if entries = [] then begin
+      Printf.eprintf "mcheck: no roster entries selected\n";
+      exit 2
+    end;
+    let all =
+      List.map
+        (fun e ->
+          let stats = Roster.run_entry e in
+          Format.printf "%a@." Mcheck.pp_stats stats;
+          write_repros ~dir:(Filename.concat (Filename.dirname out) "repros")
+            (List.filter_map (Roster.repro_of_case e) stats.Mcheck.s_cases);
+          stats)
+        entries
+    in
+    write_file out (Mcheck.to_json all ^ "\n");
+    Printf.printf "(json written to %s)\n" out;
+    let violations =
+      List.fold_left (fun acc s -> acc + s.Mcheck.s_violations) 0 all
+    in
+    if violations > 0 then begin
+      Printf.eprintf "mcheck: %d violating schedule(s) found\n" violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Exhaustively model-check small instances: every schedule (plus bounded crash, recovery \
+          and transient-fault injections) under the online safety monitor, with preemption \
+          bounding and sleep-set pruning.")
+    Term.(const run $ tier1 $ out $ only)
+
+let shrink_cmd =
+  let module Shrink = Renaming_faults.Shrink in
+  let module Roster = Renaming_harness.Mcheck_roster in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+                    ~doc:"A .repro artifact written by mcheck or the chaos campaign.") in
+  let max_ticks =
+    Arg.(value & opt (some int) None & info [ "max-ticks" ]
+           ~doc:"Override the artifact's livelock guard.")
+  in
+  let run file max_ticks =
+    let contents =
+      let ic = open_in file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    in
+    match Shrink.repro_of_string contents with
+    | Error e ->
+      Printf.eprintf "shrink: cannot parse %s: %s\n" file e;
+      exit 2
+    | Ok repro -> (
+      let name = repro.Shrink.rp_algorithm and n = repro.Shrink.rp_n in
+      match Roster.builder ~name ~n with
+      | None ->
+        Printf.eprintf "shrink: unknown algorithm %S (n=%d)\n" name n;
+        exit 2
+      | Some build -> (
+        let input =
+          {
+            Shrink.label = name;
+            build = (fun () -> build ~seed:repro.Shrink.rp_seed);
+            check_ownership = repro.Shrink.rp_check_ownership;
+            choices = repro.Shrink.rp_choices;
+            max_ticks = Option.value max_ticks ~default:repro.Shrink.rp_max_ticks;
+          }
+        in
+        match Shrink.shrink input with
+        | None ->
+          Printf.eprintf
+            "shrink: the artifact's trace does not reproduce a failure (%d choices replayed \
+             cleanly)\n"
+            (List.length repro.Shrink.rp_choices);
+          exit 2
+        | Some r ->
+          Printf.printf "%s: %s\n" name r.Shrink.r_failure.Shrink.f_kind;
+          Printf.printf "original: %d choices, minimised: %d choices (%d replays)\n"
+            (List.length r.Shrink.r_original)
+            (List.length r.Shrink.r_choices)
+            r.Shrink.r_replays;
+          List.iter
+            (fun c -> print_endline ("  " ^ Renaming_sched.Directed.choice_to_string c))
+            r.Shrink.r_choices;
+          print_newline ();
+          print_string r.Shrink.r_failure.Shrink.f_message;
+          print_newline ();
+          let min_path = file ^ ".min" in
+          write_file min_path
+            (Shrink.repro_to_string
+               {
+                 repro with
+                 Shrink.rp_kind = r.Shrink.r_failure.Shrink.f_kind;
+                 rp_choices = r.Shrink.r_choices;
+                 (* Record the guard the failure was actually reproduced
+                    under, so the .min replays standalone even when
+                    --max-ticks overrode the artifact's header. *)
+                 rp_max_ticks = input.Shrink.max_ticks;
+               });
+          Printf.printf "(minimised repro written to %s)\n" min_path))
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Replay a .repro counterexample artifact and minimise it with delta debugging; exits \
+          with status 2 if the artifact no longer fails.")
+    Term.(const run $ file $ max_ticks)
+
 let () =
   let doc = "Randomized renaming in shared memory systems (IPDPS 2015) — reproduction toolkit" in
   let info = Cmd.info "renaming" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; demo_cmd; multicore_cmd; chaos_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; demo_cmd; multicore_cmd; chaos_cmd; mcheck_cmd; shrink_cmd ]))

@@ -1,6 +1,8 @@
 module Executor = Renaming_sched.Executor
 module Adversary = Renaming_sched.Adversary
 module Report = Renaming_sched.Report
+module Trace = Renaming_sched.Trace
+module Directed = Renaming_sched.Directed
 module Stream = Renaming_rng.Stream
 
 type algorithm = {
@@ -44,6 +46,7 @@ type cell = {
   c_unnamed : int;
   c_mean_max_steps : float;
   c_baseline_max_steps : float;
+  c_repros : Shrink.repro list;
 }
 
 let degradation cell =
@@ -79,9 +82,24 @@ let baseline ~max_ticks ~seeds algo =
     seeds;
   !total /. float_of_int (max 1 (Array.length seeds))
 
+(* Rebuild the run's decision sequence from its recorded trace: every
+   scheduled step whose execution drew an injected fault becomes a
+   [Fault] choice, so a directed replay reproduces the injection without
+   the RNG. *)
+let choices_of_trace trace ~faulted =
+  List.mapi
+    (fun i event ->
+      match event with
+      | Trace.Scheduled { pid; _ } ->
+        if List.mem i faulted then Directed.Fault pid else Directed.Step pid
+      | Trace.Crashed { pid; _ } -> Directed.Crash pid
+      | Trace.Recovered { pid; _ } -> Directed.Recover pid)
+    (Trace.events trace)
+
 let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
   let violations = ref 0 in
   let messages = ref [] in
+  let repros = ref [] in
   let livelocks = ref 0 in
   let injected = ref 0 in
   let crashed = ref 0 in
@@ -94,10 +112,20 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
       let inst = algo.build ~seed in
       let n = Array.length inst.Executor.programs in
       let base = adv.make_adversary ~seed in
-      let adversary = wrap_adversary ~pattern ~seed ~n base in
+      let trace = Trace.create () in
+      let adversary = Trace.recording trace ~base:(wrap_adversary ~pattern ~seed ~n base) in
       let fault_rng = Stream.fork_named (Stream.create seed) ~name:"campaign-faults" in
-      let inject, injected_count =
+      let base_inject, injected_count =
         Injector.counting (Injector.bernoulli ~rate ~rng:fault_rng)
+      in
+      (* The executor consults [inject] while executing the decision the
+         adversary just recorded, so a hit belongs to the last trace
+         event. *)
+      let faulted = ref [] in
+      let inject ~time ~pid ~op =
+        let hit = base_inject ~time ~pid ~op in
+        if hit then faulted := (Trace.length trace - 1) :: !faulted;
+        hit
       in
       let monitor =
         Monitor.create ~check_ownership:algo.check_ownership ~memory:inst.Executor.memory
@@ -123,9 +151,33 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
          crashed := !crashed + List.length report.Report.crashed;
          recovered := !recovered + List.length report.Report.recovered;
          unnamed := !unnamed + List.length (Report.surviving_unnamed report)
-       with Monitor.Violation msg ->
+       with Monitor.Violation v ->
          incr violations;
-         messages := msg :: !messages);
+         messages := v.Monitor.message :: !messages;
+         (* Auto-shrink every violation to a 1-minimal replayable repro. *)
+         let shrink_input =
+           {
+             Shrink.label = algo.algo_name;
+             build = (fun () -> algo.build ~seed);
+             check_ownership = algo.check_ownership;
+             choices = choices_of_trace trace ~faulted:!faulted;
+             max_ticks;
+           }
+         in
+         (match Shrink.shrink shrink_input with
+         | Some r ->
+           repros :=
+             {
+               Shrink.rp_algorithm = algo.algo_name;
+               rp_n = n;
+               rp_seed = seed;
+               rp_check_ownership = algo.check_ownership;
+               rp_max_ticks = max_ticks;
+               rp_kind = r.Shrink.r_failure.Shrink.f_kind;
+               rp_choices = r.Shrink.r_choices;
+             }
+             :: !repros
+         | None -> ()));
       injected := !injected + injected_count ())
     seeds;
   {
@@ -144,6 +196,7 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
     c_mean_max_steps =
       (if !completed_runs > 0 then !steps_total /. float_of_int !completed_runs else 0.);
     c_baseline_max_steps = baseline_max_steps;
+    c_repros = List.rev !repros;
   }
 
 let run ?progress spec =
@@ -202,13 +255,23 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let repro_to_json (r : Shrink.repro) =
+  Printf.sprintf "{\"algorithm\":\"%s\",\"n\":%d,\"seed\":\"%Ld\",\"kind\":\"%s\",\"choices\":[%s]}"
+    (json_escape r.Shrink.rp_algorithm) r.Shrink.rp_n r.Shrink.rp_seed
+    (json_escape r.Shrink.rp_kind)
+    (String.concat ","
+       (List.map
+          (fun c -> "\"" ^ json_escape (Renaming_sched.Directed.choice_to_string c) ^ "\"")
+          r.Shrink.rp_choices))
+
 let cell_to_json c =
   Printf.sprintf
-    "{\"algorithm\":\"%s\",\"adversary\":\"%s\",\"pattern\":\"%s\",\"fault_rate\":%g,\"runs\":%d,\"violations\":%d,\"livelocks\":%d,\"injected_faults\":%d,\"crashed\":%d,\"recovered\":%d,\"unnamed_survivors\":%d,\"mean_max_steps\":%.2f,\"baseline_max_steps\":%.2f,\"degradation\":%.3f,\"messages\":[%s]}"
+    "{\"algorithm\":\"%s\",\"adversary\":\"%s\",\"pattern\":\"%s\",\"fault_rate\":%g,\"runs\":%d,\"violations\":%d,\"livelocks\":%d,\"injected_faults\":%d,\"crashed\":%d,\"recovered\":%d,\"unnamed_survivors\":%d,\"mean_max_steps\":%.2f,\"baseline_max_steps\":%.2f,\"degradation\":%.3f,\"messages\":[%s],\"repros\":[%s]}"
     (json_escape c.c_algorithm) (json_escape c.c_adversary) (json_escape c.c_pattern) c.c_rate
     c.c_runs c.c_violations c.c_livelocks c.c_injected c.c_crashed c.c_recovered c.c_unnamed
     c.c_mean_max_steps c.c_baseline_max_steps (degradation c)
     (String.concat "," (List.map (fun m -> "\"" ^ json_escape m ^ "\"") c.c_messages))
+    (String.concat "," (List.map repro_to_json c.c_repros))
 
 let to_json summary =
   Printf.sprintf

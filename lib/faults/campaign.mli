@@ -56,6 +56,9 @@ type cell = {
   c_unnamed : int;  (** surviving unnamed processes, summed over runs *)
   c_mean_max_steps : float;  (** over completed (non-livelock, non-violating) runs *)
   c_baseline_max_steps : float;
+  c_repros : Shrink.repro list;
+      (** every monitor violation in the cell, auto-shrunk to a
+          1-minimal replayable counterexample (see {!Shrink}) *)
 }
 
 val degradation : cell -> float

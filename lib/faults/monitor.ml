@@ -4,7 +4,14 @@ module Report = Renaming_sched.Report
 module Tas_array = Renaming_shm.Tas_array
 module Step_ledger = Renaming_shm.Step_ledger
 
-exception Violation of string
+type violation = { kind : string; message : string }
+
+exception Violation of violation
+
+let () =
+  Printexc.register_printer (function
+    | Violation { kind; message } -> Some (Printf.sprintf "Monitor.Violation[%s]: %s" kind message)
+    | _ -> None)
 
 type t = {
   memory : Memory.t;
@@ -60,14 +67,17 @@ let excerpt t =
 
 let violation_count t = t.violations
 
-let fail t fmt =
+let fail t ~kind fmt =
   Format.kasprintf
     (fun msg ->
       t.violations <- t.violations + 1;
-      raise (Violation (Printf.sprintf "safety violation: %s\n%s" msg (excerpt t))))
+      raise
+        (Violation
+           { kind; message = Printf.sprintf "safety violation: %s\n%s" msg (excerpt t) }))
     fmt
 
-let check_pid t pid = if pid < 0 || pid >= t.processes then fail t "unknown pid %d" pid
+let check_pid t pid =
+  if pid < 0 || pid >= t.processes then fail t ~kind:"unknown-pid" "unknown pid %d" pid
 
 let hook t (event : Executor.event) =
   remember t event;
@@ -75,55 +85,69 @@ let hook t (event : Executor.event) =
   | Executor.Stepped { pid; time; op; _ } ->
     check_pid t pid;
     if t.crashed.(pid) then
-      fail t "process %d stepped (%a) at t=%d after crashing" pid Renaming_sched.Op.pp op time;
+      fail t ~kind:"step-after-crash" "process %d stepped (%a) at t=%d after crashing" pid
+        Renaming_sched.Op.pp op time;
     if t.has_returned.(pid) then
-      fail t "process %d stepped (%a) at t=%d after returning" pid Renaming_sched.Op.pp op time;
+      fail t ~kind:"step-after-return" "process %d stepped (%a) at t=%d after returning" pid
+        Renaming_sched.Op.pp op time;
     t.steps.(pid) <- t.steps.(pid) + 1;
     t.total_steps <- t.total_steps + 1
   | Executor.Crashed { pid; time } ->
     check_pid t pid;
-    if t.crashed.(pid) then fail t "process %d crashed twice (t=%d)" pid time;
-    if t.has_returned.(pid) then fail t "process %d crashed at t=%d after returning" pid time;
+    if t.crashed.(pid) then fail t ~kind:"double-crash" "process %d crashed twice (t=%d)" pid time;
+    if t.has_returned.(pid) then
+      fail t ~kind:"crash-after-return" "process %d crashed at t=%d after returning" pid time;
     t.crashed.(pid) <- true
   | Executor.Recovered { pid; time } ->
     check_pid t pid;
-    if not t.crashed.(pid) then fail t "process %d recovered at t=%d without being crashed" pid time;
+    if not t.crashed.(pid) then
+      fail t ~kind:"recover-of-live" "process %d recovered at t=%d without being crashed" pid time;
     t.crashed.(pid) <- false
   | Executor.Returned { pid; value; time } ->
     check_pid t pid;
-    if t.has_returned.(pid) then fail t "process %d returned twice (t=%d)" pid time;
-    if t.crashed.(pid) then fail t "process %d returned at t=%d while crashed" pid time;
+    if t.has_returned.(pid) then
+      fail t ~kind:"double-return" "process %d returned twice (t=%d)" pid time;
+    if t.crashed.(pid) then
+      fail t ~kind:"return-while-crashed" "process %d returned at t=%d while crashed" pid time;
     t.has_returned.(pid) <- true;
     (match value with
     | None -> ()
     | Some name ->
       if name < 0 || name >= t.namespace then
-        fail t "process %d claimed out-of-range name %d (namespace %d)" pid name t.namespace;
+        fail t ~kind:"out-of-range-name" "process %d claimed out-of-range name %d (namespace %d)"
+          pid name t.namespace;
       (match Hashtbl.find_opt t.claimed name with
-      | Some other -> fail t "duplicate name %d: claimed by both %d and %d" name other pid
+      | Some other ->
+        fail t ~kind:"duplicate-name" "duplicate name %d: claimed by both %d and %d" name other pid
       | None -> Hashtbl.add t.claimed name pid);
       if t.check_ownership then
         match Tas_array.owner (Memory.names t.memory) name with
         | Some owner when owner = pid -> ()
         | Some owner ->
-          fail t "process %d claimed name %d owned by process %d" pid name owner
-        | None -> fail t "process %d claimed name %d whose register is free" pid name)
+          fail t ~kind:"unbacked-claim" "process %d claimed name %d owned by process %d" pid name
+            owner
+        | None ->
+          fail t ~kind:"unbacked-claim" "process %d claimed name %d whose register is free" pid
+            name)
 
 let finalize t (report : Report.t) =
   for pid = 0 to t.processes - 1 do
     let ledger_steps = Step_ledger.steps_of report.Report.ledger ~pid in
     if ledger_steps <> t.steps.(pid) then
-      fail t "step-ledger mismatch for process %d: ledger says %d, monitor counted %d" pid
-        ledger_steps t.steps.(pid)
+      fail t ~kind:"ledger-mismatch"
+        "step-ledger mismatch for process %d: ledger says %d, monitor counted %d" pid ledger_steps
+        t.steps.(pid)
   done;
   if report.Report.ticks <> t.total_steps then
-    fail t "tick mismatch: report says %d, monitor counted %d" report.Report.ticks t.total_steps;
+    fail t ~kind:"tick-mismatch" "tick mismatch: report says %d, monitor counted %d"
+      report.Report.ticks t.total_steps;
   Array.iteri
     (fun pid value ->
       match value with
       | None -> ()
       | Some name ->
         if Hashtbl.find_opt t.claimed name <> Some pid then
-          fail t "final assignment gives %d to process %d but the monitor never saw that return"
-            name pid)
+          fail t ~kind:"assignment-mismatch"
+            "final assignment gives %d to process %d but the monitor never saw that return" name
+            pid)
     report.Report.assignment.Renaming_shm.Assignment.names

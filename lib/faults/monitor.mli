@@ -17,11 +17,20 @@
       the final assignment contains exactly the returns the monitor
       observed.
 
-    A violation raises {!Violation} whose message embeds the last few
-    events — the failure is caught at the offending step, not
-    discovered in a post-hoc report diff. *)
+    A violation raises {!Violation} carrying a stable [kind] tag (used
+    by the model checker and shrinker to decide whether two failures are
+    "the same") and a [message] embedding the last few events — the
+    failure is caught at the offending step, not discovered in a
+    post-hoc report diff. *)
 
-exception Violation of string
+type violation = {
+  kind : string;
+      (** stable machine-readable tag, e.g. ["duplicate-name"],
+          ["step-after-crash"], ["unbacked-claim"], ["ledger-mismatch"] *)
+  message : string;  (** human-readable description plus trace excerpt *)
+}
+
+exception Violation of violation
 
 type t
 

@@ -1,0 +1,75 @@
+(** Counterexample shrinking: delta-debugging minimisation of directed
+    schedules that trigger a {!Monitor} violation.
+
+    Given a deterministic instance builder and a failing
+    {!Renaming_sched.Directed.choice} prefix, {!shrink} searches for a
+    1-minimal prefix that still triggers the *same* failure — same
+    {!Monitor.violation} [kind] (or livelock) — by re-replaying the
+    instance from scratch after every candidate cut.  Passes, in order:
+
+    + truncate to the decisions the failing run actually took;
+    + drop all transient-fault injections;
+    + drop all crash/recover events;
+    + drop every choice touching one pid (per pid);
+    + ddmin chunk removal down to granularity 1 (1-minimality: removing
+      any single remaining choice no longer reproduces the failure).
+
+    Minimised counterexamples are persisted as replayable [repro]
+    artifacts (plain text, [repro_to_string]/[repro_of_string]) under
+    [results/repros/] by the chaos campaign and [renaming mcheck], and
+    replayed by [renaming shrink]. *)
+
+type failure = {
+  f_kind : string;  (** {!Monitor.violation} kind, or ["livelock"], or ["exception:<name>"] *)
+  f_message : string;
+}
+
+type input = {
+  label : string;  (** algorithm name, for reporting *)
+  build : unit -> Renaming_sched.Executor.instance;
+      (** must return a fresh, deterministic instance — same memory and
+          programs every call — or replays diverge *)
+  check_ownership : bool;  (** see {!Monitor.create} *)
+  choices : Renaming_sched.Directed.choice list;  (** the failing prefix *)
+  max_ticks : int;  (** livelock guard per replay *)
+}
+
+type result = {
+  r_label : string;
+  r_failure : failure;  (** failure of the minimised prefix *)
+  r_original : Renaming_sched.Directed.choice list;  (** the input prefix *)
+  r_choices : Renaming_sched.Directed.choice list;  (** minimised, 1-minimal *)
+  r_replays : int;  (** executions spent, including the initial check *)
+}
+
+val execute :
+  input ->
+  Renaming_sched.Directed.choice list ->
+  Renaming_sched.Directed.result * failure option
+(** One monitored replay of a candidate prefix (permissive mode):
+    builds a fresh instance, runs it under the safety monitor, and
+    classifies the outcome.  [None] means the run completed cleanly. *)
+
+val shrink : ?max_replays:int -> input -> result option
+(** [None] if [input.choices] does not fail in the first place.
+    [max_replays] (default [4000]) caps total executions; if the budget
+    runs out the result is still a valid counterexample, just not
+    necessarily 1-minimal. *)
+
+type repro = {
+  rp_algorithm : string;
+  rp_n : int;
+  rp_seed : int64;
+  rp_check_ownership : bool;
+  rp_max_ticks : int;
+  rp_kind : string;
+  rp_choices : Renaming_sched.Directed.choice list;
+}
+
+val repro_to_string : repro -> string
+(** Plain-text artifact: [key: value] headers ([algorithm], [n], [seed],
+    [check-ownership], [max-ticks], [kind]) followed by a [trace:]
+    section with one {!Renaming_sched.Directed.choice_to_string} line
+    per choice. *)
+
+val repro_of_string : string -> (repro, string) Stdlib.result

@@ -1,0 +1,126 @@
+module Mcheck = Renaming_mcheck.Mcheck
+module Shrink = Renaming_faults.Shrink
+module Campaign = Renaming_faults.Campaign
+module Stream = Renaming_rng.Stream
+module Params = Renaming_core.Params
+
+type entry = {
+  e_name : string;
+  e_n : int;
+  e_seed : int64;
+  e_check_ownership : bool;
+  e_build : seed:int64 -> Renaming_sched.Executor.instance;
+  e_bounds : Mcheck.bounds;
+}
+
+let bounds ?(preemptions = 2) ?(crashes = 0) ?(recoveries = 0) ?(faults = 0)
+    ?(max_schedules = 200_000) () =
+  {
+    Mcheck.default_bounds with
+    Mcheck.b_preemptions = preemptions;
+    b_crashes = crashes;
+    b_recoveries = recoveries;
+    b_faults = faults;
+    b_max_schedules = max_schedules;
+  }
+
+let seed = 0x5EED_2015L
+
+let loose_geometric ~n ~seed =
+  Renaming_core.Loose_geometric.instance
+    { Renaming_core.Loose_geometric.n; ell = 2 }
+    ~stream:(Stream.create seed)
+
+(* max_probes = 2 keeps traces short; the deterministic sweep after the
+   probe phase still guarantees termination. *)
+let uniform_probing ~n ~seed =
+  Renaming_baselines.Uniform_probing.instance
+    (Renaming_baselines.Uniform_probing.make_config ~max_probes:2 ~n ~m:n ())
+    ~stream:(Stream.create seed)
+
+let linear_scan ~n ~seed:_ =
+  Renaming_baselines.Linear_scan.instance { Renaming_baselines.Linear_scan.n; m = n }
+
+let tight ~n ~seed =
+  let params = Params.make ~policy:Params.Mass_conserving ~n () in
+  Renaming_core.Tight.instance ~params ~stream:(Stream.create seed) ()
+
+let entry ~name ~n ~build ~bounds =
+  { e_name = name; e_n = n; e_seed = seed; e_check_ownership = true; e_build = build; e_bounds = bounds }
+
+let roster () =
+  [
+    (* Schedule-only exploration, preemption bound 2. *)
+    entry ~name:"loose-geometric-n4" ~n:4
+      ~build:(fun ~seed -> loose_geometric ~n:4 ~seed)
+      ~bounds:(bounds ~preemptions:2 ());
+    entry ~name:"uniform-probing-n3" ~n:3
+      ~build:(fun ~seed -> uniform_probing ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:2 ());
+    entry ~name:"linear-scan-n3" ~n:3
+      ~build:(fun ~seed -> linear_scan ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:2 ());
+    entry ~name:"linear-scan-n4" ~n:4
+      ~build:(fun ~seed -> linear_scan ~n:4 ~seed)
+      ~bounds:(bounds ~preemptions:2 ());
+    (* Tight needs n >= 8 (Params.make), so its traces are an order of
+       magnitude longer; one preemption keeps it in budget. *)
+    entry ~name:"tight-n8" ~n:8
+      ~build:(fun ~seed -> tight ~n:8 ~seed)
+      ~bounds:(bounds ~preemptions:0 ());
+    (* Crash/recovery and transient-fault injection variants. *)
+    entry ~name:"uniform-probing-n3-crash" ~n:3
+      ~build:(fun ~seed -> uniform_probing ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:1 ~crashes:1 ~recoveries:1 ());
+    entry ~name:"linear-scan-n3-crash" ~n:3
+      ~build:(fun ~seed -> linear_scan ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:1 ~crashes:1 ~recoveries:1 ());
+    entry ~name:"uniform-probing-n3-fault" ~n:3
+      ~build:(fun ~seed -> uniform_probing ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:1 ~faults:1 ());
+    entry ~name:"loose-geometric-n4-fault" ~n:4
+      ~build:(fun ~seed -> loose_geometric ~n:4 ~seed)
+      ~bounds:(bounds ~preemptions:1 ~faults:1 ());
+  ]
+
+let tier1 () =
+  let keep = [ "uniform-probing-n3"; "linear-scan-n3"; "uniform-probing-n3-crash" ] in
+  List.filter (fun e -> List.mem e.e_name keep) (roster ())
+
+let target e =
+  {
+    Mcheck.t_name = e.e_name;
+    t_build = (fun () -> e.e_build ~seed:e.e_seed);
+    t_check_ownership = e.e_check_ownership;
+  }
+
+let run_entry e = Mcheck.check ~bounds:e.e_bounds (target e)
+
+let repro_of_case e (c : Mcheck.case) =
+  match c.Mcheck.v_shrunk with
+  | None -> None
+  | Some r ->
+    Some
+      {
+        Shrink.rp_algorithm = e.e_name;
+        rp_n = e.e_n;
+        rp_seed = e.e_seed;
+        rp_check_ownership = e.e_check_ownership;
+        rp_max_ticks = e.e_bounds.Mcheck.b_max_ticks;
+        rp_kind = c.Mcheck.v_kind;
+        rp_choices = r.Shrink.r_choices;
+      }
+
+let builder ~name ~n =
+  match List.find_opt (fun e -> String.equal e.e_name name && e.e_n = n) (roster ()) with
+  | Some e -> Some e.e_build
+  | None -> (
+    match
+      List.find_opt
+        (fun (a : Campaign.algorithm) -> String.equal a.Campaign.algo_name name)
+        (Chaos.algorithms ~n)
+    with
+    | Some a -> Some a.Campaign.build
+    | None -> None)
+
+let check_ownership_of ~name:_ = true

@@ -1,0 +1,45 @@
+(** The standard bounded-model-checking roster: small instances of the
+    core and baseline algorithms wired into {!Renaming_mcheck.Mcheck}.
+
+    Exhaustive exploration only scales to tiny instances, so every entry
+    pins a small [n], a fixed seed and per-entry bounds tuned so the
+    whole roster finishes in seconds.  Entry names encode the
+    configuration (e.g. ["uniform-probing-n3"] probes at most twice) and
+    are what repro artifacts record, so {!builder} can rebuild the exact
+    instance for replay. *)
+
+type entry = {
+  e_name : string;  (** unique roster key; goes into repro artifacts *)
+  e_n : int;
+  e_seed : int64;
+  e_check_ownership : bool;
+  e_build : seed:int64 -> Renaming_sched.Executor.instance;
+  e_bounds : Renaming_mcheck.Mcheck.bounds;
+}
+
+val roster : unit -> entry list
+(** Every entry: schedule-only exploration of loose-geometric (n=4),
+    uniform-probing (n=3), linear-scan (n=3) and tight (n=8, its
+    minimum), plus crash/recovery and transient-fault variants with one
+    injection each. *)
+
+val tier1 : unit -> entry list
+(** The fast subset exercised on every [dune runtest]. *)
+
+val target : entry -> Renaming_mcheck.Mcheck.target
+
+val run_entry : entry -> Renaming_mcheck.Mcheck.stats
+
+val repro_of_case :
+  entry -> Renaming_mcheck.Mcheck.case -> Renaming_faults.Shrink.repro option
+(** Persistable artifact for a violation's shrunk counterexample. *)
+
+val builder :
+  name:string -> n:int -> (seed:(int64) -> Renaming_sched.Executor.instance) option
+(** Resolve a repro artifact's algorithm name back to an instance
+    builder: roster entries first (exact name and [n] match), then the
+    chaos roster ({!Chaos.algorithms}) by algorithm name. *)
+
+val check_ownership_of : name:string -> bool
+(** Whether the named algorithm supports the monitor's ownership check
+    (true for every roster and chaos algorithm today). *)

@@ -1,0 +1,307 @@
+module Executor = Renaming_sched.Executor
+module Directed = Renaming_sched.Directed
+module Report = Renaming_sched.Report
+module Op = Renaming_sched.Op
+module Monitor = Renaming_faults.Monitor
+module Shrink = Renaming_faults.Shrink
+
+type target = {
+  t_name : string;
+  t_build : unit -> Executor.instance;
+  t_check_ownership : bool;
+}
+
+type bounds = {
+  b_preemptions : int;
+  b_crashes : int;
+  b_recoveries : int;
+  b_faults : int;
+  b_max_ticks : int;
+  b_max_schedules : int;
+  b_sleep : bool;
+}
+
+let default_bounds =
+  {
+    b_preemptions = 2;
+    b_crashes = 0;
+    b_recoveries = 0;
+    b_faults = 0;
+    b_max_ticks = 50_000;
+    b_max_schedules = 200_000;
+    b_sleep = true;
+  }
+
+type case = {
+  v_kind : string;
+  v_message : string;
+  v_prefix : Directed.choice list;
+  v_shrunk : Shrink.result option;
+}
+
+type stats = {
+  s_target : string;
+  s_schedules : int;
+  s_points : int;
+  s_slept : int;
+  s_livelocks : int;
+  s_violations : int;
+  s_capped : bool;
+  s_cases : case list;
+}
+
+(* --- static independence of operations, by memory footprint ---
+
+   Two operations commute when they touch different arrays, different
+   indices of the same array, or are both reads of the same cell.
+   τ-register operations are excluded outright: the device advances on a
+   global step cadence, so even "disjoint" τ traffic is sensitive to its
+   position in the schedule. *)
+
+type footprint = { arr : int; idx : int; writes : bool }
+
+(* arr codes: 0 = none (Yield), 1 = names, 2 = aux, 3 = words *)
+let footprint (op : Op.t) =
+  match op with
+  | Op.Tas_name i -> Some { arr = 1; idx = i; writes = true }
+  | Op.Read_name i -> Some { arr = 1; idx = i; writes = false }
+  | Op.Owned_name i -> Some { arr = 1; idx = i; writes = false }
+  | Op.Release_name i -> Some { arr = 1; idx = i; writes = true }
+  | Op.Tas_aux i -> Some { arr = 2; idx = i; writes = true }
+  | Op.Read_aux i -> Some { arr = 2; idx = i; writes = false }
+  | Op.Read_word i -> Some { arr = 3; idx = i; writes = false }
+  | Op.Write_word { idx; _ } -> Some { arr = 3; idx; writes = true }
+  | Op.Yield -> Some { arr = 0; idx = 0; writes = false }
+  | Op.Tau_submit _ | Op.Tau_poll _ -> None
+
+let independent a b =
+  match (footprint a, footprint b) with
+  | None, _ | _, None -> false
+  | Some fa, Some fb ->
+    fa.arr = 0 || fb.arr = 0 || fa.arr <> fb.arr || fa.idx <> fb.idx
+    || ((not fa.writes) && not fb.writes)
+
+exception Capped
+
+let check ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8) target =
+  let schedules = ref 0 in
+  let points = ref 0 in
+  let slept = ref 0 in
+  let livelocks = ref 0 in
+  let violations = ref 0 in
+  let cases = ref [] in
+  let capped = ref false in
+  let register ~kind ~message (run : Directed.result) =
+    incr violations;
+    if List.length !cases < max_cases then begin
+      let prefix = Array.to_list run.Directed.taken in
+      let shrunk =
+        if not shrink then None
+        else
+          Shrink.shrink
+            {
+              Shrink.label = target.t_name;
+              build = target.t_build;
+              check_ownership = target.t_check_ownership;
+              choices = prefix;
+              max_ticks = bounds.b_max_ticks;
+            }
+      in
+      cases := { v_kind = kind; v_message = message; v_prefix = prefix; v_shrunk = shrunk } :: !cases
+    end
+  in
+  (* One stateless exploration step: execute [prefix] (plus the
+     non-preemptive default tail), check it, then branch on every
+     alternative at every decision point past the prefix.  Each complete
+     execution differs from its parent's at exactly the branched index,
+     so no interleaving is visited twice. *)
+  let rec explore prefix ~sleep ~preemptions ~crashes ~recoveries ~faults =
+    if !schedules >= bounds.b_max_schedules then raise Capped;
+    incr schedules;
+    let inst = target.t_build () in
+    let monitor =
+      Monitor.create ~check_ownership:target.t_check_ownership ~memory:inst.Executor.memory
+        ~processes:(Array.length inst.Executor.programs) ()
+    in
+    let run =
+      Directed.run ~max_ticks:bounds.b_max_ticks ~record_from:(List.length prefix)
+        ~on_event:(Monitor.hook monitor) ~prefix inst
+    in
+    (match run.Directed.outcome with
+    | Directed.Raised (Monitor.Violation v) ->
+      register ~kind:v.Monitor.kind ~message:v.Monitor.message run
+    | Directed.Raised e ->
+      register ~kind:("exception:" ^ Printexc.exn_slot_name e) ~message:(Printexc.to_string e)
+        run
+    | Directed.Finished report ->
+      if Report.is_livelock report then incr livelocks
+      else (
+        try Monitor.finalize monitor report
+        with Monitor.Violation v -> register ~kind:v.Monitor.kind ~message:v.Monitor.message run));
+    let cur_sleep = ref sleep in
+    Array.iter
+      (fun (pt : Directed.point) ->
+        incr points;
+        (* The default tail only ever schedules, so every recorded point
+           past the prefix was taken as a Step. *)
+        let taken_pid =
+          match pt.Directed.taken with
+          | Directed.Step p -> p
+          | Directed.Fault _ | Directed.Crash _ | Directed.Recover _ -> assert false
+        in
+        let taken_op =
+          let k = ref (-1) in
+          Array.iteri (fun i q -> if q = taken_pid then k := i) pt.Directed.runnable;
+          pt.Directed.ops.(!k)
+        in
+        let base = Array.to_list (Array.sub run.Directed.taken 0 pt.Directed.index) in
+        let prev_runnable =
+          pt.Directed.prev >= 0 && Array.exists (fun q -> q = pt.Directed.prev) pt.Directed.runnable
+        in
+        let step_cost q = if prev_runnable && q <> pt.Directed.prev then 1 else 0 in
+        let explored = ref [] in
+        (* Alternative schedules of other runnable processes. *)
+        Array.iteri
+          (fun k q ->
+            if q <> taken_pid then begin
+              let opq = pt.Directed.ops.(k) in
+              if
+                bounds.b_sleep
+                && List.exists (fun (r, opr) -> r = q && opr = opq) !cur_sleep
+              then incr slept
+              else begin
+                let cost = step_cost q in
+                if cost <= preemptions then begin
+                  let child_sleep =
+                    if not bounds.b_sleep then []
+                    else
+                      List.filter
+                        (fun (r, opr) -> r <> q && independent opr opq)
+                        (!explored @ !cur_sleep)
+                  in
+                  explore
+                    (base @ [ Directed.Step q ])
+                    ~sleep:child_sleep ~preemptions:(preemptions - cost) ~crashes ~recoveries
+                    ~faults;
+                  explored := (q, opq) :: !explored
+                end
+              end
+            end)
+          pt.Directed.runnable;
+        (* Transient-fault injections (including on the taken pid). *)
+        if faults > 0 then
+          Array.iteri
+            (fun k q ->
+              let opq = pt.Directed.ops.(k) in
+              if Op.faultable opq then begin
+                let cost = step_cost q in
+                if cost <= preemptions then
+                  explore
+                    (base @ [ Directed.Fault q ])
+                    ~sleep:[] ~preemptions:(preemptions - cost) ~crashes ~recoveries
+                    ~faults:(faults - 1)
+              end)
+            pt.Directed.runnable;
+        (* Crash / recovery injections. *)
+        if crashes > 0 then
+          Array.iter
+            (fun q ->
+              explore
+                (base @ [ Directed.Crash q ])
+                ~sleep:[] ~preemptions ~crashes:(crashes - 1) ~recoveries ~faults)
+            pt.Directed.runnable;
+        if recoveries > 0 then
+          Array.iter
+            (fun q ->
+              explore
+                (base @ [ Directed.Recover q ])
+                ~sleep:[] ~preemptions ~crashes ~recoveries:(recoveries - 1) ~faults)
+            pt.Directed.crashed;
+        (* Walk into the taken branch: wake sleepers dependent on the
+           taken operation, put the explored alternatives to sleep. *)
+        cur_sleep :=
+          if not bounds.b_sleep then []
+          else
+            List.filter
+              (fun (r, opr) -> r <> taken_pid && independent opr taken_op)
+              (!explored @ !cur_sleep))
+      run.Directed.points
+  in
+  (try
+     explore [] ~sleep:[] ~preemptions:bounds.b_preemptions ~crashes:bounds.b_crashes
+       ~recoveries:bounds.b_recoveries ~faults:bounds.b_faults
+   with Capped -> capped := true);
+  {
+    s_target = target.t_name;
+    s_schedules = !schedules;
+    s_points = !points;
+    s_slept = !slept;
+    s_livelocks = !livelocks;
+    s_violations = !violations;
+    s_capped = !capped;
+    s_cases = List.rev !cases;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "@[<v>%-28s %8d schedules %8d points %6d slept %3d livelocks %3d violations%s@ "
+    s.s_target s.s_schedules s.s_points s.s_slept s.s_livelocks s.s_violations
+    (if s.s_capped then " (CAPPED)" else "");
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  violation [%s]: prefix %d choices" c.v_kind (List.length c.v_prefix);
+      (match c.v_shrunk with
+      | Some r ->
+        Format.fprintf fmt " -> shrunk to %d (%d replays): %s"
+          (List.length r.Shrink.r_choices)
+          r.Shrink.r_replays
+          (String.concat "; " (List.map Directed.choice_to_string r.Shrink.r_choices))
+      | None -> ());
+      Format.pp_print_cut fmt ())
+    s.s_cases;
+  Format.fprintf fmt "@]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let choices_json cs =
+  String.concat ","
+    (List.map (fun c -> "\"" ^ json_escape (Directed.choice_to_string c) ^ "\"") cs)
+
+let case_to_json c =
+  Printf.sprintf "{\"kind\":\"%s\",\"prefix_length\":%d,\"shrunk\":%s}" (json_escape c.v_kind)
+    (List.length c.v_prefix)
+    (match c.v_shrunk with
+    | None -> "null"
+    | Some r ->
+      Printf.sprintf "{\"length\":%d,\"replays\":%d,\"choices\":[%s]}"
+        (List.length r.Shrink.r_choices)
+        r.Shrink.r_replays
+        (choices_json r.Shrink.r_choices))
+
+let stats_to_json s =
+  Printf.sprintf
+    "{\"target\":\"%s\",\"schedules\":%d,\"points\":%d,\"slept\":%d,\"livelocks\":%d,\"violations\":%d,\"capped\":%b,\"cases\":[%s]}"
+    (json_escape s.s_target) s.s_schedules s.s_points s.s_slept s.s_livelocks s.s_violations
+    s.s_capped
+    (String.concat "," (List.map case_to_json s.s_cases))
+
+let to_json all =
+  let total field = List.fold_left (fun acc s -> acc + field s) 0 all in
+  Printf.sprintf
+    "{\"instances\":%d,\"schedules\":%d,\"violations\":%d,\"livelocks\":%d,\"targets\":[\n%s\n]}"
+    (List.length all)
+    (total (fun s -> s.s_schedules))
+    (total (fun s -> s.s_violations))
+    (total (fun s -> s.s_livelocks))
+    (String.concat ",\n" (List.map stats_to_json all))

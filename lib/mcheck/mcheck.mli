@@ -1,0 +1,83 @@
+(** Bounded model checking of renaming instances: systematic DFS over
+    every adversary decision — who steps next, transient-fault
+    injections, crashes, recoveries — with the online safety
+    {!Renaming_faults.Monitor} checking every interleaving.
+
+    The exploration is *stateless* in the CHESS style: a schedule is a
+    {!Renaming_sched.Directed.choice} prefix, re-executed from scratch
+    on a fresh deterministic instance; alternatives are enumerated at
+    the decision points the run recorded past its own prefix, so each
+    complete execution is visited exactly once.  Two reductions keep
+    small instances tractable:
+
+    - {b preemption bounding}: switching away from a still-runnable
+      process costs one unit of [b_preemptions]; switches forced by a
+      finish or crash are free, as is the non-preemptive default tail.
+      Most concurrency bugs need very few preemptions (CHESS), and the
+      bound turns an exponential tree into a polynomial one.
+    - {b sleep sets}: after exploring [Step q] at a decision point, [q]
+      is put to sleep in the sibling subtrees until a *dependent*
+      operation runs, pruning interleavings that merely commute
+      independent steps.  Independence is judged statically from
+      operation footprints (array, index, read/write); τ-register
+      operations are position-sensitive (device cadence) and never
+      commute.  Crash, recover and fault decisions conservatively reset
+      the sleep set.
+
+    Each violation is recorded and (by default) handed to
+    {!Renaming_faults.Shrink} for 1-minimal counterexample reduction. *)
+
+type target = {
+  t_name : string;
+  t_build : unit -> Renaming_sched.Executor.instance;
+      (** fresh deterministic instance per call (exploration re-executes
+          constantly) *)
+  t_check_ownership : bool;  (** see {!Renaming_faults.Monitor.create} *)
+}
+
+type bounds = {
+  b_preemptions : int;  (** preemption budget per schedule *)
+  b_crashes : int;  (** crash injections per schedule *)
+  b_recoveries : int;  (** recovery injections per schedule *)
+  b_faults : int;  (** transient-fault injections per schedule *)
+  b_max_ticks : int;  (** livelock guard per execution *)
+  b_max_schedules : int;  (** hard cap on executions; sets [s_capped] *)
+  b_sleep : bool;  (** enable sleep-set pruning *)
+}
+
+val default_bounds : bounds
+(** [{ b_preemptions = 2; b_crashes = 0; b_recoveries = 0; b_faults = 0;
+      b_max_ticks = 50_000; b_max_schedules = 200_000; b_sleep = true }] *)
+
+type case = {
+  v_kind : string;  (** {!Renaming_faults.Monitor.violation} kind (or ["livelock"] / ["exception:..."]) *)
+  v_message : string;
+  v_prefix : Renaming_sched.Directed.choice list;
+      (** the decisions of the failing execution, up to the failure *)
+  v_shrunk : Renaming_faults.Shrink.result option;
+      (** 1-minimal reduction (present unless shrinking was disabled or
+          the failure stopped reproducing) *)
+}
+
+type stats = {
+  s_target : string;
+  s_schedules : int;  (** complete executions checked *)
+  s_points : int;  (** decision points expanded *)
+  s_slept : int;  (** alternatives pruned by sleep sets *)
+  s_livelocks : int;  (** executions cut off by [b_max_ticks] *)
+  s_violations : int;  (** total failing executions *)
+  s_capped : bool;  (** exploration stopped at [b_max_schedules] *)
+  s_cases : case list;  (** first few violations, in discovery order *)
+}
+
+val check : ?bounds:bounds -> ?shrink:bool -> ?max_cases:int -> target -> stats
+(** Exhaustively explores [target] within [bounds].  [shrink] (default
+    [true]): minimise each recorded violation.  [max_cases] (default
+    [8]) caps the number of *recorded* cases ([s_violations] still
+    counts all of them). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val to_json : stats list -> string
+(** The [results/mcheck.json] payload: per-target schedule counts and
+    violations, plus aggregate totals. *)

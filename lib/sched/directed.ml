@@ -1,0 +1,158 @@
+module Vec = Renaming_stats.Vec
+
+type choice =
+  | Step of int
+  | Fault of int
+  | Crash of int
+  | Recover of int
+
+let pp_choice fmt = function
+  | Step pid -> Format.fprintf fmt "step %d" pid
+  | Fault pid -> Format.fprintf fmt "fault %d" pid
+  | Crash pid -> Format.fprintf fmt "crash %d" pid
+  | Recover pid -> Format.fprintf fmt "recover %d" pid
+
+let choice_to_string c = Format.asprintf "%a" pp_choice c
+
+let choice_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ verb; pid ] -> (
+    match (verb, int_of_string_opt pid) with
+    | _, None -> Error (Printf.sprintf "bad pid in choice %S" s)
+    | "step", Some p -> Ok (Step p)
+    | "fault", Some p -> Ok (Fault p)
+    | "crash", Some p -> Ok (Crash p)
+    | "recover", Some p -> Ok (Recover p)
+    | _ -> Error (Printf.sprintf "unknown choice verb in %S" s))
+  | _ -> Error (Printf.sprintf "malformed choice %S (want \"<verb> <pid>\")" s)
+
+type point = {
+  index : int;
+  time : int;
+  prev : int;
+  runnable : int array;
+  crashed : int array;
+  ops : Op.t array;
+  taken : choice;
+}
+
+type outcome = Finished of Report.t | Raised of exn
+
+type result = {
+  points : point array;
+  taken : choice array;
+  dropped : int;
+  outcome : outcome;
+}
+
+let expected_of_choice : choice -> Trace.expected = function
+  | Step pid -> `Schedule pid
+  | Fault pid -> `Fault pid
+  | Crash pid -> `Crash pid
+  | Recover pid -> `Recover pid
+
+let run ?(max_ticks = 100_000) ?(tau_cadence = 1) ?(strict = false) ?(record_from = 0) ?on_event
+    ~prefix instance =
+  let n = Array.length instance.Executor.programs in
+  let remaining = ref prefix in
+  let points = Vec.create () in
+  let taken = Vec.create () in
+  let dropped = ref 0 in
+  let prev = ref (-1) in
+  let index = ref 0 in
+  let fault_next = ref false in
+  let inject ~time:_ ~pid:_ ~op:_ =
+    if !fault_next then begin
+      fault_next := false;
+      true
+    end
+    else false
+  in
+  let feasible (view : Adversary.view) = function
+    | Step pid | Crash pid -> view.is_runnable pid
+    | Fault pid -> view.is_runnable pid && Op.faultable (view.pending_op pid)
+    | Recover pid -> view.is_crashed pid
+  in
+  let sorted_runnable (view : Adversary.view) =
+    let arr = Array.init view.runnable_count view.runnable_nth in
+    Array.sort compare arr;
+    arr
+  in
+  let crashed_pids (view : Adversary.view) =
+    let acc = ref [] in
+    for pid = n - 1 downto 0 do
+      if view.is_crashed pid then acc := pid :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let diverge (view : Adversary.view) c =
+    raise
+      (Trace.Divergence
+         {
+           at = !index;
+           expected = expected_of_choice c;
+           time = view.time;
+           runnable = Array.to_list (sorted_runnable view);
+           crashed = Array.to_list (crashed_pids view);
+         })
+  in
+  let default (view : Adversary.view) =
+    if !prev >= 0 && view.is_runnable !prev then Step !prev
+    else begin
+      let best = ref max_int in
+      for i = 0 to view.runnable_count - 1 do
+        let pid = view.runnable_nth i in
+        if pid < !best then best := pid
+      done;
+      Step !best
+    end
+  in
+  let decide (view : Adversary.view) =
+    let rec pick () =
+      match !remaining with
+      | [] -> default view
+      | c :: rest ->
+        if feasible view c then begin
+          remaining := rest;
+          c
+        end
+        else if strict then diverge view c
+        else begin
+          remaining := rest;
+          incr dropped;
+          pick ()
+        end
+    in
+    let c = pick () in
+    if !index >= record_from then begin
+      let runnable = sorted_runnable view in
+      Vec.add_last points
+        {
+          index = !index;
+          time = view.time;
+          prev = !prev;
+          runnable;
+          crashed = crashed_pids view;
+          ops = Array.map view.pending_op runnable;
+          taken = c;
+        }
+    end;
+    Vec.add_last taken c;
+    incr index;
+    match c with
+    | Step pid ->
+      prev := pid;
+      Adversary.Schedule pid
+    | Fault pid ->
+      prev := pid;
+      fault_next := true;
+      Adversary.Schedule pid
+    | Crash pid -> Adversary.Crash pid
+    | Recover pid -> Adversary.Recover pid
+  in
+  let adversary = { Adversary.name = "directed"; decide } in
+  let outcome =
+    try Finished (Executor.run ~max_ticks ~tau_cadence ~inject ?on_event ~adversary instance)
+    with e -> Raised e
+  in
+  { points = Vec.to_array points; taken = Vec.to_array taken; dropped = !dropped; outcome }

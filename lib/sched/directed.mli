@@ -1,0 +1,87 @@
+(** Directed executions: drive {!Executor.run} through an explicit list
+    of adversary choices, then fall back to a deterministic
+    non-preemptive default, recording every decision point along the
+    way.
+
+    This is the substrate of systematic schedule exploration
+    ([Renaming_mcheck]) and counterexample shrinking
+    ([Renaming_faults.Shrink]): a schedule is identified by its [choice]
+    prefix — everything after the prefix is filled in by the default
+    policy (keep running the previous process; when it finishes or
+    blocks, run the lowest-numbered runnable pid), which never crashes,
+    recovers or injects faults.  Given a deterministic instance builder,
+    the same prefix always reproduces the same execution. *)
+
+type choice =
+  | Step of int  (** schedule this pid's pending operation *)
+  | Fault of int
+      (** schedule this pid but make the operation fault transiently
+          (respond {!Op.Faulted} without touching memory); only feasible
+          when the pending operation is {!Op.faultable} *)
+  | Crash of int
+  | Recover of int
+
+val pp_choice : Format.formatter -> choice -> unit
+
+val choice_to_string : choice -> string
+(** ["step 3"], ["fault 1"], ["crash 0"], ["recover 2"] — the repro
+    artifact line format, inverse of {!choice_of_string}. *)
+
+val choice_of_string : string -> (choice, string) result
+
+(** One decision point of the recorded execution. *)
+type point = {
+  index : int;  (** 0-based decision index *)
+  time : int;  (** executor time (executed steps so far) *)
+  prev : int;  (** pid whose operation executed last, [-1] before the first step *)
+  runnable : int array;  (** runnable pids, ascending *)
+  crashed : int array;  (** currently crashed pids, ascending *)
+  ops : Op.t array;  (** [ops.(i)] is the pending operation of [runnable.(i)] *)
+  taken : choice;  (** the decision actually applied here *)
+}
+
+type outcome =
+  | Finished of Report.t
+  | Raised of exn
+      (** an exception escaped the run — typically a monitor violation
+          raised from the [on_event] hook, or {!Trace.Divergence} in
+          strict mode *)
+
+type result = {
+  points : point array;  (** decision points with [index >= record_from] *)
+  taken : choice array;  (** every decision applied, in order, from index 0 *)
+  dropped : int;  (** prefix choices skipped as infeasible (permissive mode only) *)
+  outcome : outcome;
+}
+
+val run :
+  ?max_ticks:int ->
+  ?tau_cadence:int ->
+  ?strict:bool ->
+  ?record_from:int ->
+  ?on_event:(Executor.event -> unit) ->
+  prefix:choice list ->
+  Executor.instance ->
+  result
+(** Replays [prefix], then extends with the default policy until the
+    run ends.  A choice is *feasible* when its pid is in the required
+    state ([Step]/[Crash]: runnable; [Fault]: runnable with a faultable
+    pending op; [Recover]: crashed).
+
+    [strict] (default [false]): an infeasible choice raises
+    {!Trace.Divergence} (carrying the decision index, the expected
+    action and the runnable/crashed sets).  In permissive mode it is
+    skipped and counted in [dropped] — the mode shrinkers use, because
+    deleting events from a prefix legitimately invalidates later ones.
+
+    [record_from] (default 0): skip materialising [points] below this
+    index — exploration only expands alternatives past its own prefix,
+    and not recording the prefix keeps deep DFS cheap.  [taken] is
+    always complete.
+
+    Any exception escaping the underlying {!Executor.run} (including
+    violations raised by an [on_event] monitor hook) is captured in
+    [outcome] so the caller still gets the partial record.
+    [max_ticks] defaults to [100_000] — directed runs are small by
+    design and the guard turns accidental livelock into a structured
+    {!Report.Livelock} outcome. *)

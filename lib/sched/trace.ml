@@ -5,6 +5,39 @@ type event =
   | Crashed of { time : int; pid : int }
   | Recovered of { time : int; pid : int }
 
+type expected =
+  [ `Schedule of int | `Fault of int | `Crash of int | `Recover of int | `Exhausted ]
+
+type divergence = {
+  at : int;
+  expected : expected;
+  time : int;
+  runnable : int list;
+  crashed : int list;
+}
+
+exception Divergence of divergence
+
+let pp_expected fmt = function
+  | `Schedule pid -> Format.fprintf fmt "schedule p%d" pid
+  | `Fault pid -> Format.fprintf fmt "fault p%d" pid
+  | `Crash pid -> Format.fprintf fmt "crash p%d" pid
+  | `Recover pid -> Format.fprintf fmt "recover p%d" pid
+  | `Exhausted -> Format.fprintf fmt "trace exhausted"
+
+let pp_divergence fmt d =
+  let pp_pids fmt pids =
+    Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int pids))
+  in
+  Format.fprintf fmt
+    "replay diverged at decision %d (t=%d): wanted %a but runnable=%a crashed=%a" d.at d.time
+    pp_expected d.expected pp_pids d.runnable pp_pids d.crashed
+
+let () =
+  Printexc.register_printer (function
+    | Divergence d -> Some (Format.asprintf "Trace.Divergence: %a" pp_divergence d)
+    | _ -> None)
+
 type t = { events : event Vec.t; mutable cursor : int }
 
 let create () = { events = Vec.create (); cursor = 0 }
@@ -29,30 +62,48 @@ let recording t ~base =
         decision);
   }
 
+(* The replayer does not know the instance size, so the crashed set in a
+   divergence is reconstructed over the pids the trace mentions. *)
+let max_pid t =
+  let m = ref (-1) in
+  Vec.iter
+    (fun e ->
+      let pid =
+        match e with Scheduled { pid; _ } | Crashed { pid; _ } | Recovered { pid; _ } -> pid
+      in
+      if pid > !m then m := pid)
+    t.events;
+  !m
+
+let diverge t view expected =
+  let runnable =
+    List.sort compare
+      (List.init view.Adversary.runnable_count (fun i -> view.Adversary.runnable_nth i))
+  in
+  let crashed =
+    List.filter view.Adversary.is_crashed (List.init (max_pid t + 1) (fun pid -> pid))
+  in
+  raise
+    (Divergence { at = t.cursor; expected; time = view.Adversary.time; runnable; crashed })
+
 let replaying t =
   t.cursor <- 0;
   {
     Adversary.name = "replay";
     decide =
       (fun view ->
-        if t.cursor >= Vec.length t.events then
-          failwith "Trace.replaying: trace exhausted but processes still run";
+        if t.cursor >= Vec.length t.events then diverge t view `Exhausted;
         let event = Vec.get t.events t.cursor in
-        t.cursor <- t.cursor + 1;
         let pid =
           match event with Scheduled { pid; _ } | Crashed { pid; _ } | Recovered { pid; _ } -> pid
         in
         (match event with
         | Recovered _ ->
-          if not (view.Adversary.is_crashed pid) then
-            failwith
-              (Printf.sprintf "Trace.replaying: pid %d not crashed at replay step %d" pid
-                 (t.cursor - 1))
-        | Scheduled _ | Crashed _ ->
-          if not (view.Adversary.is_runnable pid) then
-            failwith
-              (Printf.sprintf "Trace.replaying: pid %d not runnable at replay step %d" pid
-                 (t.cursor - 1)));
+          if not (view.Adversary.is_crashed pid) then diverge t view (`Recover pid)
+        | Scheduled _ ->
+          if not (view.Adversary.is_runnable pid) then diverge t view (`Schedule pid)
+        | Crashed _ -> if not (view.Adversary.is_runnable pid) then diverge t view (`Crash pid));
+        t.cursor <- t.cursor + 1;
         match event with
         | Scheduled _ -> Adversary.Schedule pid
         | Crashed _ -> Adversary.Crash pid

@@ -16,6 +16,29 @@ type event =
   | Crashed of { time : int; pid : int }
   | Recovered of { time : int; pid : int }
 
+(** What a replay (or a directed run, {!Directed}) was about to do when
+    the instance diverged from the recording.  [`Exhausted] means the
+    trace ran out while processes were still runnable. *)
+type expected =
+  [ `Schedule of int | `Fault of int | `Crash of int | `Recover of int | `Exhausted ]
+
+type divergence = {
+  at : int;  (** decision index at which replay failed (= events consumed so far) *)
+  expected : expected;
+  time : int;  (** executor time at the failing decision *)
+  runnable : int list;  (** pids runnable at that point, ascending *)
+  crashed : int list;  (** pids crashed at that point, ascending (best effort: pids the replayer knows about) *)
+}
+
+exception Divergence of divergence
+(** Raised by {!replaying} (and by {!Directed.run} in strict mode) when
+    a decision cannot be applied: the named pid is not runnable (for
+    schedule/fault/crash), not crashed (for recover), or the trace is
+    exhausted while processes still run.  Structured so shrinkers and
+    users can act on it instead of parsing a [Failure] string. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
 type t
 
 val create : unit -> t
@@ -31,9 +54,9 @@ val recording : t -> base:Adversary.t -> Adversary.t
 
 val replaying : t -> Adversary.t
 (** An adversary that replays the recorded decisions verbatim.  Raises
-    [Failure] if the instance diverges from the recording (a decision
-    names a process that is not runnable) or the trace is exhausted
-    while processes still run. *)
+    {!Divergence} if the instance diverges from the recording (a
+    decision names a process that is not in the required state) or the
+    trace is exhausted while processes still run. *)
 
 val census : t -> (string * int) list
 (** Operation counts by kind (["tas-name", 812; ...]), sorted by kind

@@ -5,7 +5,8 @@
 
 val random :
   rng:Renaming_rng.Xoshiro.t -> n:int -> failures:int -> horizon:int -> (int * int) list
-(** [failures] distinct pids crash at uniform times in [0, horizon). *)
+(** [failures] distinct pids crash at uniform times in [0, horizon).
+    [failures = 0] is allowed and yields the empty schedule. *)
 
 val early_half :
   n:int -> failures:int -> (int * int) list
@@ -15,11 +16,17 @@ val early_half :
 
 val spread :
   n:int -> failures:int -> horizon:int -> (int * int) list
-(** [failures] evenly spaced pids crash at evenly spaced times. *)
+(** [failures] evenly spaced pids crash at evenly spaced times.
+    [failures = 0] is allowed and yields the empty schedule. *)
 
 val burst :
   rng:Renaming_rng.Xoshiro.t -> n:int -> failures:int -> at:int -> width:int -> (int * int) list
 (** All [failures] crashes land in the short window [at, at + width):
     [failures] distinct uniform pids at uniform times inside the window.
     The burst adversary of the chaos campaigns — a correlated failure
-    (rack power loss) rather than independent attrition. *)
+    (rack power loss) rather than independent attrition.
+
+    Raises [Invalid_argument] when [failures = 0]: an empty burst is
+    always a caller bug (typically [n / k] underflowing to 0 at small
+    [n]) that would silently turn a crash cell into a fault-free run —
+    unlike {!random} and {!spread}, which accept 0. *)

@@ -77,6 +77,42 @@ let test_mc_steps_recorded () =
   let nonzero = Array.for_all (fun s -> s > 0) result.Mc_run.steps in
   check Alcotest.bool "every process took steps" true nonzero
 
+let test_mc_repeated_runs_sound () =
+  (* Soundness across repeated runs and domain counts: no run may ever
+     hand out a duplicate name, uniform probing with [m >= n] must fully
+     cover, and a process holding a name must have taken at least one
+     step (a name with zero recorded steps would mean the backend
+     assigned it out of thin air). *)
+  let assert_named_stepped label result =
+    Array.iteri
+      (fun pid name ->
+        match name with
+        | Some _ ->
+          check Alcotest.bool
+            (Printf.sprintf "%s: named pid %d took steps" label pid)
+            true
+            (result.Mc_run.steps.(pid) >= 1)
+        | None -> ())
+      result.Mc_run.assignment.Assignment.names
+  in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun seed ->
+          let label = Printf.sprintf "d%d/s%Ld" domains seed in
+          let probing = Mc_run.uniform_probing ~domains ~n:192 ~m:192 ~seed () in
+          check Alcotest.bool (label ^ ": probing no duplicate names") true
+            (Assignment.is_valid probing.Mc_run.assignment);
+          check Alcotest.int (label ^ ": probing m=n fully covers") 0
+            (Mc_run.unnamed_count probing);
+          assert_named_stepped (label ^ "/probing") probing;
+          let loose = Mc_run.loose_geometric ~domains ~n:192 ~ell:2 ~seed () in
+          check Alcotest.bool (label ^ ": loose no duplicate names") true
+            (Assignment.is_valid loose.Mc_run.assignment);
+          assert_named_stepped (label ^ "/loose") loose)
+        [ 21L; 22L; 23L ])
+    [ 2; 3 ]
+
 let test_recommended_domains_positive () =
   check Alcotest.bool "at least one" true (Mc_run.recommended_domains () >= 1)
 
@@ -92,6 +128,7 @@ let tests =
         Alcotest.test_case "mc probing complete" `Quick test_mc_uniform_probing_complete;
         Alcotest.test_case "mc single domain" `Quick test_mc_single_domain;
         Alcotest.test_case "mc steps recorded" `Quick test_mc_steps_recorded;
+        Alcotest.test_case "mc repeated runs sound" `Quick test_mc_repeated_runs_sound;
         Alcotest.test_case "recommended domains" `Quick test_recommended_domains_positive;
       ] );
   ]

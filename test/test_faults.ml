@@ -279,15 +279,53 @@ let test_monitor_violation_carries_trace () =
   (match
      Monitor.hook monitor (Executor.Returned { time = 2; pid = 0; value = Some 0 })
    with
-  | exception Monitor.Violation msg ->
+  | exception Monitor.Violation { kind; message } ->
+    check Alcotest.string "structured kind" "return-while-crashed" kind;
     check Alcotest.bool "message embeds trace excerpt" true
       (let contains s sub =
          let n = String.length s and m = String.length sub in
          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
          go 0
        in
-       contains msg "crash")
+       contains message "crash")
   | _ -> Alcotest.fail "expected Monitor.Violation")
+
+let test_monitor_violation_kinds () =
+  (* Every check reports a stable machine-readable kind — the shrinker's
+     "same failure" oracle. *)
+  let kind_of f =
+    match f () with
+    | exception Monitor.Violation { kind; _ } -> kind
+    | _ -> "no-violation"
+  in
+  let fresh ?(check_ownership = true) () =
+    Monitor.create ~check_ownership ~memory:(Memory.create ~namespace:2 ()) ~processes:2 ()
+  in
+  check Alcotest.string "duplicate-name" "duplicate-name"
+    (kind_of (fun () ->
+         (* Ownership checking off: the synthetic feed never touches the
+            registers, and unbacked-claim would otherwise fire first. *)
+         let m = fresh ~check_ownership:false () in
+         Monitor.hook m (Executor.Stepped { time = 0; pid = 0; op = Op.Tas_name 0; response = Op.Bool true });
+         Monitor.hook m (Executor.Returned { time = 1; pid = 0; value = Some 0 });
+         Monitor.hook m (Executor.Returned { time = 2; pid = 1; value = Some 0 })));
+  check Alcotest.string "double-crash" "double-crash"
+    (kind_of (fun () ->
+         let m = fresh () in
+         Monitor.hook m (Executor.Crashed { time = 0; pid = 0 });
+         Monitor.hook m (Executor.Crashed { time = 1; pid = 0 })));
+  check Alcotest.string "recover-of-live" "recover-of-live"
+    (kind_of (fun () ->
+         let m = fresh () in
+         Monitor.hook m (Executor.Recovered { time = 0; pid = 0 })));
+  check Alcotest.string "out-of-range-name" "out-of-range-name"
+    (kind_of (fun () ->
+         let m = fresh () in
+         Monitor.hook m (Executor.Returned { time = 0; pid = 0; value = Some 7 })));
+  check Alcotest.string "unbacked-claim" "unbacked-claim"
+    (kind_of (fun () ->
+         let m = fresh () in
+         Monitor.hook m (Executor.Returned { time = 0; pid = 0; value = Some 1 })))
 
 (* --- satellite 4: soundness property across algorithms, adversaries,
    crash-recovery, seeds --- *)
@@ -353,7 +391,124 @@ let test_campaign_json_shape () =
   in
   check Alcotest.bool "has totals" true (contains "\"total_violations\":0");
   check Alcotest.bool "has cells" true (contains "\"cells\":[");
-  check Alcotest.bool "has degradation" true (contains "\"degradation\":")
+  check Alcotest.bool "has degradation" true (contains "\"degradation\":");
+  check Alcotest.bool "has repros array" true (contains "\"repros\":[")
+
+(* --- auto-shrinking of campaign violations --- *)
+
+module Shrink = Renaming_faults.Shrink
+module Directed = Renaming_sched.Directed
+
+(* Deliberately broken double-claim: check-then-act without trusting the
+   TAS result.  Correct when run solo; two interleaved reads both see
+   the register free and both claim name 0. *)
+let racy_claim =
+  let* set = Program.read_name 0 in
+  if set then Program.return None
+  else
+    let* _won = Program.tas_name 0 in
+    Program.return (Some 0)
+
+let broken_algorithm =
+  {
+    Campaign.algo_name = "broken-double-claim";
+    build =
+      (fun ~seed:_ ->
+        {
+          Executor.memory = Memory.create ~namespace:2 ();
+          programs = [| racy_claim; racy_claim |];
+          label = "broken-double-claim";
+        });
+    check_ownership = false;
+  }
+
+let broken_spec =
+  {
+    Campaign.algorithms = [ broken_algorithm ];
+    adversaries =
+      [ { Campaign.adv_name = "round-robin"; make_adversary = (fun ~seed:_ -> Adversary.round_robin ()) } ];
+    patterns = [ Campaign.no_crashes ];
+    fault_rates = [ 0. ];
+    seeds = Renaming_harness.Seeds.take 1;
+    max_ticks = 1_000;
+  }
+
+let test_campaign_autoshrinks_violations () =
+  (* Round-robin interleaves the two reads, so the campaign must catch
+     the duplicate claim and hand a 1-minimal repro back. *)
+  let summary = Campaign.run broken_spec in
+  check Alcotest.int "violation detected" 1 summary.Campaign.total_violations;
+  match List.concat_map (fun c -> c.Campaign.c_repros) summary.Campaign.cells with
+  | [ repro ] ->
+    check Alcotest.string "kind" "duplicate-name" repro.Shrink.rp_kind;
+    (* 1-minimal: one process reads, then the other is scheduled before
+       the first TAS lands.  Two choices, no more. *)
+    check Alcotest.int "minimal repro has two choices" 2 (List.length repro.Shrink.rp_choices);
+    (* The artifact replays deterministically to the same violation. *)
+    let input =
+      {
+        Shrink.label = "broken-double-claim";
+        build = (fun () -> broken_algorithm.Campaign.build ~seed:repro.Shrink.rp_seed);
+        check_ownership = false;
+        choices = repro.Shrink.rp_choices;
+        max_ticks = 1_000;
+      }
+    in
+    let replay () =
+      match Shrink.execute input repro.Shrink.rp_choices with
+      | _, Some f -> f.Shrink.f_kind
+      | _, None -> "no-failure"
+    in
+    check Alcotest.string "replays to the violation" "duplicate-name" (replay ());
+    check Alcotest.string "replay is deterministic" (replay ()) (replay ())
+  | repros -> Alcotest.failf "expected exactly one repro, got %d" (List.length repros)
+
+let test_shrink_none_when_input_passes () =
+  let input =
+    {
+      Shrink.label = "clean";
+      build =
+        (fun () ->
+          {
+            Executor.memory = Memory.create ~namespace:2 ();
+            programs = [| Program.scan_names ~first:0 ~count:2; Program.scan_names ~first:0 ~count:2 |];
+            label = "clean";
+          });
+      check_ownership = true;
+      choices = [ Directed.Step 0; Directed.Step 1 ];
+      max_ticks = 1_000;
+    }
+  in
+  check Alcotest.bool "no failure, no result" true (Shrink.shrink input = None)
+
+let test_repro_roundtrip () =
+  let repro =
+    {
+      Shrink.rp_algorithm = "uniform-probing-n3";
+      rp_n = 3;
+      rp_seed = 0x5EED_2015L;
+      rp_check_ownership = true;
+      rp_max_ticks = 50_000;
+      rp_kind = "duplicate-name";
+      rp_choices = [ Directed.Step 0; Directed.Fault 2; Directed.Crash 1; Directed.Recover 1 ];
+    }
+  in
+  match Shrink.repro_of_string (Shrink.repro_to_string repro) with
+  | Ok r ->
+    check Alcotest.string "algorithm" repro.Shrink.rp_algorithm r.Shrink.rp_algorithm;
+    check Alcotest.int "n" repro.Shrink.rp_n r.Shrink.rp_n;
+    check Alcotest.bool "seed" true (Int64.equal repro.Shrink.rp_seed r.Shrink.rp_seed);
+    check Alcotest.bool "ownership" repro.Shrink.rp_check_ownership r.Shrink.rp_check_ownership;
+    check Alcotest.int "max-ticks" repro.Shrink.rp_max_ticks r.Shrink.rp_max_ticks;
+    check Alcotest.string "kind" repro.Shrink.rp_kind r.Shrink.rp_kind;
+    check Alcotest.bool "choices" true (repro.Shrink.rp_choices = r.Shrink.rp_choices)
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+
+let test_repro_rejects_garbage () =
+  check Alcotest.bool "no trace section" true
+    (Result.is_error (Shrink.repro_of_string "algorithm: x\nn: 2\n"));
+  check Alcotest.bool "bad verb" true
+    (Result.is_error (Shrink.repro_of_string "algorithm: x\nn: 2\nseed: 1\ncheck-ownership: true\nmax-ticks: 10\nkind: k\ntrace:\nteleport 3\n"))
 
 let tests =
   [
@@ -390,6 +545,7 @@ let tests =
         Alcotest.test_case "catches recover of live pid" `Quick
           test_monitor_catches_recover_of_live;
         Alcotest.test_case "violation carries trace" `Quick test_monitor_violation_carries_trace;
+        Alcotest.test_case "violation kinds are stable" `Quick test_monitor_violation_kinds;
       ] );
     ( "faults.property",
       [
@@ -402,5 +558,13 @@ let tests =
           test_campaign_tier1_zero_violations;
         Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
         Alcotest.test_case "json shape" `Quick test_campaign_json_shape;
+      ] );
+    ( "faults.shrink",
+      [
+        Alcotest.test_case "campaign auto-shrinks violations" `Quick
+          test_campaign_autoshrinks_violations;
+        Alcotest.test_case "clean input yields no result" `Quick test_shrink_none_when_input_passes;
+        Alcotest.test_case "repro round-trips" `Quick test_repro_roundtrip;
+        Alcotest.test_case "repro rejects garbage" `Quick test_repro_rejects_garbage;
       ] );
   ]

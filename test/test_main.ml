@@ -21,4 +21,5 @@ let () =
          Test_trace.tests;
          Test_longlived.tests;
          Test_faults.tests;
+         Test_mcheck.tests;
        ])

@@ -1,0 +1,305 @@
+(* Tests for the bounded model checker: directed execution, the
+   analytic schedule-count vector, sleep-set pruning cross-checks,
+   detection + shrinking of seeded broken algorithms, and the tier-1
+   roster. *)
+
+module Program = Renaming_sched.Program
+module Op = Renaming_sched.Op
+module Memory = Renaming_sched.Memory
+module Executor = Renaming_sched.Executor
+module Report = Renaming_sched.Report
+module Trace = Renaming_sched.Trace
+module Directed = Renaming_sched.Directed
+module Monitor = Renaming_faults.Monitor
+module Shrink = Renaming_faults.Shrink
+module Retry = Renaming_faults.Retry
+module Mcheck = Renaming_mcheck.Mcheck
+module Roster = Renaming_harness.Mcheck_roster
+
+let check = Alcotest.check
+open Program.Syntax
+
+let instance ~namespace ~label programs = { Executor.memory = Memory.create ~namespace (); programs; label }
+
+let target ?(check_ownership = false) ~label build =
+  { Mcheck.t_name = label; t_build = build; t_check_ownership = check_ownership }
+
+let bounds ?(preemptions = 2) ?(crashes = 0) ?(recoveries = 0) ?(faults = 0) ?(sleep = true) () =
+  {
+    Mcheck.default_bounds with
+    Mcheck.b_preemptions = preemptions;
+    b_crashes = crashes;
+    b_recoveries = recoveries;
+    b_faults = faults;
+    b_sleep = sleep;
+  }
+
+(* --- directed execution --- *)
+
+let solo_tas reg =
+  let* _won = Program.tas_name reg in
+  Program.return None
+
+let test_directed_strict_divergence () =
+  let inst () = instance ~namespace:1 ~label:"solo" [| solo_tas 0 |] in
+  let run = Directed.run ~strict:true ~prefix:[ Directed.Step 5 ] (inst ()) in
+  (match run.Directed.outcome with
+  | Directed.Raised (Trace.Divergence d) ->
+    check Alcotest.int "diverged at decision 0" 0 d.Trace.at;
+    check Alcotest.bool "expected schedule of pid 5" true (d.Trace.expected = `Schedule 5);
+    check Alcotest.(list int) "runnable" [ 0 ] d.Trace.runnable
+  | _ -> Alcotest.fail "expected Trace.Divergence");
+  (* An infeasible Fault (pending op not faultable) also diverges. *)
+  let yield_first =
+    let* () = Program.yield in
+    solo_tas 0
+  in
+  let run =
+    Directed.run ~strict:true ~prefix:[ Directed.Fault 0 ]
+      (instance ~namespace:1 ~label:"yield-first" [| yield_first |])
+  in
+  match run.Directed.outcome with
+  | Directed.Raised (Trace.Divergence d) ->
+    check Alcotest.bool "expected fault of pid 0" true (d.Trace.expected = `Fault 0)
+  | _ -> Alcotest.fail "expected Trace.Divergence for unfaultable op"
+
+let test_directed_permissive_drops () =
+  let inst () = instance ~namespace:2 ~label:"pair" [| solo_tas 0; solo_tas 1 |] in
+  let run = Directed.run ~prefix:[ Directed.Step 7; Directed.Step 1 ] (inst ()) in
+  check Alcotest.int "infeasible choice dropped" 1 run.Directed.dropped;
+  (match run.Directed.outcome with
+  | Directed.Finished report -> check Alcotest.bool "completed" true (not (Report.is_livelock report))
+  | Directed.Raised _ -> Alcotest.fail "unexpected exception");
+  (* The feasible part of the prefix was honoured. *)
+  check Alcotest.bool "first decision steps pid 1" true
+    (Array.length run.Directed.taken > 0 && run.Directed.taken.(0) = Directed.Step 1)
+
+let test_directed_same_prefix_same_execution () =
+  let inst () = instance ~namespace:2 ~label:"pair" [| solo_tas 0; solo_tas 1 |] in
+  let go () =
+    let r = Directed.run ~prefix:[ Directed.Step 1 ] (inst ()) in
+    Array.to_list r.Directed.taken
+  in
+  check Alcotest.bool "deterministic" true (go () = go ())
+
+let test_choice_strings_roundtrip () =
+  List.iter
+    (fun c ->
+      match Directed.choice_of_string (Directed.choice_to_string c) with
+      | Ok c' -> check Alcotest.bool "round-trips" true (c = c')
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ Directed.Step 0; Directed.Fault 3; Directed.Crash 12; Directed.Recover 1 ];
+  check Alcotest.bool "garbage rejected" true
+    (Result.is_error (Directed.choice_of_string "teleport 3"));
+  check Alcotest.bool "bad pid rejected" true (Result.is_error (Directed.choice_of_string "step x"))
+
+(* --- the analytic schedule-count vector ---
+
+   Two processes, two TAS steps each, all on the same register: every
+   operation conflicts, so sleep sets must prune nothing and the
+   schedule counts are exactly the by-hand interleaving counts
+   {aabb,bbaa} / +{abba,baab} / +{abab,baba} at preemption bounds
+   0 / 1 / 2. *)
+
+let two_tas =
+  let* _ = Program.tas_name 0 in
+  let* _ = Program.tas_name 0 in
+  Program.return None
+
+let conflict_target =
+  target ~label:"two-tas" (fun () -> instance ~namespace:1 ~label:"two-tas" [| two_tas; two_tas |])
+
+let test_schedule_counts_match_enumeration () =
+  List.iter
+    (fun (preemptions, expected) ->
+      List.iter
+        (fun sleep ->
+          let stats = Mcheck.check ~bounds:(bounds ~preemptions ~sleep ()) conflict_target in
+          check Alcotest.int
+            (Printf.sprintf "bound %d (sleep %b)" preemptions sleep)
+            expected stats.Mcheck.s_schedules;
+          check Alcotest.int "fully dependent ops: nothing slept" 0 stats.Mcheck.s_slept;
+          check Alcotest.int "no violations" 0 stats.Mcheck.s_violations)
+        [ true; false ])
+    [ (0, 2); (1, 4); (2, 6) ]
+
+(* --- sleep sets prune commuting interleavings, soundly --- *)
+
+let disjoint_target =
+  (* p0 touches registers {0,2}, p1 touches {1,3}: every pair of
+     operations commutes, so of the 6 interleavings only the
+     Mazurkiewicz representatives need exploring. *)
+  let p0 =
+    let* _ = Program.tas_name 0 in
+    let* _ = Program.tas_name 2 in
+    Program.return None
+  in
+  let p1 =
+    let* _ = Program.tas_name 1 in
+    let* _ = Program.tas_name 3 in
+    Program.return None
+  in
+  target ~label:"disjoint" (fun () -> instance ~namespace:4 ~label:"disjoint" [| p0; p1 |])
+
+let test_sleep_sets_prune_but_stay_sound () =
+  let with_sleep = Mcheck.check ~bounds:(bounds ~preemptions:2 ~sleep:true ()) disjoint_target in
+  let without = Mcheck.check ~bounds:(bounds ~preemptions:2 ~sleep:false ()) disjoint_target in
+  check Alcotest.int "unpruned count is the full interleaving count" 6 without.Mcheck.s_schedules;
+  check Alcotest.bool "sleep prunes something" true
+    (with_sleep.Mcheck.s_schedules < without.Mcheck.s_schedules);
+  check Alcotest.bool "sleep records pruned alternatives" true (with_sleep.Mcheck.s_slept > 0);
+  check Alcotest.int "no violations with sleep" 0 with_sleep.Mcheck.s_violations;
+  check Alcotest.int "no violations without sleep" 0 without.Mcheck.s_violations
+
+(* --- a seeded broken algorithm is found and shrunk --- *)
+
+(* Check-then-act double claim: correct solo, broken when the two reads
+   interleave before either TAS lands. *)
+let racy_claim =
+  let* set = Program.read_name 0 in
+  if set then Program.return None
+  else
+    let* _won = Program.tas_name 0 in
+    Program.return (Some 0)
+
+let broken_target =
+  target ~label:"broken-double-claim" (fun () ->
+      instance ~namespace:2 ~label:"broken-double-claim" [| racy_claim; racy_claim |])
+
+let test_mcheck_finds_and_shrinks_double_claim () =
+  List.iter
+    (fun sleep ->
+      let stats = Mcheck.check ~bounds:(bounds ~preemptions:2 ~sleep ()) broken_target in
+      check Alcotest.bool
+        (Printf.sprintf "violations found (sleep %b)" sleep)
+        true
+        (stats.Mcheck.s_violations > 0);
+      match stats.Mcheck.s_cases with
+      | [] -> Alcotest.fail "no case recorded"
+      | c :: _ -> (
+        check Alcotest.string "kind" "duplicate-name" c.Mcheck.v_kind;
+        match c.Mcheck.v_shrunk with
+        | None -> Alcotest.fail "violation was not shrunk"
+        | Some r ->
+          (* 1-minimal: read of one process, then a context switch to
+             the other's read.  Exactly two choices. *)
+          check Alcotest.int "minimal counterexample" 2 (List.length r.Shrink.r_choices);
+          check Alcotest.string "same failure after shrinking" "duplicate-name"
+            r.Shrink.r_failure.Shrink.f_kind;
+          (* The minimal trace replays deterministically. *)
+          let input =
+            {
+              Shrink.label = "broken-double-claim";
+              build = broken_target.Mcheck.t_build;
+              check_ownership = false;
+              choices = r.Shrink.r_choices;
+              max_ticks = 1_000;
+            }
+          in
+          let kind () =
+            match Shrink.execute input r.Shrink.r_choices with
+            | _, Some f -> f.Shrink.f_kind
+            | _, None -> "no-failure"
+          in
+          check Alcotest.string "replays" "duplicate-name" (kind ());
+          check Alcotest.string "deterministically" (kind ()) (kind ())))
+    [ true; false ]
+
+(* --- the fault branch: a claim based on a faulted TAS --- *)
+
+let fault_claimer =
+  (* One retry attempt, then claim regardless: correct in fault-free
+     runs (solo TAS always wins), unbacked when the TAS is faulted. *)
+  let* _won = Retry.tas_name ~policy:(Retry.make_policy ~attempts:1 ()) 0 in
+  Program.return (Some 0)
+
+let fault_target =
+  target ~check_ownership:true ~label:"fault-claimer" (fun () ->
+      instance ~namespace:1 ~label:"fault-claimer" [| fault_claimer |])
+
+let test_mcheck_fault_injection_finds_unbacked_claim () =
+  (* Without a fault budget the instance is clean... *)
+  let clean = Mcheck.check ~bounds:(bounds ~preemptions:1 ()) fault_target in
+  check Alcotest.int "fault-free: no violations" 0 clean.Mcheck.s_violations;
+  (* ...with one injectable fault the checker must find the unbacked
+     claim and shrink it to the single Fault decision. *)
+  let stats = Mcheck.check ~bounds:(bounds ~preemptions:1 ~faults:1 ()) fault_target in
+  check Alcotest.bool "violation found" true (stats.Mcheck.s_violations > 0);
+  match stats.Mcheck.s_cases with
+  | { Mcheck.v_kind = "unbacked-claim"; v_shrunk = Some r; _ } :: _ ->
+    check Alcotest.bool "minimal trace is the single fault" true
+      (r.Shrink.r_choices = [ Directed.Fault 0 ])
+  | c :: _ -> Alcotest.failf "unexpected first case kind %s" c.Mcheck.v_kind
+  | [] -> Alcotest.fail "no case recorded"
+
+(* --- crash/recovery decisions explore without false positives --- *)
+
+let test_mcheck_crash_recovery_clean () =
+  let scans =
+    target ~check_ownership:true ~label:"scan-crash" (fun () ->
+        instance ~namespace:2 ~label:"scan-crash"
+          [| Program.scan_names ~first:0 ~count:2; Program.scan_names ~first:0 ~count:2 |])
+  in
+  let pure = Mcheck.check ~bounds:(bounds ~preemptions:1 ()) scans in
+  let crashy = Mcheck.check ~bounds:(bounds ~preemptions:1 ~crashes:1 ~recoveries:1 ()) scans in
+  check Alcotest.int "pure schedules clean" 0 pure.Mcheck.s_violations;
+  check Alcotest.int "crash/recovery schedules clean" 0 crashy.Mcheck.s_violations;
+  check Alcotest.bool "crash decisions widen the tree" true
+    (crashy.Mcheck.s_schedules > pure.Mcheck.s_schedules)
+
+(* --- the roster --- *)
+
+let test_roster_tier1_clean () =
+  List.iter
+    (fun e ->
+      let stats = Roster.run_entry e in
+      check Alcotest.int (e.Roster.e_name ^ ": zero violations") 0 stats.Mcheck.s_violations;
+      check Alcotest.int (e.Roster.e_name ^ ": zero livelocks") 0 stats.Mcheck.s_livelocks;
+      check Alcotest.bool (e.Roster.e_name ^ ": explored") true (stats.Mcheck.s_schedules > 0);
+      check Alcotest.bool (e.Roster.e_name ^ ": exhaustive (not capped)") true
+        (not stats.Mcheck.s_capped))
+    (Roster.tier1 ())
+
+let test_roster_deterministic_json () =
+  match Roster.tier1 () with
+  | [] -> Alcotest.fail "empty tier-1 roster"
+  | e :: _ ->
+    let go () = Mcheck.to_json [ Roster.run_entry e ] in
+    check Alcotest.string "identical stats json" (go ()) (go ())
+
+let test_roster_builder_resolves () =
+  check Alcotest.bool "roster entry resolves" true
+    (Roster.builder ~name:"uniform-probing-n3" ~n:3 <> None);
+  check Alcotest.bool "chaos algorithm resolves" true
+    (Roster.builder ~name:"loose-geometric" ~n:16 <> None);
+  check Alcotest.bool "unknown name rejected" true (Roster.builder ~name:"no-such" ~n:4 = None)
+
+let tests =
+  [
+    ( "mcheck.directed",
+      [
+        Alcotest.test_case "strict divergence" `Quick test_directed_strict_divergence;
+        Alcotest.test_case "permissive drops" `Quick test_directed_permissive_drops;
+        Alcotest.test_case "same prefix, same execution" `Quick
+          test_directed_same_prefix_same_execution;
+        Alcotest.test_case "choice strings round-trip" `Quick test_choice_strings_roundtrip;
+      ] );
+    ( "mcheck.explore",
+      [
+        Alcotest.test_case "schedule counts match enumeration" `Quick
+          test_schedule_counts_match_enumeration;
+        Alcotest.test_case "sleep sets prune soundly" `Quick test_sleep_sets_prune_but_stay_sound;
+        Alcotest.test_case "finds and shrinks double claim" `Quick
+          test_mcheck_finds_and_shrinks_double_claim;
+        Alcotest.test_case "fault injection finds unbacked claim" `Quick
+          test_mcheck_fault_injection_finds_unbacked_claim;
+        Alcotest.test_case "crash/recovery exploration clean" `Quick
+          test_mcheck_crash_recovery_clean;
+      ] );
+    ( "mcheck.roster",
+      [
+        Alcotest.test_case "tier-1 roster clean" `Slow test_roster_tier1_clean;
+        Alcotest.test_case "deterministic json" `Quick test_roster_deterministic_json;
+        Alcotest.test_case "builder resolves names" `Quick test_roster_builder_resolves;
+      ] );
+  ]

@@ -79,11 +79,45 @@ let test_replay_divergence_detected () =
   ignore (Executor.run ~adversary (scan_competition ~n:6));
   (* Replaying against a SMALLER instance diverges: pids in the trace
      are eventually not runnable (they finish earlier with fewer
-     competitors), or the trace outlives the run. *)
-  let raised = ref false in
-  (try ignore (Executor.run ~adversary:(Trace.replaying trace) (scan_competition ~n:3))
-   with Failure _ | Invalid_argument _ -> raised := true);
-  check Alcotest.bool "divergence detected" true !raised
+     competitors), or the trace outlives the run.  The failure must be
+     the structured {!Trace.Divergence}, not a bare Failure. *)
+  (match Executor.run ~adversary:(Trace.replaying trace) (scan_competition ~n:3) with
+  | exception Trace.Divergence d ->
+    check Alcotest.bool "failing event index in range" true
+      (d.Trace.at >= 0 && d.Trace.at <= Trace.length trace);
+    check Alcotest.bool "expected action names a trace pid or exhaustion" true
+      (match d.Trace.expected with
+      | `Schedule pid | `Fault pid | `Crash pid | `Recover pid -> pid >= 0 && pid < 6
+      | `Exhausted -> true);
+    (* The runnable set the replayer actually saw: a subset of the small
+       instance's pids, sorted. *)
+    List.iter
+      (fun pid -> check Alcotest.bool "runnable pid in small instance" true (pid >= 0 && pid < 3))
+      d.Trace.runnable;
+    check Alcotest.(list int) "runnable sorted" (List.sort compare d.Trace.runnable)
+      d.Trace.runnable;
+    check Alcotest.(list int) "nobody crashed" [] d.Trace.crashed;
+    (* pp_divergence renders without raising and mentions the index. *)
+    let rendered = Format.asprintf "%a" Trace.pp_divergence d in
+    check Alcotest.bool "pretty-printer mentions decision index" true
+      (let needle = Printf.sprintf "decision %d" d.Trace.at in
+       let n = String.length rendered and m = String.length needle in
+       let rec go i = i + m <= n && (String.sub rendered i m = needle || go (i + 1)) in
+       go 0)
+  | _ -> Alcotest.fail "expected Trace.Divergence")
+
+let test_replay_divergence_on_exhaustion () =
+  (* A recorded schedule runs out of events while processes of a larger
+     instance are still runnable: `Exhausted, at the trace length. *)
+  let trace = Trace.create () in
+  let adversary = Trace.recording trace ~base:(Adversary.round_robin ()) in
+  ignore (Executor.run ~adversary (scan_competition ~n:2));
+  match Executor.run ~adversary:(Trace.replaying trace) (scan_competition ~n:4) with
+  | exception Trace.Divergence d ->
+    check Alcotest.bool "exhausted" true (d.Trace.expected = `Exhausted);
+    check Alcotest.int "at the end of the trace" (Trace.length trace) d.Trace.at;
+    check Alcotest.bool "someone still runnable" true (d.Trace.runnable <> [])
+  | _ -> Alcotest.fail "expected Trace.Divergence (trace exhausted)"
 
 let tests =
   [
@@ -95,6 +129,8 @@ let tests =
         Alcotest.test_case "replay with crashes" `Quick test_replay_with_crashes;
         Alcotest.test_case "census" `Quick test_census;
         Alcotest.test_case "replay divergence" `Quick test_replay_divergence_detected;
+        Alcotest.test_case "replay divergence on exhaustion" `Quick
+          test_replay_divergence_on_exhaustion;
       ] );
   ]
 

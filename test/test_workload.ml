@@ -84,7 +84,13 @@ let test_crash_burst_validation () =
       ignore (Crash_pattern.burst ~rng ~n:4 ~failures:2 ~at:(-1) ~width:2));
   Alcotest.check_raises "zero width"
     (Invalid_argument "Crash_pattern.burst: width must be >= 1") (fun () ->
-      ignore (Crash_pattern.burst ~rng ~n:4 ~failures:2 ~at:0 ~width:0))
+      ignore (Crash_pattern.burst ~rng ~n:4 ~failures:2 ~at:0 ~width:0));
+  (* A zero-crash "burst" is always an upstream bug (integer-division
+     underflow at small [n]); unlike [random]/[spread] it must refuse
+     rather than silently degrade the cell to a fault-free run. *)
+  Alcotest.check_raises "zero failures"
+    (Invalid_argument "Crash_pattern.burst: failures must be >= 1") (fun () ->
+      ignore (Crash_pattern.burst ~rng ~n:4 ~failures:0 ~at:0 ~width:2))
 
 (* Shared bounds contract: every pattern emits distinct in-range pids and
    non-negative times, exactly [failures] of them. *)
