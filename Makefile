@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full chaos mcheck mcheck-tier1 examples clean loc
+.PHONY: all build test bench bench-full chaos mcheck mcheck-tier1 analyze examples clean loc
 
 all: build test
 
@@ -35,6 +35,13 @@ mcheck:
 # The fast subset that also runs inside `dune runtest`.
 mcheck-tier1:
 	dune exec bin/main.exe -- mcheck --tier1
+
+# Static analysis: the commutation-audited independence oracle (the
+# footprint table mcheck's sleep sets prune with, machine-checked
+# against Memory.apply) plus the source-level concurrency lint over
+# lib/.  Exits nonzero on any failure; JSON lands in results/analyze.json.
+analyze:
+	dune exec bin/main.exe -- analyze
 
 examples:
 	dune exec examples/quickstart.exe

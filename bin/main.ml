@@ -1,7 +1,11 @@
 (* Command-line driver: list and run the paper's experiments, or run a
    single renaming instance and print its report. *)
 
-open Cmdliner
+(* Explicit aliases rather than `open Cmdliner`: the open shadows the
+   stdlib Arg module (warning 44, fatal under the hardened profile). *)
+module Arg = Cmdliner.Arg
+module Cmd = Cmdliner.Cmd
+module Term = Cmdliner.Term
 module Registry = Renaming_harness.Registry
 module Runcfg = Renaming_harness.Runcfg
 module Table = Renaming_harness.Table
@@ -265,6 +269,57 @@ let mcheck_cmd =
           bounding and sleep-set pruning.")
     Term.(const run $ tier1 $ out $ only)
 
+let analyze_cmd =
+  let module Analyze = Renaming_analysis.Analyze in
+  let module Commute = Renaming_analysis.Commute in
+  let module Roster = Renaming_harness.Mcheck_roster in
+  let lint_root =
+    Arg.(value & opt string "lib" & info [ "lint-root" ] ~docv:"DIR"
+           ~doc:"Directory tree the source lint walks.")
+  in
+  let skip_lint = Arg.(value & flag & info [ "skip-lint" ] ~doc:"Run only the footprint audits.") in
+  let out =
+    Arg.(value & opt string "results/analyze.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the JSON report to $(docv).")
+  in
+  let inject =
+    let kind = Arg.enum [ ("broken-footprint", `Broken_footprint) ] in
+    Arg.(value & opt (some kind) None & info [ "inject" ] ~docv:"BUG"
+           ~doc:"Self-check: audit a deliberately broken footprint table \
+                 ($(b,broken-footprint): tas-name misdeclared as a pure read) and verify the \
+                 oracle rejects it — the command must exit nonzero.")
+  in
+  let run lint_root skip_lint out inject =
+    let table =
+      match inject with
+      | Some `Broken_footprint -> Some Commute.broken_table
+      | None -> None
+    in
+    let roster =
+      List.map
+        (fun e -> (e.Roster.e_name, fun () -> e.Roster.e_build ~seed:e.Roster.e_seed))
+        (Roster.roster ())
+    in
+    let result =
+      Analyze.run ?table ~lint_root:(if skip_lint then None else Some lint_root) ~roster ()
+    in
+    Format.printf "%a@." Analyze.pp result;
+    write_file out (Analyze.to_json result ^ "\n");
+    Printf.printf "(json written to %s)\n" out;
+    if not (Analyze.ok result) then begin
+      Printf.eprintf "analyze: static analysis failed\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static-analysis layer: the commutation-audited independence oracle (pairwise \
+          execution of every representative operation pair in both orders, plus dynamic \
+          access-set coverage of the model-checking roster) and the source-level concurrency \
+          lint over the library tree.")
+    Term.(const run $ lint_root $ skip_lint $ out $ inject)
+
 let shrink_cmd =
   let module Shrink = Renaming_faults.Shrink in
   let module Roster = Renaming_harness.Mcheck_roster in
@@ -348,4 +403,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; demo_cmd; multicore_cmd; chaos_cmd; mcheck_cmd; shrink_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            all_cmd;
+            demo_cmd;
+            multicore_cmd;
+            chaos_cmd;
+            mcheck_cmd;
+            shrink_cmd;
+            analyze_cmd;
+          ]))

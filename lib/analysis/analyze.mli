@@ -1,0 +1,27 @@
+(** One-shot driver for the whole static-analysis layer: the pairwise
+    commutation audit, the dynamic footprint-coverage audit over a
+    roster of instances, and the source lint — aggregated into the
+    [results/analyze.json] payload of [renaming analyze]. *)
+
+type t = {
+  pairs : Commute.audit;
+  coverage : Commute.audit;
+  lint_files : int;
+  lint : Lint.finding list;
+}
+
+val run :
+  ?table:(Renaming_sched.Op.t -> Footprint.t) ->
+  ?lint_root:string option ->
+  roster:(string * (unit -> Renaming_sched.Executor.instance)) list ->
+  unit ->
+  t
+(** [table] defaults to the shipped {!Footprint.of_op}; [lint_root]
+    defaults to [Some "lib"] ([None] skips the lint leg). *)
+
+val ok : t -> bool
+(** No audit failures and no unwaived lint findings. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string

@@ -1,0 +1,46 @@
+(** The commutation oracle: machine-checks the {!Footprint} table the
+    model checker prunes with, instead of trusting it.
+
+    Two legs, both parameterised by the table under audit so tests can
+    verify that a misdeclaration is actually caught:
+
+    - {!audit_pairs} executes every ordered pair of representative
+      operations (one per [Op.t] constructor, shared and disjoint
+      indices, distinct pids, several pre-states) in both orders on
+      fresh memories and fails if the table claims independence where
+      the orders produce different responses or final states;
+    - {!audit_coverage} replays instrumented instances (the
+      model-checking roster) under a {!Renaming_sched.Memory} access
+      logger and fails if any executed operation performs a concrete
+      access its static footprint does not cover. *)
+
+type failure = { f_check : string; f_detail : string }
+
+type audit = {
+  a_checked : int;  (** pair executions / logged operations examined *)
+  a_failures : failure list;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val audit_pairs : ?table:(Renaming_sched.Op.t -> Footprint.t) -> unit -> audit
+(** Exhaustive pairwise commutation check of [table] (default: the
+    shipped {!Footprint.of_op}).  Also checks that the representatives
+    cover every constructor, that independence is symmetric, and that
+    no table ever declares τ-register device operations independent of
+    anything. *)
+
+val audit_coverage :
+  ?table:(Renaming_sched.Op.t -> Footprint.t) ->
+  ?max_ticks:int ->
+  (string * (unit -> Renaming_sched.Executor.instance)) list ->
+  audit
+(** Run each labelled instance under a round-robin adversary with the
+    access logger attached, checking every logged access against the
+    table; then sweep the representative operations over scratch
+    memories so operations the instances never issue are covered too. *)
+
+val broken_table : Renaming_sched.Op.t -> Footprint.t
+(** The shipped table with [Tas_name] misdeclared as a pure read — a
+    seeded bug that both audits must detect (used by tests and the
+    [--inject broken-footprint] self-check of [renaming analyze]). *)

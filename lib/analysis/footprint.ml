@@ -1,0 +1,76 @@
+module Op = Renaming_sched.Op
+module Memory = Renaming_sched.Memory
+
+type region = Names | Aux | Words
+
+type cell = {
+  region : region;
+  idx : int;
+  reads : bool;
+  writes : bool;
+  pid_sensitive : bool;
+}
+
+type t = Silent | Cell of cell | Opaque
+
+(* The static footprint table the model checker's sleep-set pruning is
+   built on.  The match is exhaustive on purpose: adding an operation
+   constructor breaks this build rather than silently mispruning, and
+   the commutation oracle ([Commute]) cross-checks every entry against
+   what [Memory.apply] concretely does. *)
+let of_op (op : Op.t) : t =
+  match op with
+  | Tas_name i -> Cell { region = Names; idx = i; reads = true; writes = true; pid_sensitive = true }
+  | Tas_aux i -> Cell { region = Aux; idx = i; reads = true; writes = true; pid_sensitive = true }
+  | Read_name i ->
+    Cell { region = Names; idx = i; reads = true; writes = false; pid_sensitive = false }
+  | Read_aux i -> Cell { region = Aux; idx = i; reads = true; writes = false; pid_sensitive = false }
+  | Owned_name i ->
+    Cell { region = Names; idx = i; reads = true; writes = false; pid_sensitive = true }
+  | Release_name i ->
+    Cell { region = Names; idx = i; reads = true; writes = true; pid_sensitive = true }
+  | Read_word i ->
+    Cell { region = Words; idx = i; reads = true; writes = false; pid_sensitive = false }
+  | Write_word { idx; _ } ->
+    Cell { region = Words; idx; reads = false; writes = true; pid_sensitive = false }
+  | Yield -> Silent
+  | Tau_submit _ | Tau_poll _ -> Opaque
+
+let independent_under ~table a b =
+  match (table a, table b) with
+  | Opaque, _ | _, Opaque -> false
+  | Silent, _ | _, Silent -> true
+  | Cell fa, Cell fb ->
+    fa.region <> fb.region || fa.idx <> fb.idx || ((not fa.writes) && not fb.writes)
+
+let independent a b = independent_under ~table:of_op a b
+
+let region_of_memory (r : Memory.region) =
+  match r with
+  | Memory.Names -> Some Names
+  | Memory.Aux -> Some Aux
+  | Memory.Words -> Some Words
+  | Memory.Device -> None
+
+let covers t (a : Memory.access) =
+  match t with
+  | Opaque -> true (* declared dependent on everything: maximally conservative *)
+  | Silent -> false
+  | Cell c -> (
+    match region_of_memory a.Memory.acc_region with
+    | None -> false (* a device access needs an Opaque declaration *)
+    | Some region ->
+      region = c.region && a.Memory.acc_idx = c.idx
+      && (if a.Memory.acc_write then c.writes else c.reads)
+      && ((not a.Memory.acc_pid_sensitive) || c.pid_sensitive))
+
+let region_name = function Names -> "names" | Aux -> "aux" | Words -> "words"
+
+let pp fmt = function
+  | Silent -> Format.fprintf fmt "silent"
+  | Opaque -> Format.fprintf fmt "opaque"
+  | Cell c ->
+    Format.fprintf fmt "%s[%d]{%s%s%s}" (region_name c.region) c.idx
+      (if c.reads then "r" else "")
+      (if c.writes then "w" else "")
+      (if c.pid_sensitive then ",pid" else "")

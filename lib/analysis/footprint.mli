@@ -1,0 +1,53 @@
+(** The static footprint table behind the model checker's sleep-set
+    pruning.
+
+    Two operations are declared *independent* when executing them in
+    either order provably yields the same memory state and the same two
+    responses — the property sleep sets rely on to prune one of the two
+    orders.  This module is the single source of truth for that
+    relation; {!Renaming_mcheck} consumes it, and {!Commute} audits it
+    against the concrete behaviour of [Memory.apply] (both by replaying
+    the model-checking roster under an access logger and by executing
+    every representative operation pair in both orders). *)
+
+type region = Names | Aux | Words
+
+type cell = {
+  region : region;
+  idx : int;
+  reads : bool;  (** the operation may read the cell *)
+  writes : bool;  (** the operation may write the cell *)
+  pid_sensitive : bool;
+      (** result or effect depends on the calling pid (ownership tests,
+          TAS wins that record the winner) *)
+}
+
+type t =
+  | Silent  (** touches no shared state ([Yield]) *)
+  | Cell of cell  (** touches exactly one cell *)
+  | Opaque
+      (** position-sensitive, conservatively dependent on everything —
+          the τ-register device operations, whose answers depend on the
+          device clock phase *)
+
+val of_op : Renaming_sched.Op.t -> t
+(** The shipped table.  Exhaustive match: a new [Op.t] constructor is a
+    compile error here, not a silent mispruning. *)
+
+val independent_under : table:(Renaming_sched.Op.t -> t) -> Renaming_sched.Op.t -> Renaming_sched.Op.t -> bool
+(** The independence relation induced by an arbitrary table — the
+    commutation oracle audits candidate tables through this. *)
+
+val independent : Renaming_sched.Op.t -> Renaming_sched.Op.t -> bool
+(** [independent_under ~table:of_op]: different regions, different
+    indices of the same region, or two non-writing operations on the
+    same cell; [Silent] commutes with everything, [Opaque] with
+    nothing. *)
+
+val covers : t -> Renaming_sched.Memory.access -> bool
+(** Does this static claim admit the given concrete access?  A [Cell]
+    claim covers accesses to exactly its cell, with reads/writes and
+    pid-sensitivity no stronger than declared; [Silent] covers nothing;
+    [Opaque] covers everything. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** Source-level concurrency lint for the library tree.
+
+    Parses each [.ml] file with the toolchain's own compiler-libs
+    parser and flags patterns that undermine determinism or confine-
+    ment of shared state (docs/static_analysis.md has the catalogue):
+
+    - [global-mutable]: module-level bindings that allocate mutable
+      state at load time ([ref ...], [Atomic.make ...],
+      [Hashtbl.create ...], [Array.make ...], ...);
+    - [atomic-outside-shm]: any [Atomic.*] use outside the whitelisted
+      directories (default: [lib/concurrent], [lib/shm]);
+    - [obj-magic]: any [Obj.*] use;
+    - [nondeterministic-rng]: any [Random.*] use (hidden global state;
+      [Random.self_init] additionally seeds from the wall clock);
+    - [wall-clock]: [Unix.gettimeofday], [Unix.time], [Sys.time], ...;
+    - [unstable-hash]: [Hashtbl.hash] and friends, whose output may
+      change between OCaml releases.
+
+    A finding is waived with an inline comment on the same line or the
+    line above: [(* lint: allow wall-clock — benchmarking *)]; waived
+    findings stay in the report but do not fail the run. *)
+
+type finding = {
+  l_file : string;
+  l_line : int;
+  l_rule : string;
+  l_message : string;
+  l_waived : bool;
+}
+
+val rules : (string * string) list
+(** Rule id, one-line description. *)
+
+val default_whitelist : string list
+(** Directory basenames exempt from the shared-mutable-state rules:
+    [["concurrent"; "shm"]]. *)
+
+val lint_file : ?whitelist:string list -> string -> finding list
+
+val lint_dir : ?whitelist:string list -> string -> int * finding list
+(** Walk [root] recursively (skipping [_build] and dotted directories)
+    and lint every [.ml] file; returns (files linted, findings). *)
+
+val active : finding list -> finding list
+(** The findings that are not waived — the ones that fail the run. *)
+
+val pp_finding : Format.formatter -> finding -> unit

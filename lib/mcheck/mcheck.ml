@@ -50,36 +50,12 @@ type stats = {
   s_cases : case list;
 }
 
-(* --- static independence of operations, by memory footprint ---
-
-   Two operations commute when they touch different arrays, different
-   indices of the same array, or are both reads of the same cell.
-   τ-register operations are excluded outright: the device advances on a
-   global step cadence, so even "disjoint" τ traffic is sensitive to its
-   position in the schedule. *)
-
-type footprint = { arr : int; idx : int; writes : bool }
-
-(* arr codes: 0 = none (Yield), 1 = names, 2 = aux, 3 = words *)
-let footprint (op : Op.t) =
-  match op with
-  | Op.Tas_name i -> Some { arr = 1; idx = i; writes = true }
-  | Op.Read_name i -> Some { arr = 1; idx = i; writes = false }
-  | Op.Owned_name i -> Some { arr = 1; idx = i; writes = false }
-  | Op.Release_name i -> Some { arr = 1; idx = i; writes = true }
-  | Op.Tas_aux i -> Some { arr = 2; idx = i; writes = true }
-  | Op.Read_aux i -> Some { arr = 2; idx = i; writes = false }
-  | Op.Read_word i -> Some { arr = 3; idx = i; writes = false }
-  | Op.Write_word { idx; _ } -> Some { arr = 3; idx; writes = true }
-  | Op.Yield -> Some { arr = 0; idx = 0; writes = false }
-  | Op.Tau_submit _ | Op.Tau_poll _ -> None
-
-let independent a b =
-  match (footprint a, footprint b) with
-  | None, _ | _, None -> false
-  | Some fa, Some fb ->
-    fa.arr = 0 || fb.arr = 0 || fa.arr <> fb.arr || fa.idx <> fb.idx
-    || ((not fa.writes) && not fb.writes)
+(* Static independence of operations lives in the audited
+   Renaming_analysis.Footprint table: the sleep sets below are only
+   sound if that table never claims independence for a non-commuting
+   pair, and `renaming analyze` machine-checks exactly that (pairwise
+   commutation + dynamic access-set coverage). *)
+let independent = Renaming_analysis.Footprint.independent
 
 exception Capped
 

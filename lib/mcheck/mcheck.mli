@@ -18,11 +18,13 @@
     - {b sleep sets}: after exploring [Step q] at a decision point, [q]
       is put to sleep in the sibling subtrees until a *dependent*
       operation runs, pruning interleavings that merely commute
-      independent steps.  Independence is judged statically from
-      operation footprints (array, index, read/write); τ-register
-      operations are position-sensitive (device cadence) and never
-      commute.  Crash, recover and fault decisions conservatively reset
-      the sleep set.
+      independent steps.  Independence is judged statically from the
+      {!Renaming_analysis.Footprint} table (region, index, read/write);
+      τ-register operations are position-sensitive (device cadence) and
+      never commute.  The table is machine-checked against the concrete
+      semantics of [Memory.apply] by [renaming analyze]
+      ({!Renaming_analysis.Commute}).  Crash, recover and fault
+      decisions conservatively reset the sleep set.
 
     Each violation is recorded and (by default) handed to
     {!Renaming_faults.Shrink} for 1-minimal counterexample reduction. *)

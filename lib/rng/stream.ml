@@ -12,6 +12,20 @@ let derive base key =
 
 let fork t ~index = derive t.seed (Int64.of_int (index + 1))
 
+(* FNV-1a, 64-bit.  Self-contained so per-name streams are stable
+   across OCaml versions — Hashtbl.hash makes no such promise and has
+   changed between releases, which would silently reseed every named
+   substream on a compiler upgrade. *)
+let hash_name name =
+  let fnv_offset_basis = 0xCBF29CE484222325L in
+  let fnv_prime = 0x100000001B3L in
+  let h = ref fnv_offset_basis in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    name;
+  !h
+
 let fork_named t ~name =
-  let h = Hashtbl.hash name in
-  derive t.seed (Int64.of_int (h lor (1 lsl 30)))
+  (* Force a high bit so named keys stay disjoint from the small
+     positive keys [fork] derives from indices. *)
+  derive t.seed (Int64.logor (hash_name name) 0x4000000000000000L)

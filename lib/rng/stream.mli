@@ -17,9 +17,15 @@ val create : int64 -> t
 val fork : t -> index:int -> Xoshiro.t
 
 (** [fork_named t ~name] derives a substream keyed by a string label
-    (hashed); used for experiment-level streams such as ["workload"] or
-    ["adversary"]. *)
+    (hashed with {!hash_name}); used for experiment-level streams such
+    as ["workload"] or ["adversary"]. *)
 val fork_named : t -> name:string -> Xoshiro.t
+
+(** [hash_name name] is the self-contained FNV-1a 64-bit hash behind
+    {!fork_named}.  Pinned by golden-value tests: unlike
+    [Hashtbl.hash], its output is part of the replayability contract
+    and must never change across OCaml versions or releases. *)
+val hash_name : string -> int64
 
 (** [seed t] returns the seed the stream was built from. *)
 val seed : t -> int64

@@ -1,6 +1,22 @@
 module Tas_array = Renaming_shm.Tas_array
 module Tau_register = Renaming_device.Tau_register
 
+type region = Names | Aux | Words | Device
+
+type access = {
+  acc_region : region;
+  acc_idx : int;
+  acc_write : bool;
+  acc_pid_sensitive : bool;
+}
+
+let pp_access fmt a =
+  Format.fprintf fmt "%s %s[%d]%s"
+    (if a.acc_write then "write" else "read")
+    (match a.acc_region with Names -> "names" | Aux -> "aux" | Words -> "words" | Device -> "tau")
+    a.acc_idx
+    (if a.acc_pid_sensitive then " (pid-sensitive)" else "")
+
 type t = {
   names : Tas_array.t;
   aux : Tas_array.t;
@@ -10,6 +26,11 @@ type t = {
      registers that actually have work. *)
   mutable dirty : int list;
   dirty_flag : bool array;
+  (* Optional instrumentation: the static-analysis audit attaches a
+     logger here and [apply] reports the concrete cells each executed
+     operation read and wrote.  [None] (the default) costs one mutable
+     field test per operation. *)
+  mutable logger : (pid:int -> Op.t -> access list -> unit) option;
 }
 
 let create ~namespace ?(aux = 0) ?(words = 0) ?(taus = [||]) () =
@@ -20,6 +41,7 @@ let create ~namespace ?(aux = 0) ?(words = 0) ?(taus = [||]) () =
     words = Array.make words 0;
     dirty = [];
     dirty_flag = Array.make (Array.length taus) false;
+    logger = None;
   }
 
 let names t = t.names
@@ -29,27 +51,62 @@ let words t = t.words
 
 let namespace t = Tas_array.size t.names
 
+let set_access_logger t logger = t.logger <- logger
+
+let read region idx = { acc_region = region; acc_idx = idx; acc_write = false; acc_pid_sensitive = false }
+let write region idx = { acc_region = region; acc_idx = idx; acc_write = true; acc_pid_sensitive = false }
+let pid_sensitive a = { a with acc_pid_sensitive = true }
+
+(* The concrete access set of one executed operation, reflecting what
+   actually happened: a TAS that lost records no write, a release by a
+   non-owner records no write.  Only computed when a logger is
+   attached. *)
+let accesses_of ~pid:_ (op : Op.t) (response : Op.response) =
+  match (op, response) with
+  | Tas_name i, Bool won ->
+    read Names i :: (if won then [ pid_sensitive (write Names i) ] else [])
+  | Tas_aux i, Bool won -> read Aux i :: (if won then [ pid_sensitive (write Aux i) ] else [])
+  | Read_name i, _ -> [ read Names i ]
+  | Read_aux i, _ -> [ read Aux i ]
+  | Owned_name i, _ -> [ pid_sensitive (read Names i) ]
+  | Release_name i, Bool released ->
+    pid_sensitive (read Names i) :: (if released then [ write Names i ] else [])
+  | Read_word i, _ -> [ read Words i ]
+  | Write_word { idx; _ }, _ -> [ write Words idx ]
+  | Yield, _ -> []
+  | Tau_submit { reg; _ }, _ -> [ pid_sensitive (write Device reg) ]
+  | Tau_poll reg, _ -> [ pid_sensitive (read Device reg) ]
+  | (Tas_name _ | Tas_aux _ | Release_name _), _ ->
+    (* [apply] below always answers these with [Bool]. *)
+    assert false
+
 let apply t ~pid (op : Op.t) : Op.response =
-  match op with
-  | Tas_name i -> Bool (Tas_array.test_and_set t.names ~idx:i ~pid)
-  | Tas_aux i -> Bool (Tas_array.test_and_set t.aux ~idx:i ~pid)
-  | Read_name i -> Bool (Tas_array.is_set t.names i)
-  | Read_aux i -> Bool (Tas_array.is_set t.aux i)
-  | Owned_name i -> Bool (Tas_array.owner t.names i = Some pid)
-  | Yield -> Unit
-  | Tau_submit { reg; bit } ->
-    Tau_register.submit t.taus.(reg) ~pid ~bit;
-    if not t.dirty_flag.(reg) then begin
-      t.dirty_flag.(reg) <- true;
-      t.dirty <- reg :: t.dirty
-    end;
-    Unit
-  | Tau_poll reg -> Tau (Tau_register.poll t.taus.(reg) ~pid)
-  | Release_name i -> Bool (Tas_array.release t.names ~idx:i ~pid)
-  | Read_word i -> Value t.words.(i)
-  | Write_word { idx; value } ->
-    t.words.(idx) <- value;
-    Unit
+  let response : Op.response =
+    match op with
+    | Tas_name i -> Bool (Tas_array.test_and_set t.names ~idx:i ~pid)
+    | Tas_aux i -> Bool (Tas_array.test_and_set t.aux ~idx:i ~pid)
+    | Read_name i -> Bool (Tas_array.is_set t.names i)
+    | Read_aux i -> Bool (Tas_array.is_set t.aux i)
+    | Owned_name i -> Bool (Tas_array.owner t.names i = Some pid)
+    | Yield -> Unit
+    | Tau_submit { reg; bit } ->
+      Tau_register.submit t.taus.(reg) ~pid ~bit;
+      if not t.dirty_flag.(reg) then begin
+        t.dirty_flag.(reg) <- true;
+        t.dirty <- reg :: t.dirty
+      end;
+      Unit
+    | Tau_poll reg -> Tau (Tau_register.poll t.taus.(reg) ~pid)
+    | Release_name i -> Bool (Tas_array.release t.names ~idx:i ~pid)
+    | Read_word i -> Value t.words.(i)
+    | Write_word { idx; value } ->
+      t.words.(idx) <- value;
+      Unit
+  in
+  (match t.logger with
+  | None -> ()
+  | Some log -> log ~pid op (accesses_of ~pid op response));
+  response
 
 let tick_taus t =
   let dirty = t.dirty in

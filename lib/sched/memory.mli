@@ -4,6 +4,27 @@
 
 type t
 
+(** The shared-state regions of a simulation, as seen by the access
+    instrumentation: the namespace TAS array, the auxiliary TAS array,
+    the plain read/write word registers, and the τ-register device. *)
+type region = Names | Aux | Words | Device
+
+(** One concrete cell access performed by an executed operation.
+    [acc_write] distinguishes reads from writes; [acc_pid_sensitive]
+    marks accesses whose effect or result depends on the calling pid
+    (ownership tests, TAS wins that record the winner, device queues).
+    The static-analysis audit ({!Renaming_analysis.Commute}) compares
+    these against the static footprint table the model checker prunes
+    with. *)
+type access = {
+  acc_region : region;
+  acc_idx : int;
+  acc_write : bool;
+  acc_pid_sensitive : bool;
+}
+
+val pp_access : Format.formatter -> access -> unit
+
 val create :
   namespace:int ->
   ?aux:int ->
@@ -29,6 +50,13 @@ val namespace : t -> int
 val apply : t -> pid:int -> Op.t -> Op.response
 (** Executes one operation atomically (the executor serialises
     operations, so atomicity is by construction). *)
+
+val set_access_logger : t -> (pid:int -> Op.t -> access list -> unit) option -> unit
+(** Attach (or detach, with [None]) an access logger: [apply] will
+    report the concrete access set of every executed operation,
+    reflecting what actually happened (a losing TAS logs no write).
+    [None] by default; the only cost when detached is one field test
+    per operation. *)
 
 val tick_taus : t -> unit
 (** Run one device clock cycle on every τ-register that has queued

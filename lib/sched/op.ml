@@ -51,3 +51,38 @@ let faultable = function
   | Owned_name _ | Tau_submit _ | Tau_poll _ | Read_word _ | Write_word _ | Release_name _ | Yield
     ->
     false
+
+(* The tag/representatives pair lets the static-analysis audit prove it
+   exercised every constructor: [tag] is an exhaustive match (adding a
+   constructor is a compile error here), and the audit checks that
+   [representatives] hits all [n_tags] tags. *)
+
+let tag = function
+  | Tas_name _ -> 0
+  | Tas_aux _ -> 1
+  | Read_name _ -> 2
+  | Read_aux _ -> 3
+  | Owned_name _ -> 4
+  | Tau_submit _ -> 5
+  | Tau_poll _ -> 6
+  | Read_word _ -> 7
+  | Write_word _ -> 8
+  | Release_name _ -> 9
+  | Yield -> 10
+
+let n_tags = 11
+
+let representatives ~idx ~value =
+  [
+    Tas_name idx;
+    Tas_aux idx;
+    Read_name idx;
+    Read_aux idx;
+    Owned_name idx;
+    Tau_submit { reg = idx; bit = 0 };
+    Tau_poll idx;
+    Read_word idx;
+    Write_word { idx; value };
+    Release_name idx;
+    Yield;
+  ]

@@ -54,3 +54,17 @@ val faultable : t -> bool
     the TAS and read operations on the namespace and auxiliary arrays.
     τ-register, word, release, recovery and yield operations are exempt
     (docs/fault_model.md discusses why). *)
+
+val tag : t -> int
+(** A dense constructor index in [0, n_tags).  Implemented as an
+    exhaustive match so adding a constructor is a compile error here —
+    which is how the static-analysis audit ({!Renaming_analysis})
+    guarantees its pairwise commutation check covers every operation. *)
+
+val n_tags : int
+(** Number of constructors of {!t}. *)
+
+val representatives : idx:int -> value:int -> t list
+(** One operation per constructor, all targeting index/register [idx]
+    ([value] seeds the [Write_word] payload).  The audit checks that the
+    tags of this list cover [0, n_tags) exactly. *)

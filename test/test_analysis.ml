@@ -1,0 +1,251 @@
+(* Tests for the static-analysis layer: the audited footprint table,
+   the commutation oracle (shipped table passes, seeded misdeclarations
+   are caught), the dynamic coverage audit, and the source lint with
+   its waiver syntax. *)
+
+module Op = Renaming_sched.Op
+module Memory = Renaming_sched.Memory
+module Footprint = Renaming_analysis.Footprint
+module Commute = Renaming_analysis.Commute
+module Lint = Renaming_analysis.Lint
+module Analyze = Renaming_analysis.Analyze
+module Roster = Renaming_harness.Mcheck_roster
+
+let check = Alcotest.check
+
+let roster_instances () =
+  List.map
+    (fun e -> (e.Roster.e_name, fun () -> e.Roster.e_build ~seed:e.Roster.e_seed))
+    (Roster.roster ())
+
+(* --- the footprint table itself --- *)
+
+let representatives = Op.representatives ~idx:0 ~value:1 @ Op.representatives ~idx:1 ~value:2
+
+let test_footprint_symmetric_and_irreflexive_on_writes () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check Alcotest.bool "symmetric" (Footprint.independent a b) (Footprint.independent b a))
+        representatives;
+      (* No operation that writes may commute with itself on the same
+         cell; reads may. *)
+      match Footprint.of_op a with
+      | Footprint.Cell { writes = true; _ } ->
+        check Alcotest.bool "write not self-independent" false (Footprint.independent a a)
+      | _ -> ())
+    representatives
+
+let test_footprint_known_relations () =
+  let indep = Footprint.independent in
+  check Alcotest.bool "same-cell TAS conflict" false (indep (Op.Tas_name 0) (Op.Tas_name 0));
+  check Alcotest.bool "disjoint TAS commute" true (indep (Op.Tas_name 0) (Op.Tas_name 1));
+  check Alcotest.bool "same-cell reads commute" true (indep (Op.Read_name 0) (Op.Read_name 0));
+  check Alcotest.bool "read vs TAS conflict" false (indep (Op.Read_name 0) (Op.Tas_name 0));
+  check Alcotest.bool "cross-region commute" true (indep (Op.Tas_name 0) (Op.Tas_aux 0));
+  check Alcotest.bool "yield commutes with all" true (indep Op.Yield (Op.Tas_name 0));
+  check Alcotest.bool "device commutes with nothing" false
+    (indep (Op.Tau_poll 0) (Op.Read_word 3));
+  check Alcotest.bool "device vs device conflict" false
+    (indep (Op.Tau_submit { reg = 0; bit = 0 }) (Op.Tau_poll 1))
+
+let test_representatives_cover_all_constructors () =
+  let tags = List.sort_uniq compare (List.map Op.tag (Op.representatives ~idx:0 ~value:1)) in
+  check Alcotest.int "every constructor represented" Op.n_tags (List.length tags)
+
+(* --- the commutation oracle --- *)
+
+let test_shipped_table_passes_pairwise_audit () =
+  let audit = Commute.audit_pairs () in
+  check Alcotest.bool "pairs executed" true (audit.Commute.a_checked > 500);
+  check (Alcotest.list Alcotest.string) "no failures" []
+    (List.map (fun f -> f.Commute.f_detail) audit.Commute.a_failures)
+
+let test_broken_table_fails_pairwise_audit () =
+  let audit = Commute.audit_pairs ~table:Commute.broken_table () in
+  check Alcotest.bool "misdeclared TAS caught" true
+    (List.exists (fun f -> f.Commute.f_check = "commutation") audit.Commute.a_failures)
+
+let test_device_independence_claim_rejected () =
+  (* A table that claims τ-register traffic is Silent must be rejected
+     outright — device answers are position-sensitive. *)
+  let table (op : Op.t) =
+    match op with
+    | Op.Tau_submit _ | Op.Tau_poll _ -> Footprint.Silent
+    | op -> Footprint.of_op op
+  in
+  let audit = Commute.audit_pairs ~table () in
+  check Alcotest.bool "device independence rejected" true
+    (List.exists (fun f -> f.Commute.f_check = "device-independence") audit.Commute.a_failures)
+
+let test_shipped_table_covers_roster_accesses () =
+  let audit = Commute.audit_coverage (roster_instances ()) in
+  check Alcotest.bool "operations logged" true (audit.Commute.a_checked > 100);
+  check (Alcotest.list Alcotest.string) "every access covered" []
+    (List.map (fun f -> f.Commute.f_detail) audit.Commute.a_failures)
+
+let test_broken_table_fails_coverage_audit () =
+  let audit = Commute.audit_coverage ~table:Commute.broken_table (roster_instances ()) in
+  check Alcotest.bool "uncovered write detected" true
+    (List.exists (fun f -> f.Commute.f_check = "coverage") audit.Commute.a_failures)
+
+(* --- the access logger --- *)
+
+let test_access_logger_records_concrete_effects () =
+  let mem = Memory.create ~namespace:2 () in
+  let log = ref [] in
+  Memory.set_access_logger mem (Some (fun ~pid:_ op accesses -> log := (op, accesses) :: !log));
+  ignore (Memory.apply mem ~pid:0 (Op.Tas_name 0));
+  ignore (Memory.apply mem ~pid:1 (Op.Tas_name 0));
+  Memory.set_access_logger mem None;
+  ignore (Memory.apply mem ~pid:1 (Op.Tas_name 1));
+  match List.rev !log with
+  | [ (_, first); (_, second) ] ->
+    check Alcotest.int "winning TAS logs read+write" 2 (List.length first);
+    check Alcotest.int "losing TAS logs only the read" 1 (List.length second);
+    check Alcotest.bool "write is pid-sensitive" true
+      (List.exists (fun a -> a.Memory.acc_write && a.Memory.acc_pid_sensitive) first)
+  | log -> Alcotest.failf "expected 2 logged operations, got %d" (List.length log)
+
+(* --- the source lint --- *)
+
+let with_temp_source contents f =
+  let dir = Filename.temp_file "renaming-lint" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "probe.ml" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.rmdir dir)
+    (fun () -> f path)
+
+let rules_of findings = List.sort_uniq compare (List.map (fun f -> f.Lint.l_rule) findings)
+
+let test_lint_flags_each_rule () =
+  let source =
+    String.concat "\n"
+      [
+        "let counter = ref 0";
+        "let cell = Atomic.make 0";
+        "let seed () = Random.self_init ()";
+        "let cast (x : int) : bool = Obj.magic x";
+        "let h name = Hashtbl.hash name";
+        "let now () = Unix.gettimeofday ()";
+        "";
+      ]
+  in
+  with_temp_source source (fun path ->
+      let findings = Lint.lint_file path in
+      check (Alcotest.list Alcotest.string) "all five rules fire"
+        [ "atomic-outside-shm"; "global-mutable"; "nondeterministic-rng"; "obj-magic";
+          "unstable-hash"; "wall-clock" ]
+        (rules_of (Lint.active findings)))
+
+let test_lint_local_mutability_not_flagged () =
+  let source =
+    "let bump xs =\n  let total = ref 0 in\n  List.iter (fun x -> total := !total + x) xs;\n  !total\n"
+  in
+  with_temp_source source (fun path ->
+      check Alcotest.int "function-local ref is fine" 0 (List.length (Lint.lint_file path)))
+
+let test_lint_waiver_suppresses_but_reports () =
+  let source =
+    "(* lint: allow wall-clock — timing demo *)\nlet now () = Unix.gettimeofday ()\n"
+  in
+  with_temp_source source (fun path ->
+      let findings = Lint.lint_file path in
+      check Alcotest.int "finding still reported" 1 (List.length findings);
+      check Alcotest.int "but waived" 0 (List.length (Lint.active findings));
+      check Alcotest.bool "marked waived" true (List.for_all (fun f -> f.Lint.l_waived) findings))
+
+let test_lint_waiver_is_rule_specific () =
+  let source = "(* lint: allow obj-magic *)\nlet now () = Unix.gettimeofday ()\n" in
+  with_temp_source source (fun path ->
+      check Alcotest.int "wrong rule does not waive" 1
+        (List.length (Lint.active (Lint.lint_file path))))
+
+let test_lint_whitelist_exempts_atomics () =
+  let source = "let make () = Atomic.make 0\n" in
+  with_temp_source source (fun path ->
+      let dir = Filename.basename (Filename.dirname path) in
+      check Alcotest.int "whitelisted dir may use Atomic" 0
+        (List.length (Lint.lint_file ~whitelist:[ dir ] path));
+      check Alcotest.int "otherwise flagged" 1 (List.length (Lint.lint_file path)))
+
+let test_lint_parse_error_is_a_finding () =
+  with_temp_source "let let let" (fun path ->
+      check (Alcotest.list Alcotest.string) "parse error surfaces" [ "parse-error" ]
+        (rules_of (Lint.lint_file path)))
+
+(* --- the aggregate driver --- *)
+
+let test_analyze_shipped_tree_ok () =
+  let result = Analyze.run ~lint_root:None ~roster:(roster_instances ()) () in
+  check Alcotest.bool "audits pass without lint leg" true (Analyze.ok result);
+  let json = Analyze.to_json result in
+  check Alcotest.bool "json says ok" true
+    (String.length json > 2 && String.sub json 0 10 = "{\"ok\":true")
+
+let test_analyze_broken_table_fails_and_reports () =
+  let result =
+    Analyze.run ~table:Commute.broken_table ~lint_root:None ~roster:(roster_instances ()) ()
+  in
+  check Alcotest.bool "broken table rejected" false (Analyze.ok result);
+  let json = Analyze.to_json result in
+  check Alcotest.bool "json says not ok" true (String.sub json 0 11 = "{\"ok\":false");
+  check Alcotest.bool "failures serialised" true
+    (String.length json > 100
+    &&
+    let rec contains i =
+      i + 13 <= String.length json
+      && (String.sub json i 13 = "\"commutation\"" || contains (i + 1))
+    in
+    contains 0)
+
+let tests =
+  [
+    ( "analysis.footprint",
+      [
+        Alcotest.test_case "symmetric, writes conflict" `Quick
+          test_footprint_symmetric_and_irreflexive_on_writes;
+        Alcotest.test_case "known relations" `Quick test_footprint_known_relations;
+        Alcotest.test_case "representatives cover constructors" `Quick
+          test_representatives_cover_all_constructors;
+      ] );
+    ( "analysis.commute",
+      [
+        Alcotest.test_case "shipped table passes pairwise audit" `Quick
+          test_shipped_table_passes_pairwise_audit;
+        Alcotest.test_case "broken table fails pairwise audit" `Quick
+          test_broken_table_fails_pairwise_audit;
+        Alcotest.test_case "device independence rejected" `Quick
+          test_device_independence_claim_rejected;
+        Alcotest.test_case "shipped table covers roster accesses" `Slow
+          test_shipped_table_covers_roster_accesses;
+        Alcotest.test_case "broken table fails coverage audit" `Slow
+          test_broken_table_fails_coverage_audit;
+        Alcotest.test_case "access logger records concrete effects" `Quick
+          test_access_logger_records_concrete_effects;
+      ] );
+    ( "analysis.lint",
+      [
+        Alcotest.test_case "each rule fires" `Quick test_lint_flags_each_rule;
+        Alcotest.test_case "local mutability is fine" `Quick test_lint_local_mutability_not_flagged;
+        Alcotest.test_case "waiver suppresses but reports" `Quick
+          test_lint_waiver_suppresses_but_reports;
+        Alcotest.test_case "waiver is rule-specific" `Quick test_lint_waiver_is_rule_specific;
+        Alcotest.test_case "whitelist exempts atomics" `Quick test_lint_whitelist_exempts_atomics;
+        Alcotest.test_case "parse error is a finding" `Quick test_lint_parse_error_is_a_finding;
+      ] );
+    ( "analysis.analyze",
+      [
+        Alcotest.test_case "shipped tree ok" `Slow test_analyze_shipped_tree_ok;
+        Alcotest.test_case "broken table fails and reports" `Slow
+          test_analyze_broken_table_fails_and_reports;
+      ] );
+  ]

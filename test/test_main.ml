@@ -22,4 +22,5 @@ let () =
          Test_longlived.tests;
          Test_faults.tests;
          Test_mcheck.tests;
+         Test_analysis.tests;
        ])

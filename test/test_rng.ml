@@ -177,6 +177,32 @@ let test_stream_named_vs_indexed () =
   done;
   check Alcotest.bool "different names differ" false !same
 
+(* Golden values pinning the named-substream derivation across OCaml
+   versions.  The first three are the published 64-bit FNV-1a reference
+   vectors; the last two pin concrete stream outputs.  A failure here
+   means every seeded experiment using named substreams silently
+   reseeds — treat it as an interface break, not a test to update. *)
+let test_stream_fnv_golden_vectors () =
+  let cases =
+    [
+      ("", 0xcbf29ce484222325L);
+      ("a", 0xaf63dc4c8601ec8cL);
+      ("foobar", 0x85944171f73967e8L);
+      ("adversary", 0x561e06079276c160L);
+    ]
+  in
+  List.iter
+    (fun (name, expected) ->
+      check Alcotest.int64 (Printf.sprintf "fnv1a(%S)" name) expected (Stream.hash_name name))
+    cases
+
+let test_stream_named_golden_outputs () =
+  let first ~seed ~name = Xoshiro.next (Stream.fork_named (Stream.create seed) ~name) in
+  check Alcotest.int64 "first output of (42, \"adversary\")" 0x4211e2eb4641d82cL
+    (first ~seed:42L ~name:"adversary");
+  check Alcotest.int64 "first output of (7, \"workload\")" 0xbe575556f2fe4756L
+    (first ~seed:7L ~name:"workload")
+
 let qcheck_uniform_int_in_bounds =
   QCheck.Test.make ~count:500 ~name:"uniform_int stays in [0,bound)"
     QCheck.(pair small_int (int_bound 1000))
@@ -223,6 +249,8 @@ let tests =
         Alcotest.test_case "stream fork order-free" `Quick test_stream_fork_order_independent;
         Alcotest.test_case "stream forks distinct" `Quick test_stream_forks_distinct;
         Alcotest.test_case "stream names distinct" `Quick test_stream_named_vs_indexed;
+        Alcotest.test_case "stream fnv-1a golden vectors" `Quick test_stream_fnv_golden_vectors;
+        Alcotest.test_case "stream named golden outputs" `Quick test_stream_named_golden_outputs;
         QCheck_alcotest.to_alcotest qcheck_uniform_int_in_bounds;
         QCheck_alcotest.to_alcotest qcheck_permutation_valid;
       ] );
