@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full chaos mcheck mcheck-tier1 analyze examples clean loc
+.PHONY: all build test bench bench-full chaos mcheck mcheck-tier1 fuzz fuzz-smoke analyze examples clean loc
 
 all: build test
 
@@ -35,6 +35,19 @@ mcheck:
 # The fast subset that also runs inside `dune runtest`.
 mcheck-tier1:
 	dune exec bin/main.exe -- mcheck --tier1
+
+# Coverage-guided schedule fuzzing: PCT adversaries plus mutation of an
+# interleaving-coverage corpus over the fuzz roster (clean algorithms
+# that must stay clean + seeded mutants that must be found).  Violations
+# are ddmin-shrunk to replayable repros under results/repros/; exits
+# nonzero on a missed mutant or a violation on a clean target; JSON
+# lands in results/fuzz.json.
+fuzz:
+	dune exec bin/main.exe -- fuzz
+
+# The fixed-seed, small-budget CI configuration: seeded mutants only.
+fuzz-smoke:
+	dune exec bin/main.exe -- fuzz --mutants-only --seed 1 --iterations 200 --out results/fuzz-smoke.json
 
 # Static analysis: the commutation-audited independence oracle (the
 # footprint table mcheck's sleep sets prune with, machine-checked

@@ -128,23 +128,38 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run one renaming instance and print its report.")
     Term.(const run $ algorithm $ n $ ell $ seed $ adversary)
 
+(* The single place a real time source is allowed to exist: library code
+   takes a Clock.t capability (the wall-clock lint rule keeps Unix time
+   calls out of lib/). *)
+let real_clock () = Renaming_clock.Clock.of_fn ~label:"real" (fun () -> Unix.gettimeofday ())
+
 let multicore_cmd =
   let n = Arg.(value & opt int 65536 & info [ "n" ] ~doc:"Number of processes.") in
   let ell = Arg.(value & opt int 2 & info [ "l" ] ~doc:"The l parameter.") in
   let domains = Arg.(value & opt (some int) None & info [ "domains" ] ~doc:"Domain count.") in
   let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Random seed.") in
-  let run n ell domains seed =
-    let result = Renaming_concurrent.Mc_run.loose_geometric ?domains ~n ~ell ~seed () in
-    Printf.printf
-      "multicore loose-geometric: n=%d domains=%d wall=%.3fs max steps=%d unnamed=%d valid=%b\n" n
-      result.Renaming_concurrent.Mc_run.domains
-      result.Renaming_concurrent.Mc_run.wall_seconds
-      (Renaming_concurrent.Mc_run.max_steps result)
-      (Renaming_concurrent.Mc_run.unnamed_count result)
-      (Renaming_shm.Assignment.is_valid result.Renaming_concurrent.Mc_run.assignment)
+  let deadline =
+    Arg.(value & opt (some Arg.float) None & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Watchdog: fail with a per-domain progress diagnostic instead of hanging if the \
+                 run has not finished after $(docv) wall-clock seconds.")
+  in
+  let run n ell domains seed deadline =
+    let clock = Option.map (fun _ -> real_clock ()) deadline in
+    match Renaming_concurrent.Mc_run.loose_geometric ?domains ?clock ?deadline ~n ~ell ~seed () with
+    | result ->
+      Printf.printf
+        "multicore loose-geometric: n=%d domains=%d wall=%.3fs max steps=%d unnamed=%d valid=%b\n" n
+        result.Renaming_concurrent.Mc_run.domains
+        result.Renaming_concurrent.Mc_run.wall_seconds
+        (Renaming_concurrent.Mc_run.max_steps result)
+        (Renaming_concurrent.Mc_run.unnamed_count result)
+        (Renaming_shm.Assignment.is_valid result.Renaming_concurrent.Mc_run.assignment)
+    | exception (Renaming_concurrent.Mc_run.Stalled _ as e) ->
+      Printf.eprintf "%s\n" (Printexc.to_string e);
+      exit 1
   in
   Cmd.v (Cmd.info "multicore" ~doc:"Run the Lemma 6 algorithm on real OCaml 5 domains.")
-    Term.(const run $ n $ ell $ domains $ seed)
+    Term.(const run $ n $ ell $ domains $ seed $ deadline)
 
 let rec mkdir_p dir =
   if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
@@ -355,6 +370,7 @@ let shrink_cmd =
             check_ownership = repro.Shrink.rp_check_ownership;
             choices = repro.Shrink.rp_choices;
             max_ticks = Option.value max_ticks ~default:repro.Shrink.rp_max_ticks;
+            tau_cadence = repro.Shrink.rp_tau_cadence;
           }
         in
         match Shrink.shrink input with
@@ -397,6 +413,74 @@ let shrink_cmd =
           with status 2 if the artifact no longer fails.")
     Term.(const run $ file $ max_ticks)
 
+let fuzz_cmd =
+  let module Fuzz = Renaming_fuzz.Fuzz in
+  let module Roster = Renaming_harness.Fuzz_roster in
+  let seed = Arg.(value & opt int64 0x46555A5AL & info [ "seed" ] ~doc:"Campaign seed.") in
+  let iterations =
+    Arg.(value & opt int 400 & info [ "iterations" ]
+           ~doc:"Fuzz-iteration budget per target (the baseline run is free).")
+  in
+  let depth =
+    Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Maximum PCT bug depth swept (>= 1).")
+  in
+  let max_seconds =
+    Arg.(value & opt (some Arg.float) None & info [ "max-seconds" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget for the whole campaign; targets not reached are reported with \
+                 0 iterations and the summary is marked stopped-early.  Omitting it keeps the \
+                 campaign fully deterministic.")
+  in
+  let mutants_only =
+    Arg.(value & flag & info [ "mutants-only" ]
+           ~doc:"Fuzz only the seeded-mutant self-test roster (the CI smoke configuration).")
+  in
+  let only =
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME"
+           ~doc:"Fuzz only the named roster targets (repeatable).")
+  in
+  let out =
+    Arg.(value & opt string "results/fuzz.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the JSON summary to $(docv).")
+  in
+  let run seed iterations depth max_seconds mutants_only only out =
+    if iterations < 1 || depth < 1 then begin
+      Printf.eprintf "fuzz: --iterations and --depth must be >= 1\n";
+      exit 2
+    end;
+    let targets = if mutants_only then Roster.mutants () else Roster.roster () in
+    let targets =
+      if only = [] then targets
+      else List.filter (fun t -> List.mem t.Fuzz.fz_name only) targets
+    in
+    if targets = [] then begin
+      Printf.eprintf "fuzz: no roster targets selected\n";
+      exit 2
+    end;
+    let clock = Option.map (fun _ -> real_clock ()) max_seconds in
+    let progress ~target ~done_ ~total =
+      Printf.eprintf "\rfuzz: %-28s %d/%d%!" target done_ total;
+      if done_ = total then prerr_newline ()
+    in
+    let summary = Fuzz.run ?clock ?max_seconds ~depth ~progress ~seed ~iterations targets in
+    Format.printf "%a@." Fuzz.pp summary;
+    write_file out (Fuzz.to_json summary ^ "\n");
+    Printf.printf "(json written to %s)\n" out;
+    write_repros ~dir:(Filename.concat (Filename.dirname out) "repros") (Fuzz.repros summary);
+    if not (Fuzz.ok summary) then begin
+      Printf.eprintf "fuzz: campaign failed (missed mutant or violation on a clean target)\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run the coverage-guided schedule-fuzzing campaign: PCT adversaries (plain and \
+          crash-spending) plus mutation of an interleaving-coverage corpus, under the online \
+          safety monitor, with every violation ddmin-shrunk to a replayable .repro.  The roster \
+          mixes clean algorithms (must stay clean) with seeded schedule-depth mutants (must be \
+          found).")
+    Term.(const run $ seed $ iterations $ depth $ max_seconds $ mutants_only $ only $ out)
+
 let () =
   let doc = "Randomized renaming in shared memory systems (IPDPS 2015) — reproduction toolkit" in
   let info = Cmd.info "renaming" ~doc in
@@ -411,6 +495,7 @@ let () =
             multicore_cmd;
             chaos_cmd;
             mcheck_cmd;
+            fuzz_cmd;
             shrink_cmd;
             analyze_cmd;
           ]))

@@ -1,0 +1,23 @@
+type t = { label : string; now : unit -> float }
+
+let of_fn ~label now = { label; now }
+
+let label t = t.label
+
+let now t = t.now ()
+
+let none = { label = "none"; now = (fun () -> 0.) }
+
+let virtual_ ?(step = 1.0) () =
+  if step <= 0. then invalid_arg "Clock.virtual_: step must be > 0";
+  let ticks = ref 0 in
+  {
+    label = "virtual";
+    now =
+      (fun () ->
+        let t = float_of_int !ticks *. step in
+        incr ticks;
+        t);
+  }
+
+let elapsed_since t t0 = now t -. t0

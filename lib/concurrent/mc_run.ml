@@ -1,5 +1,6 @@
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
+module Clock = Renaming_clock.Clock
 
 type result = {
   assignment : Renaming_shm.Assignment.t;
@@ -7,6 +8,32 @@ type result = {
   wall_seconds : float;
   domains : int;
 }
+
+exception
+  Stalled of {
+    deadline : float;
+    elapsed : float;
+    per_domain_steps : int array;
+    finished_domains : int;
+    domains : int;
+  }
+
+let stalled_to_string = function
+  | Stalled { deadline; elapsed; per_domain_steps; finished_domains; domains } ->
+    let steps =
+      String.concat ", "
+        (Array.to_list (Array.mapi (fun d s -> Printf.sprintf "d%d=%d" d s) per_domain_steps))
+    in
+    Printf.sprintf
+      "multicore run stalled: deadline %.3fs exceeded (elapsed %.3fs), %d/%d domains finished, \
+       per-domain steps at timeout: [%s]"
+      deadline elapsed finished_domains domains steps
+  | _ -> invalid_arg "Mc_run.stalled_to_string: not a Stalled exception"
+
+let () =
+  Printexc.register_printer (function
+    | Stalled _ as e -> Some (stalled_to_string e)
+    | _ -> None)
 
 let max_steps r = Array.fold_left max 0 r.steps
 
@@ -82,8 +109,14 @@ let rec step regs p =
         else true
       end
 
-let execute ?domains ~n ~namespace ~schedule_of_pid ~seed () =
+let execute ?domains ?(clock = Clock.none) ?deadline ~n ~namespace ~schedule_of_pid ~seed () =
   let domains = match domains with Some d -> max 1 d | None -> recommended_domains () in
+  (match deadline with
+  | Some dl ->
+    if dl <= 0. then invalid_arg "Mc_run.execute: deadline must be > 0";
+    if Clock.label clock = Clock.label Clock.none then
+      invalid_arg "Mc_run.execute: a deadline needs a ticking clock"
+  | None -> ());
   let regs = Atomic_tas.create namespace in
   let stream = Stream.create seed in
   let make_proc pid =
@@ -113,24 +146,60 @@ let execute ?domains ~n ~namespace ~schedule_of_pid ~seed () =
         done;
         Array.of_list (List.map make_proc !pids))
   in
-  let run_shard shard () =
+  (* Watchdog shared state: the workers publish progress, the watchdog
+     publishes cancellation.  Everything crossing domains is Atomic. *)
+  let cancel = Atomic.make false in
+  let progress = Array.init domains (fun _ -> Atomic.make 0) in
+  let done_flags = Array.init domains (fun _ -> Atomic.make false) in
+  let run_shard d shard () =
     (* Interleave the shard's processes one step at a time so in-domain
        processes advance concurrently too. *)
     let active = ref (Array.length shard) in
-    while !active > 0 do
+    while !active > 0 && not (Atomic.get cancel) do
       active := 0;
-      Array.iter (fun p -> if step regs p then incr active) shard
-    done
+      Array.iter (fun p -> if step regs p then incr active) shard;
+      Atomic.set progress.(d) (Array.fold_left (fun acc p -> acc + p.steps) 0 shard)
+    done;
+    Atomic.set progress.(d) (Array.fold_left (fun acc p -> acc + p.steps) 0 shard);
+    Atomic.set done_flags.(d) true
   in
-  (* lint: allow wall-clock — measuring real multicore wall time is the point here *)
-  let t0 = Unix.gettimeofday () in
-  let handles =
-    Array.map (fun shard -> Domain.spawn (run_shard shard)) (Array.sub shards 1 (domains - 1))
-  in
-  run_shard shards.(0) ();
-  Array.iter Domain.join handles;
-  (* lint: allow wall-clock *)
-  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let t0 = Clock.now clock in
+  (match deadline with
+  | None ->
+    let handles =
+      Array.init (domains - 1) (fun i -> Domain.spawn (run_shard (i + 1) shards.(i + 1)))
+    in
+    run_shard 0 shards.(0) ();
+    Array.iter Domain.join handles
+  | Some deadline ->
+    (* All shards run on spawned domains so this one is free to watch
+       the clock; a livelocked run is cancelled cooperatively (workers
+       poll [cancel] once per sweep) and reported with the per-domain
+       step counts frozen at the timeout. *)
+    let handles = Array.init domains (fun d -> Domain.spawn (run_shard d shards.(d))) in
+    let all_done () = Array.for_all Atomic.get done_flags in
+    let rec watch () =
+      if all_done () then ()
+      else
+        let elapsed = Clock.elapsed_since clock t0 in
+        if elapsed >= deadline then begin
+          let per_domain_steps = Array.map Atomic.get progress in
+          let finished_domains =
+            Array.fold_left (fun acc f -> if Atomic.get f then acc + 1 else acc) 0 done_flags
+          in
+          Atomic.set cancel true;
+          Array.iter Domain.join handles;
+          raise
+            (Stalled { deadline; elapsed; per_domain_steps; finished_domains; domains })
+        end
+        else begin
+          Unix.sleepf 0.0005;
+          watch ()
+        end
+    in
+    watch ();
+    Array.iter Domain.join handles);
+  let wall_seconds = Clock.elapsed_since clock t0 in
   let steps = Array.make n 0 in
   let names = Array.make n None in
   Array.iter
@@ -157,15 +226,15 @@ let loglog_ceil n = max 1 (log2_ceil (max 2 (log2_ceil n)))
 
 let logloglog_ceil n = max 1 (log2_ceil (max 2 (loglog_ceil n)))
 
-let loose_geometric ?domains ~n ~ell ~seed () =
+let loose_geometric ?domains ?clock ?deadline ~n ~ell ~seed () =
   if n < 4 || ell < 1 then invalid_arg "Mc_run.loose_geometric: bad parameters";
   let rounds = ell * logloglog_ceil n in
   let schedule =
     Array.init rounds (fun i -> Probe { base = 0; size = n; count = pow2 (i + 1) })
   in
-  execute ?domains ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule) ~seed ()
+  execute ?domains ?clock ?deadline ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule) ~seed ()
 
-let loose_clustered ?domains ~n ~ell ~seed () =
+let loose_clustered ?domains ?clock ?deadline ~n ~ell ~seed () =
   if n < 4 || ell < 1 then invalid_arg "Mc_run.loose_clustered: bad parameters";
   let phases = loglog_ceil n in
   let per_phase = 2 * ell * loglog_ceil n in
@@ -176,9 +245,9 @@ let loose_clustered ?domains ~n ~ell ~seed () =
     schedule.(j - 1) <- Probe { base = !base; size; count = per_phase };
     base := !base + size
   done;
-  execute ?domains ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule) ~seed ()
+  execute ?domains ?clock ?deadline ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule) ~seed ()
 
-let uniform_probing ?domains ~n ~m ~seed () =
+let uniform_probing ?domains ?clock ?deadline ~n ~m ~seed () =
   if n < 1 || m < n then invalid_arg "Mc_run.uniform_probing: bad parameters";
   let schedule = [| Probe { base = 0; size = m; count = 4 * m }; Sweep { base = 0; size = m } |] in
-  execute ?domains ~n ~namespace:m ~schedule_of_pid:(fun _ -> schedule) ~seed ()
+  execute ?domains ?clock ?deadline ~n ~namespace:m ~schedule_of_pid:(fun _ -> schedule) ~seed ()

@@ -10,7 +10,15 @@
     Per-process randomness is forked from the seed exactly like in the
     simulator ([Stream.fork ~index:pid]); scheduling nondeterminism is
     genuine, so only distribution-level quantities are comparable across
-    backends, not individual runs. *)
+    backends, not individual runs.
+
+    Time is injected as a {!Renaming_clock.Clock.t} capability: with the
+    default {!Renaming_clock.Clock.none} the run measures no wall time
+    ([wall_seconds = 0.]) and never expires; the [bin/] edge passes a
+    real clock when timing matters.  Passing [?deadline] (which requires
+    a ticking clock) arms a watchdog: instead of hanging forever, a
+    livelocked run is cancelled cooperatively and reported as {!Stalled}
+    with the per-domain step counts frozen at the timeout. *)
 
 type result = {
   assignment : Renaming_shm.Assignment.t;
@@ -19,17 +27,79 @@ type result = {
   domains : int;
 }
 
+exception
+  Stalled of {
+    deadline : float;  (** the configured deadline, in clock units *)
+    elapsed : float;  (** clock units actually elapsed at cancellation *)
+    per_domain_steps : int array;  (** total steps per domain at timeout *)
+    finished_domains : int;  (** domains that had already finished *)
+    domains : int;
+  }
+(** Raised by {!execute} (and the wrappers) when a [?deadline] expires
+    before every domain finishes.  The workers are joined before the
+    exception is raised, so no domain is leaked. *)
+
+val stalled_to_string : exn -> string
+(** Render a {!Stalled} diagnostic; raises [Invalid_argument] on any
+    other exception.  Also installed as a [Printexc] printer. *)
+
 val max_steps : result -> int
 val unnamed_count : result -> int
 
-val loose_geometric : ?domains:int -> n:int -> ell:int -> seed:int64 -> unit -> result
+(** A process's life is a sequence of segments: [Probe] makes [count]
+    uniform random TAS probes into [\[base, base+size)]; [Sweep] walks
+    the range deterministically.  Exposed so tests can build adversarial
+    schedules (e.g. a probe loop on a taken register) directly. *)
+type segment =
+  | Probe of { base : int; size : int; count : int }
+  | Sweep of { base : int; size : int }
+
+val execute :
+  ?domains:int ->
+  ?clock:Renaming_clock.Clock.t ->
+  ?deadline:float ->
+  n:int ->
+  namespace:int ->
+  schedule_of_pid:(int -> segment array) ->
+  seed:int64 ->
+  unit ->
+  result
+(** Run [n] processes with the given per-pid segment schedules over the
+    domain pool.  Raises [Invalid_argument] if [?deadline] is given
+    without a ticking clock (it could never expire), and {!Stalled} if
+    the deadline passes before all domains finish. *)
+
+val loose_geometric :
+  ?domains:int ->
+  ?clock:Renaming_clock.Clock.t ->
+  ?deadline:float ->
+  n:int ->
+  ell:int ->
+  seed:int64 ->
+  unit ->
+  result
 (** Lemma 6 on real domains: namespace [n], geometric rounds. *)
 
-val loose_clustered : ?domains:int -> n:int -> ell:int -> seed:int64 -> unit -> result
+val loose_clustered :
+  ?domains:int ->
+  ?clock:Renaming_clock.Clock.t ->
+  ?deadline:float ->
+  n:int ->
+  ell:int ->
+  seed:int64 ->
+  unit ->
+  result
 (** Lemma 8 on real domains (with the tail-absorbing last cluster). *)
 
 val uniform_probing :
-  ?domains:int -> n:int -> m:int -> seed:int64 -> unit -> result
+  ?domains:int ->
+  ?clock:Renaming_clock.Clock.t ->
+  ?deadline:float ->
+  n:int ->
+  m:int ->
+  seed:int64 ->
+  unit ->
+  result
 (** The naive baseline; probes until won (deterministic sweep after
     [4m] probes, as in the simulator backend). *)
 

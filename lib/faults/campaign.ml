@@ -162,6 +162,7 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
              check_ownership = algo.check_ownership;
              choices = choices_of_trace trace ~faulted:!faulted;
              max_ticks;
+             tau_cadence = 1;
            }
          in
          (match Shrink.shrink shrink_input with
@@ -173,6 +174,7 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
                rp_seed = seed;
                rp_check_ownership = algo.check_ownership;
                rp_max_ticks = max_ticks;
+               rp_tau_cadence = 1;
                rp_kind = r.Shrink.r_failure.Shrink.f_kind;
                rp_choices = r.Shrink.r_choices;
              }

@@ -1,13 +1,22 @@
 module Program = Renaming_sched.Program
 module Op = Renaming_sched.Op
+module Clock = Renaming_clock.Clock
 
-type policy = { attempts : int; base_delay : int; max_delay : int }
+type policy = {
+  attempts : int;
+  base_delay : int;
+  max_delay : int;
+  time_budget : float option;
+}
 
-let make_policy ?(attempts = 8) ?(base_delay = 1) ?(max_delay = 64) () =
+let make_policy ?(attempts = 8) ?(base_delay = 1) ?(max_delay = 64) ?time_budget () =
   if attempts < 1 then invalid_arg "Retry.make_policy: attempts must be >= 1";
   if base_delay < 0 then invalid_arg "Retry.make_policy: base_delay must be >= 0";
   if max_delay < base_delay then invalid_arg "Retry.make_policy: max_delay < base_delay";
-  { attempts; base_delay; max_delay }
+  (match time_budget with
+  | Some b when b <= 0. -> invalid_arg "Retry.make_policy: time_budget must be > 0"
+  | _ -> ());
+  { attempts; base_delay; max_delay; time_budget }
 
 let default = make_policy ()
 
@@ -21,15 +30,25 @@ let rec idle k = if k <= 0 then Program.return () else Program.bind Program.yiel
 
 (* Run a Bool-responding operation with bounded retry: [Some b] on a
    normal response, [None] when every attempt was eaten by a transient
-   fault. *)
-let bool_result ~policy op =
+   fault.  The clock bounds total retry time: once the policy's
+   [time_budget] is spent (measured on the injected clock, so virtual
+   under the simulator), further faults exhaust immediately instead of
+   backing off again.  With the default {!Clock.none} the budget never
+   binds and behaviour is unchanged. *)
+let bool_result ?(clock = Clock.none) ~policy op =
+  let t0 = Clock.now clock in
+  let budget_spent () =
+    match policy.time_budget with
+    | None -> false
+    | Some budget -> Clock.elapsed_since clock t0 >= budget
+  in
   let rec go attempt =
     Program.Step
       ( op,
         function
         | Op.Bool b -> Program.Done (Some b)
         | Op.Faulted ->
-          if attempt >= policy.attempts then Program.Done None
+          if attempt >= policy.attempts || budget_spent () then Program.Done None
           else
             Program.bind (idle (backoff_delay policy ~attempt)) (fun () -> go (attempt + 1))
         | resp ->
@@ -43,24 +62,24 @@ let bool_result ~policy op =
      claims a name it cannot prove it won;
    - a read that keeps faulting counts as *set* — a scanner skips the
      register instead of fighting for information it cannot get. *)
-let tas_name ?(policy = default) i =
-  Program.map (function Some b -> b | None -> false) (bool_result ~policy (Op.Tas_name i))
+let tas_name ?(policy = default) ?clock i =
+  Program.map (function Some b -> b | None -> false) (bool_result ?clock ~policy (Op.Tas_name i))
 
-let tas_aux ?(policy = default) i =
-  Program.map (function Some b -> b | None -> false) (bool_result ~policy (Op.Tas_aux i))
+let tas_aux ?(policy = default) ?clock i =
+  Program.map (function Some b -> b | None -> false) (bool_result ?clock ~policy (Op.Tas_aux i))
 
-let read_name ?(policy = default) i =
-  Program.map (function Some b -> b | None -> true) (bool_result ~policy (Op.Read_name i))
+let read_name ?(policy = default) ?clock i =
+  Program.map (function Some b -> b | None -> true) (bool_result ?clock ~policy (Op.Read_name i))
 
-let read_aux ?(policy = default) i =
-  Program.map (function Some b -> b | None -> true) (bool_result ~policy (Op.Read_aux i))
+let read_aux ?(policy = default) ?clock i =
+  Program.map (function Some b -> b | None -> true) (bool_result ?clock ~policy (Op.Read_aux i))
 
-let scan_names ?(policy = default) ~first ~count () =
+let scan_names ?(policy = default) ?clock ~first ~count () =
   let open Program.Syntax in
   let rec loop k =
     if k >= count then Program.return None
     else
-      let* won = tas_name ~policy (first + k) in
+      let* won = tas_name ~policy ?clock (first + k) in
       if won then Program.return (Some (first + k)) else loop (k + 1)
   in
   loop 0

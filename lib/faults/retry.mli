@@ -15,27 +15,51 @@
 
     Exhaustion is resolved in the safe direction: a TAS that faults
     every attempt reports *lost* (the process never claims an unproven
-    name), a read reports *set* (the scanner moves on). *)
+    name), a read reports *set* (the scanner moves on).
 
-type policy = { attempts : int; base_delay : int; max_delay : int }
+    Retry time can additionally be bounded with a [time_budget] measured
+    on an injected {!Renaming_clock.Clock.t} — a virtual clock under the
+    simulator, a real one only at the [bin/] edge.  The default clock is
+    {!Renaming_clock.Clock.none}, under which the budget never binds, so
+    untimed callers are unaffected. *)
 
-val make_policy : ?attempts:int -> ?base_delay:int -> ?max_delay:int -> unit -> policy
-(** Defaults: 8 attempts, base delay 1, delay cap 64. *)
+type policy = {
+  attempts : int;
+  base_delay : int;
+  max_delay : int;
+  time_budget : float option;
+      (** Give up retrying (in the safe direction) once this much clock
+          time has elapsed since the combinator started, even if
+          attempts remain.  [None] (the default) disables the bound. *)
+}
+
+val make_policy :
+  ?attempts:int -> ?base_delay:int -> ?max_delay:int -> ?time_budget:float -> unit -> policy
+(** Defaults: 8 attempts, base delay 1, delay cap 64, no time budget. *)
 
 val default : policy
 
 val backoff_delay : policy -> attempt:int -> int
 (** Yield steps inserted after failed attempt [attempt] (1-based). *)
 
-val tas_name : ?policy:policy -> int -> bool Renaming_sched.Program.t
+val tas_name :
+  ?policy:policy -> ?clock:Renaming_clock.Clock.t -> int -> bool Renaming_sched.Program.t
 
-val tas_aux : ?policy:policy -> int -> bool Renaming_sched.Program.t
+val tas_aux :
+  ?policy:policy -> ?clock:Renaming_clock.Clock.t -> int -> bool Renaming_sched.Program.t
 
-val read_name : ?policy:policy -> int -> bool Renaming_sched.Program.t
+val read_name :
+  ?policy:policy -> ?clock:Renaming_clock.Clock.t -> int -> bool Renaming_sched.Program.t
 
-val read_aux : ?policy:policy -> int -> bool Renaming_sched.Program.t
+val read_aux :
+  ?policy:policy -> ?clock:Renaming_clock.Clock.t -> int -> bool Renaming_sched.Program.t
 
 val scan_names :
-  ?policy:policy -> first:int -> count:int -> unit -> int option Renaming_sched.Program.t
+  ?policy:policy ->
+  ?clock:Renaming_clock.Clock.t ->
+  first:int ->
+  count:int ->
+  unit ->
+  int option Renaming_sched.Program.t
 (** Fault-tolerant {!Renaming_sched.Program.scan_names}: registers whose
     retries exhaust are skipped as if taken. *)

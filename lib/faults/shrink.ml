@@ -10,6 +10,7 @@ type input = {
   check_ownership : bool;
   choices : Directed.choice list;
   max_ticks : int;
+  tau_cadence : int;
 }
 
 type result = {
@@ -27,7 +28,8 @@ let execute input prefix =
       ~processes:(Array.length inst.Executor.programs) ()
   in
   let run =
-    Directed.run ~max_ticks:input.max_ticks ~on_event:(Monitor.hook monitor) ~prefix inst
+    Directed.run ~max_ticks:input.max_ticks ~tau_cadence:input.tau_cadence
+      ~on_event:(Monitor.hook monitor) ~prefix inst
   in
   let failure =
     match run.Directed.outcome with
@@ -133,6 +135,7 @@ type repro = {
   rp_seed : int64;
   rp_check_ownership : bool;
   rp_max_ticks : int;
+  rp_tau_cadence : int;
   rp_kind : string;
   rp_choices : Directed.choice list;
 }
@@ -144,6 +147,7 @@ let repro_to_string r =
   Buffer.add_string buf (Printf.sprintf "seed: %Ld\n" r.rp_seed);
   Buffer.add_string buf (Printf.sprintf "check-ownership: %b\n" r.rp_check_ownership);
   Buffer.add_string buf (Printf.sprintf "max-ticks: %d\n" r.rp_max_ticks);
+  Buffer.add_string buf (Printf.sprintf "tau-cadence: %d\n" r.rp_tau_cadence);
   Buffer.add_string buf (Printf.sprintf "kind: %s\n" r.rp_kind);
   Buffer.add_string buf "trace:\n";
   List.iter
@@ -182,6 +186,16 @@ let repro_of_string s =
   let* rp_seed = field "seed" Int64.of_string_opt in
   let* rp_check_ownership = field "check-ownership" bool_of_string_opt in
   let* rp_max_ticks = field "max-ticks" int_of_string_opt in
+  (* Optional header (pre-τ artifacts lack it): cadence 1 is the
+     executor default those artifacts were recorded under. *)
+  let* rp_tau_cadence =
+    match List.assoc_opt "tau-cadence" hdrs with
+    | None -> Ok 1
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "bad value %S for header %S" v "tau-cadence"))
+  in
   let* rp_kind = field "kind" Option.some in
   let rec choices acc = function
     | [] -> Ok (List.rev acc)
@@ -193,4 +207,14 @@ let repro_of_string s =
         choices (c :: acc) rest
   in
   let* rp_choices = choices [] body in
-  Ok { rp_algorithm; rp_n; rp_seed; rp_check_ownership; rp_max_ticks; rp_kind; rp_choices }
+  Ok
+    {
+      rp_algorithm;
+      rp_n;
+      rp_seed;
+      rp_check_ownership;
+      rp_max_ticks;
+      rp_tau_cadence;
+      rp_kind;
+      rp_choices;
+    }

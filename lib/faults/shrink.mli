@@ -32,6 +32,11 @@ type input = {
   check_ownership : bool;  (** see {!Monitor.create} *)
   choices : Renaming_sched.Directed.choice list;  (** the failing prefix *)
   max_ticks : int;  (** livelock guard per replay *)
+  tau_cadence : int;
+      (** τ-device cycle cadence the failure was observed under (see
+          {!Renaming_sched.Executor.run}); replays must match it or
+          device-timing failures do not reproduce.  Use [1] for
+          algorithms without τ-registers (the executor default). *)
 }
 
 type result = {
@@ -62,14 +67,18 @@ type repro = {
   rp_seed : int64;
   rp_check_ownership : bool;
   rp_max_ticks : int;
+  rp_tau_cadence : int;
   rp_kind : string;
   rp_choices : Renaming_sched.Directed.choice list;
 }
 
 val repro_to_string : repro -> string
 (** Plain-text artifact: [key: value] headers ([algorithm], [n], [seed],
-    [check-ownership], [max-ticks], [kind]) followed by a [trace:]
-    section with one {!Renaming_sched.Directed.choice_to_string} line
-    per choice. *)
+    [check-ownership], [max-ticks], [tau-cadence], [kind]) followed by a
+    [trace:] section with one
+    {!Renaming_sched.Directed.choice_to_string} line per choice. *)
 
 val repro_of_string : string -> (repro, string) Stdlib.result
+(** Inverse of {!repro_to_string}.  The [tau-cadence] header is optional
+    (defaults to [1]) so artifacts written before it existed still
+    parse. *)

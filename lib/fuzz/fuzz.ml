@@ -1,0 +1,353 @@
+module Executor = Renaming_sched.Executor
+module Adversary = Renaming_sched.Adversary
+module Directed = Renaming_sched.Directed
+module Report = Renaming_sched.Report
+module Trace = Renaming_sched.Trace
+module Monitor = Renaming_faults.Monitor
+module Shrink = Renaming_faults.Shrink
+module Stream = Renaming_rng.Stream
+module Sample = Renaming_rng.Sample
+module Clock = Renaming_clock.Clock
+
+type target = {
+  fz_name : string;
+  fz_n : int;
+  fz_build : seed:int64 -> Executor.instance;
+  fz_check_ownership : bool;
+  fz_allow_faults : bool;
+      (* Fault mutations are only sound for programs routing namespace
+         traffic through the fault-aware retry primitives; plain
+         primitives treat [Faulted] as a protocol error. *)
+  fz_allow_crashes : bool;
+  fz_tau_cadence : int;
+  fz_max_ticks : int;
+  fz_expect_violation : bool;  (* seeded-mutant self-test entries *)
+}
+
+type violation = {
+  v_kind : string;
+  v_message : string;
+  v_iteration : int;  (* -1 = the round-robin baseline run *)
+  v_mode : string;  (* "baseline", "pct-d<k>", "pct-crash-d<k>", "mutation" *)
+  v_repro : Shrink.repro option;
+}
+
+type growth_point = { g_iteration : int; g_edges : int }
+
+type target_result = {
+  r_target : string;
+  r_n : int;
+  r_expect_violation : bool;
+  r_iterations : int;  (* executed, baseline excluded *)
+  r_livelocks : int;
+  r_corpus_size : int;
+  r_edges : int;
+  r_growth : growth_point list;  (* coverage-growth curve, ascending iterations *)
+  r_violations : violation list;
+}
+
+type summary = {
+  s_seed : int64;
+  s_depth : int;
+  s_iteration_budget : int;
+  s_stopped_early : bool;  (* the wall-clock budget cut the campaign short *)
+  s_results : target_result list;
+}
+
+let target_ok r =
+  if r.r_expect_violation then
+    r.r_violations <> [] && List.for_all (fun v -> v.v_repro <> None) r.r_violations
+  else r.r_violations = []
+
+let ok s = List.for_all target_ok s.s_results
+
+let repros s =
+  List.concat_map
+    (fun r -> List.filter_map (fun v -> v.v_repro) r.r_violations)
+    s.s_results
+
+(* The failing run's decision sequence, replayable through the directed
+   executor (same mapping as the chaos campaign's). *)
+let choices_of_trace trace =
+  List.map
+    (function
+      | Trace.Scheduled { pid; _ } -> Directed.Step pid
+      | Trace.Crashed { pid; _ } -> Directed.Crash pid
+      | Trace.Recovered { pid; _ } -> Directed.Recover pid)
+    (Trace.events trace)
+
+type outcome_class =
+  | Clean
+  | Livelocked
+  | Violated of { kind : string; message : string }
+
+(* One monitored, coverage-instrumented execution of [target] under
+   [drive].  Detaches the logger before returning so instances never
+   leak a collector. *)
+let observe_run target ~tseed ~drive =
+  let inst = target.fz_build ~seed:tseed in
+  let cov = Coverage.create () in
+  Coverage.attach cov inst.Executor.memory;
+  let monitor =
+    Monitor.create ~check_ownership:target.fz_check_ownership ~memory:inst.Executor.memory
+      ~processes:(Array.length inst.Executor.programs) ()
+  in
+  let classify_report report =
+    if Report.is_livelock report then Livelocked
+    else (
+      try
+        Monitor.finalize monitor report;
+        Clean
+      with Monitor.Violation v -> Violated { kind = v.Monitor.kind; message = v.Monitor.message })
+  in
+  let outcome =
+    match drive ~inst ~on_event:(Monitor.hook monitor) with
+    | report -> classify_report report
+    | exception Monitor.Violation v ->
+      Violated { kind = v.Monitor.kind; message = v.Monitor.message }
+  in
+  Coverage.detach inst.Executor.memory;
+  (outcome, Coverage.edges cov)
+
+let shrink_violation target ~tseed ~prefix =
+  match
+    Shrink.shrink
+      {
+        Shrink.label = target.fz_name;
+        build = (fun () -> target.fz_build ~seed:tseed);
+        check_ownership = target.fz_check_ownership;
+        choices = prefix;
+        max_ticks = target.fz_max_ticks;
+        tau_cadence = target.fz_tau_cadence;
+      }
+  with
+  | None -> None
+  | Some r ->
+    Some
+      {
+        Shrink.rp_algorithm = target.fz_name;
+        rp_n = target.fz_n;
+        rp_seed = tseed;
+        rp_check_ownership = target.fz_check_ownership;
+        rp_max_ticks = target.fz_max_ticks;
+        rp_tau_cadence = target.fz_tau_cadence;
+        rp_kind = r.Shrink.r_failure.Shrink.f_kind;
+        rp_choices = r.Shrink.r_choices;
+      }
+
+let fuzz_target ~master ~depth ~iterations ~should_stop target =
+  (* The instance seed is fixed per target (derived from the campaign
+     seed and the target name): corpus prefixes then stay meaningful
+     across iterations — only the schedule varies, exactly the
+     nondeterminism the fuzzer owns. *)
+  let tseed = Int64.logxor (Stream.seed master) (Stream.hash_name target.fz_name) in
+  let rng = Stream.fork_named master ~name:("fuzz-" ^ target.fz_name) in
+  let corpus = Corpus.create () in
+  let growth = ref [] in
+  let livelocks = ref 0 in
+  let violations = ref [] in
+  let executed = ref 0 in
+  let record_coverage ~iteration ~prefix edges =
+    if Corpus.observe corpus ~iteration ~prefix edges > 0 then
+      growth := { g_iteration = iteration; g_edges = Corpus.seen_edges corpus } :: !growth
+  in
+  let record_violation ~iteration ~mode ~prefix kind message =
+    let repro = shrink_violation target ~tseed ~prefix in
+    violations := { v_kind = kind; v_message = message; v_iteration = iteration; v_mode = mode; v_repro = repro } :: !violations
+  in
+  (* Baseline: one fair round-robin run.  It estimates k (the expected
+     decision count PCT spreads its change points over) and seeds the
+     corpus with the fair schedule's coverage. *)
+  let traced_executor_run adversary trace ~inst ~on_event =
+    Executor.run ~tau_cadence:target.fz_tau_cadence ~max_ticks:target.fz_max_ticks ~on_event
+      ~adversary:(Trace.recording trace ~base:adversary)
+      inst
+  in
+  let k = ref 32 in
+  let baseline_trace = Trace.create () in
+  (match
+     observe_run target ~tseed
+       ~drive:(fun ~inst ~on_event ->
+         let report = traced_executor_run (Adversary.round_robin ()) baseline_trace ~inst ~on_event in
+         k := max 8 report.Report.ticks;
+         report)
+   with
+  | Clean, edges -> record_coverage ~iteration:(-1) ~prefix:(choices_of_trace baseline_trace) edges
+  | Livelocked, _ -> incr livelocks
+  | Violated { kind; message }, _ ->
+    record_violation ~iteration:(-1) ~mode:"baseline"
+      ~prefix:(choices_of_trace baseline_trace) kind message);
+  let i = ref 0 in
+  while !violations = [] && !i < iterations && not (should_stop ()) do
+    let iteration = !i in
+    incr i;
+    incr executed;
+    let mutation_round = iteration mod 4 = 3 && Corpus.size corpus > 0 in
+    if mutation_round then begin
+      let parent = Corpus.pick corpus rng in
+      let child =
+        Corpus.mutate ~rng ~n:target.fz_n ~allow_faults:target.fz_allow_faults
+          ~allow_crashes:target.fz_allow_crashes parent
+      in
+      let taken = ref [||] in
+      let outcome, edges =
+        observe_run target ~tseed ~drive:(fun ~inst ~on_event ->
+            let r =
+              Directed.run ~max_ticks:target.fz_max_ticks ~tau_cadence:target.fz_tau_cadence
+                ~on_event ~prefix:child inst
+            in
+            taken := r.Directed.taken;
+            match r.Directed.outcome with
+            | Directed.Finished report -> report
+            | Directed.Raised e -> raise e)
+      in
+      match outcome with
+      | Clean -> record_coverage ~iteration ~prefix:child edges
+      | Livelocked ->
+        incr livelocks;
+        record_coverage ~iteration ~prefix:child edges
+      | Violated { kind; message } ->
+        record_violation ~iteration ~mode:"mutation" ~prefix:(Array.to_list !taken) kind message
+    end
+    else begin
+      (* PCT round: sweep depths 1..depth, alternating the plain and the
+         crash-spending variants (crashes only where the target's
+         recovery path is meant to be exercised). *)
+      let d = 1 + (iteration / 2 mod depth) in
+      let crashing = iteration mod 2 = 1 && target.fz_allow_crashes in
+      let adversary =
+        if crashing then
+          Pct.with_crashes ~depth:d ~n:target.fz_n ~k:!k ~failures:1
+            ~recover_after:(max 4 (!k / 4)) ~rng ()
+        else Pct.adversary ~depth:d ~n:target.fz_n ~k:!k ~rng ()
+      in
+      let mode = adversary.Adversary.name in
+      let trace = Trace.create () in
+      let outcome, edges =
+        observe_run target ~tseed ~drive:(traced_executor_run adversary trace)
+      in
+      let prefix = choices_of_trace trace in
+      match outcome with
+      | Clean -> record_coverage ~iteration ~prefix edges
+      | Livelocked ->
+        incr livelocks;
+        record_coverage ~iteration ~prefix edges
+      | Violated { kind; message } -> record_violation ~iteration ~mode ~prefix kind message
+    end
+  done;
+  {
+    r_target = target.fz_name;
+    r_n = target.fz_n;
+    r_expect_violation = target.fz_expect_violation;
+    r_iterations = !executed;
+    r_livelocks = !livelocks;
+    r_corpus_size = Corpus.size corpus;
+    r_edges = Corpus.seen_edges corpus;
+    r_growth = List.rev !growth;
+    r_violations = List.rev !violations;
+  }
+
+let run ?(clock = Clock.none) ?(depth = 3) ?max_seconds ?progress ~seed ~iterations targets =
+  if depth < 1 then invalid_arg "Fuzz.run: depth must be >= 1";
+  if iterations < 0 then invalid_arg "Fuzz.run: iterations must be >= 0";
+  let master = Stream.create seed in
+  let t0 = Clock.now clock in
+  let stopped_early = ref false in
+  let should_stop () =
+    match max_seconds with
+    | None -> false
+    | Some budget ->
+      let stop = Clock.elapsed_since clock t0 >= budget in
+      if stop then stopped_early := true;
+      stop
+  in
+  let report_progress = match progress with Some f -> f | None -> fun ~target:_ ~done_:_ ~total:_ -> () in
+  let total = List.length targets in
+  let results =
+    List.mapi
+      (fun idx target ->
+        let r = fuzz_target ~master ~depth ~iterations ~should_stop target in
+        report_progress ~target:target.fz_name ~done_:(idx + 1) ~total;
+        r)
+      targets
+  in
+  {
+    s_seed = seed;
+    s_depth = depth;
+    s_iteration_budget = iterations;
+    s_stopped_early = !stopped_early;
+    s_results = results;
+  }
+
+(* --- JSON emission (hand-rolled, same dialect as the chaos campaign:
+   the toolchain has no JSON library and the driver forbids adding
+   one) --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let repro_to_json (r : Shrink.repro) =
+  Printf.sprintf
+    "{\"algorithm\":\"%s\",\"n\":%d,\"seed\":\"%Ld\",\"kind\":\"%s\",\"tau_cadence\":%d,\"choices\":[%s]}"
+    (json_escape r.Shrink.rp_algorithm) r.Shrink.rp_n r.Shrink.rp_seed
+    (json_escape r.Shrink.rp_kind) r.Shrink.rp_tau_cadence
+    (String.concat ","
+       (List.map
+          (fun c -> "\"" ^ json_escape (Directed.choice_to_string c) ^ "\"")
+          r.Shrink.rp_choices))
+
+let violation_to_json v =
+  Printf.sprintf "{\"kind\":\"%s\",\"iteration\":%d,\"mode\":\"%s\",\"shrunk\":%s,\"repro\":%s}"
+    (json_escape v.v_kind) v.v_iteration (json_escape v.v_mode)
+    (if v.v_repro <> None then "true" else "false")
+    (match v.v_repro with None -> "null" | Some r -> repro_to_json r)
+
+let growth_to_json g = Printf.sprintf "[%d,%d]" g.g_iteration g.g_edges
+
+let result_to_json r =
+  Printf.sprintf
+    "{\"target\":\"%s\",\"n\":%d,\"expect_violation\":%b,\"found\":%b,\"ok\":%b,\"iterations\":%d,\"livelocks\":%d,\"corpus_size\":%d,\"coverage_edges\":%d,\"coverage_growth\":[%s],\"violations\":[%s]}"
+    (json_escape r.r_target) r.r_n r.r_expect_violation
+    (r.r_violations <> [])
+    (target_ok r) r.r_iterations r.r_livelocks r.r_corpus_size r.r_edges
+    (String.concat "," (List.map growth_to_json r.r_growth))
+    (String.concat "," (List.map violation_to_json r.r_violations))
+
+let to_json s =
+  Printf.sprintf
+    "{\"seed\":\"%Ld\",\"pct_depth\":%d,\"iteration_budget\":%d,\"stopped_early\":%b,\"ok\":%b,\"targets\":[\n%s\n]}"
+    s.s_seed s.s_depth s.s_iteration_budget s.s_stopped_early (ok s)
+    (String.concat ",\n" (List.map result_to_json s.s_results))
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>fuzz campaign: seed %Ld, depth %d, budget %d iterations/target%s@ "
+    s.s_seed s.s_depth s.s_iteration_budget
+    (if s.s_stopped_early then " (stopped early: time budget)" else "");
+  Format.fprintf fmt "%-28s %6s %6s %7s %6s %5s  %s@ " "target" "iters" "edges" "corpus" "live"
+    "viol" "status";
+  List.iter
+    (fun r ->
+      let status =
+        match (r.r_expect_violation, r.r_violations) with
+        | true, [] -> "MISSED (mutant not found)"
+        | true, v :: _ ->
+          Printf.sprintf "found %s @%d via %s%s" v.v_kind v.v_iteration v.v_mode
+            (if v.v_repro = None then " (unshrunk!)" else "")
+        | false, [] -> "clean"
+        | false, v :: _ -> Printf.sprintf "VIOLATION %s @%d via %s" v.v_kind v.v_iteration v.v_mode
+      in
+      Format.fprintf fmt "%-28s %6d %6d %7d %6d %5d  %s@ " r.r_target r.r_iterations r.r_edges
+        r.r_corpus_size r.r_livelocks (List.length r.r_violations) status)
+    s.s_results;
+  Format.fprintf fmt "@]"

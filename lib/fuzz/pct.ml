@@ -1,0 +1,114 @@
+module Adversary = Renaming_sched.Adversary
+module Sample = Renaming_rng.Sample
+
+(* Sample [count] distinct decision indices from [1, horizon), sorted.
+   [count] is tiny (d-1), so rejection against a list is fine. *)
+let sample_change_points rng ~count ~horizon =
+  let horizon = max 2 horizon in
+  let count = min count (horizon - 1) in
+  let picked = ref [] in
+  let remaining = ref count in
+  while !remaining > 0 do
+    let c = 1 + Sample.uniform_int rng (horizon - 1) in
+    if not (List.mem c !picked) then begin
+      picked := c :: !picked;
+      decr remaining
+    end
+  done;
+  List.sort compare !picked
+
+type state = {
+  priorities : int array;  (* per pid; higher runs first *)
+  mutable change_points : int list;  (* sorted ascending, consumed from the front *)
+  mutable next_low : int;  (* next demotion priority: d-2, d-3, ..., 0 *)
+  mutable decisions : int;  (* decisions made so far, the PCT step counter *)
+}
+
+let make_state rng ~n ~depth ~horizon =
+  (* Initial priorities are a random permutation of [d-1, d-1+n): all
+     above the demotion range [0, d-1), so a demoted process drops below
+     every process that has not been demoted yet, and earlier demotions
+     end up lower than later ones. *)
+  let perm = Sample.permutation rng n in
+  {
+    priorities = Array.map (fun p -> p + depth - 1) perm;
+    change_points = sample_change_points rng ~count:(depth - 1) ~horizon;
+    next_low = depth - 2;
+    decisions = 0;
+  }
+
+let top_runnable st (view : Adversary.view) =
+  let best = ref (view.Adversary.runnable_nth 0) in
+  for i = 1 to view.Adversary.runnable_count - 1 do
+    let pid = view.Adversary.runnable_nth i in
+    if st.priorities.(pid) > st.priorities.(!best) then best := pid
+  done;
+  !best
+
+let at_change_point st =
+  match st.change_points with
+  | c :: rest when c <= st.decisions ->
+    st.change_points <- rest;
+    true
+  | _ -> false
+
+let demote st pid =
+  st.priorities.(pid) <- st.next_low;
+  st.next_low <- st.next_low - 1
+
+let adversary ?(depth = 3) ~n ~k ~rng () =
+  if depth < 1 then invalid_arg "Pct.adversary: depth must be >= 1";
+  if n < 1 then invalid_arg "Pct.adversary: n must be >= 1";
+  let st = make_state rng ~n ~depth ~horizon:k in
+  {
+    Adversary.name = Printf.sprintf "pct-d%d" depth;
+    decide =
+      (fun view ->
+        st.decisions <- st.decisions + 1;
+        if at_change_point st then demote st (top_runnable st view);
+        Adversary.Schedule (top_runnable st view));
+  }
+
+let with_crashes ?(depth = 3) ~n ~k ~failures ~recover_after ~rng () =
+  if depth < 1 then invalid_arg "Pct.with_crashes: depth must be >= 1";
+  if n < 1 then invalid_arg "Pct.with_crashes: n must be >= 1";
+  if failures < 0 then invalid_arg "Pct.with_crashes: failures must be >= 0";
+  if recover_after < 1 then invalid_arg "Pct.with_crashes: recover_after must be >= 1";
+  let st = make_state rng ~n ~depth ~horizon:k in
+  let crashes_left = ref failures in
+  let recoveries = ref [] in
+  {
+    Adversary.name = Printf.sprintf "pct-crash-d%d" depth;
+    decide =
+      (fun view ->
+        st.decisions <- st.decisions + 1;
+        let due_recovery =
+          match !recoveries with
+          | (at, pid) :: rest when at <= st.decisions && view.Adversary.is_crashed pid ->
+            recoveries := rest;
+            Some pid
+          | _ -> None
+        in
+        match due_recovery with
+        | Some pid -> Adversary.Recover pid
+        | None ->
+          if at_change_point st then begin
+            let top = top_runnable st view in
+            (* A change point either demotes the running process (plain
+               PCT) or, while the crash budget lasts, crashes it — the
+               strongest form of "take it off the CPU".  Never crash the
+               last runnable process: the executor would stop with the
+               recovery stranded. *)
+            if !crashes_left > 0 && view.Adversary.runnable_count > 1 then begin
+              decr crashes_left;
+              demote st top;
+              recoveries := !recoveries @ [ (st.decisions + recover_after, top) ];
+              Adversary.Crash top
+            end
+            else begin
+              demote st top;
+              Adversary.Schedule (top_runnable st view)
+            end
+          end
+          else Adversary.Schedule (top_runnable st view));
+  }

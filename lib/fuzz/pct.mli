@@ -1,0 +1,42 @@
+(** Probabilistic Concurrency Testing (PCT) schedulers, as
+    {!Renaming_sched.Adversary}-compatible adversaries.
+
+    PCT (Burckhardt et al., ASPLOS 2010) schedules the highest-priority
+    runnable process, with priorities drawn as a random permutation and
+    [depth - 1] priority *change points* sampled uniformly over the
+    expected execution length [k]: at a change point the currently
+    scheduled process is demoted below everyone else.  Any bug of depth
+    [d] — one that some [d] ordering constraints suffice to trigger — is
+    found with probability at least [1 / (n * k^(d-1))] per run, so
+    repeated runs with fresh randomness find shallow schedule bugs
+    quickly even when the schedule space is astronomically large.
+
+    [depth = 1] is random stable priorities (no preemption at all, the
+    adversary the model's non-preemptive default never plays); each
+    extra level spends one more change point.
+
+    Both constructors are deterministic given the [rng]: all state lives
+    in the closure, nothing reads ambient randomness. *)
+
+val adversary :
+  ?depth:int -> n:int -> k:int -> rng:Renaming_rng.Xoshiro.t -> unit -> Renaming_sched.Adversary.t
+(** [adversary ~n ~k ~rng ()] — [n] processes, expected run length [k]
+    decisions (estimate it with a baseline run; precision only affects
+    the bug-finding probability, not correctness).  [depth] defaults to
+    3 (bugs needing at most two preemptions). *)
+
+val with_crashes :
+  ?depth:int ->
+  n:int ->
+  k:int ->
+  failures:int ->
+  recover_after:int ->
+  rng:Renaming_rng.Xoshiro.t ->
+  unit ->
+  Renaming_sched.Adversary.t
+(** Crash-aware PCT: change points double as crash injections.  While
+    the [failures] budget lasts, a change point crashes the
+    currently-prioritised process instead of merely demoting it (the
+    crashed process recovers [recover_after] decisions later); once the
+    budget is spent, change points demote as usual.  The last runnable
+    process is never crashed. *)

@@ -1,0 +1,180 @@
+module Fuzz = Renaming_fuzz.Fuzz
+module Executor = Renaming_sched.Executor
+module Memory = Renaming_sched.Memory
+module Program = Renaming_sched.Program
+module Tau_register = Renaming_device.Tau_register
+module Stream = Renaming_rng.Stream
+
+let target ~name ~n ?(check_ownership = true) ?(allow_faults = false) ?(allow_crashes = false)
+    ?(tau_cadence = 1) ?(max_ticks = 50_000) ?(expect_violation = false) build =
+  {
+    Fuzz.fz_name = name;
+    fz_n = n;
+    fz_build = build;
+    fz_check_ownership = check_ownership;
+    fz_allow_faults = allow_faults;
+    fz_allow_crashes = allow_crashes;
+    fz_tau_cadence = tau_cadence;
+    fz_max_ticks = max_ticks;
+    fz_expect_violation = expect_violation;
+  }
+
+(* --- clean targets: small instances of the real algorithms.  All route
+   namespace traffic through the fault-aware retry primitives, so fault
+   mutations are sound; crash-recovery soundness is covered by the chaos
+   campaign, so crash injection is enabled too. --- *)
+
+let loose_geometric ~n ~seed =
+  Renaming_core.Loose_geometric.instance
+    { Renaming_core.Loose_geometric.n; ell = 2 }
+    ~stream:(Stream.create seed)
+
+let combined_geometric ~n ~seed =
+  Renaming_core.Combined.instance
+    { Renaming_core.Combined.n; variant = Renaming_core.Combined.Geometric { ell = 2 } }
+    ~stream:(Stream.create seed)
+
+let uniform_probing ~n ~seed =
+  Renaming_baselines.Uniform_probing.instance
+    (Renaming_baselines.Uniform_probing.make_config ~max_probes:4 ~n ~m:n ())
+    ~stream:(Stream.create seed)
+
+let linear_scan ~n ~seed:_ =
+  Renaming_baselines.Linear_scan.instance { Renaming_baselines.Linear_scan.n; m = n }
+
+(* --- seeded mutants: deliberately broken programs whose bugs need an
+   adversarial schedule.  Each is clean under the fair round-robin
+   baseline (so the plain test suite cannot see the bug) and breaks only
+   under a rare interleaving of bounded depth — the fuzzing analogue of
+   `renaming analyze --inject broken-footprint`. --- *)
+
+(* Double-claim in the loose-geometric probe path: the prober "optimises"
+   a probe into read-then-TAS and trusts the read — if the register
+   looked free, it claims the name without checking that its own TAS
+   actually won.  Clean until some other process's TAS lands between the
+   read and the TAS (bug depth 2: one preemption of the buggy process at
+   one specific point). *)
+let mutant_double_claim ~seed:_ =
+  let n = 3 in
+  let memory = Memory.create ~namespace:n () in
+  let open Program.Syntax in
+  let buggy_prober =
+    (* read 0; if free, TAS 0 and claim it regardless of the answer *)
+    let* taken = Program.read_name 0 in
+    if taken then Program.scan_names ~first:1 ~count:(n - 1)
+    else
+      let* _won = Program.tas_name 0 in
+      Program.return (Some 0)
+  in
+  let rival =
+    (* parks one yield, then races for register 0 the honest way *)
+    let* () = Program.yield in
+    let* won = Program.tas_name 0 in
+    if won then Program.return (Some 0) else Program.scan_names ~first:1 ~count:(n - 1)
+  in
+  (* The leading yield keeps the honest process alive through the race
+     window: round-robin here cycles over *runnable indices*, so a
+     process finishing early shifts everyone else's turn order, and
+     without the yield that shift alone lets the rival's TAS beat the
+     prober's.  With it, the fair baseline is clean and the bug needs a
+     genuine depth-2 preemption of the prober between its read and TAS. *)
+  let honest =
+    let* () = Program.yield in
+    Program.scan_names ~first:2 ~count:1
+  in
+  { Executor.memory; programs = [| buggy_prober; rival; honest |]; label = "mutant-double-claim" }
+
+(* τ-device over-admit: the τ-register protocol admits at most τ
+   processes through the counting device, which is what guarantees every
+   admitted process a name slot.  The mutant polls once and treats
+   [Pending] as admission; when the schedule lets both processes submit
+   and poll before their device cycles run, τ+1 processes enter the
+   slot scan, and the loser "knows" the guarantee holds — so it claims
+   the slot anyway (bug depth 1, but invisible to round-robin, whose
+   interleaving always resolves the polls). *)
+let mutant_tau_over_admit ~seed:_ =
+  let n = 2 in
+  let tau = Tau_register.create ~base:0 ~tau:1 ~width:2 () in
+  let memory = Memory.create ~namespace:2 ~taus:[| tau |] () in
+  let open Program.Syntax in
+  let program pid =
+    let* () = Program.tau_submit ~reg:0 ~bit:pid in
+    let* answer = Program.tau_poll 0 in
+    let admitted = answer <> Tau_register.Lost_bit in
+    if admitted then
+      (* scan the τ slot slice; "cannot fail" for a real admittee *)
+      let* slot = Program.scan_names ~first:0 ~count:1 in
+      match slot with
+      | Some s -> Program.return (Some s)
+      | None -> Program.return (Some 0) (* the over-admitted loser's unbacked claim *)
+    else
+      let* won = Program.tas_name 1 in
+      Program.return (if won then Some 1 else None)
+  in
+  {
+    Executor.memory;
+    programs = Array.init n program;
+    label = "mutant-tau-over-admit";
+  }
+
+(* Dropped straggler in the Combined shape: stragglers register in the
+   backup extension by incrementing a shared counter and taking the
+   extension slot it indexes.  The mutant keeps the lost-update race
+   (read and increment are separate steps) and, worse, trusts the
+   reservation: the TAS on the computed slot is executed but its answer
+   ignored.  Two stragglers whose read-increment windows interleave
+   compute the same slot and both claim it.  The second straggler
+   arrives late (yields first), so round-robin serialises the windows
+   and stays clean (bug depth 2). *)
+let mutant_dropped_straggler ~seed:_ =
+  let memory = Memory.create ~namespace:4 ~words:1 () in
+  let open Program.Syntax in
+  let main_winner =
+    let* won = Program.tas_name 0 in
+    if won then Program.return (Some 0) else Program.scan_names ~first:1 ~count:3
+  in
+  let straggler ~late =
+    let rec yields k = if k = 0 then Program.return () else Program.bind Program.yield (fun () -> yields (k - 1)) in
+    let* () = yields (if late then 4 else 0) in
+    let* c = Program.read_word 0 in
+    let* () = Program.write_word ~idx:0 ~value:(c + 1) in
+    let slot = 2 + min c 1 in
+    let* _won = Program.tas_name slot in
+    Program.return (Some slot)
+  in
+  {
+    Executor.memory;
+    programs = [| main_winner; straggler ~late:false; straggler ~late:true |];
+    label = "mutant-dropped-straggler";
+  }
+
+let clean () =
+  [
+    target ~name:"loose-geometric-n4" ~n:4 ~allow_faults:true ~allow_crashes:true
+      (fun ~seed -> loose_geometric ~n:4 ~seed);
+    target ~name:"combined-geometric-n8" ~n:8 ~allow_faults:true ~allow_crashes:true
+      (fun ~seed -> combined_geometric ~n:8 ~seed);
+    target ~name:"uniform-probing-n3" ~n:3 ~allow_faults:true ~allow_crashes:true
+      (fun ~seed -> uniform_probing ~n:3 ~seed);
+    target ~name:"linear-scan-n4" ~n:4 ~allow_faults:true ~allow_crashes:true
+      (fun ~seed -> linear_scan ~n:4 ~seed);
+  ]
+
+let mutants () =
+  [
+    target ~name:"mutant-double-claim" ~n:3 ~expect_violation:true
+      (fun ~seed -> mutant_double_claim ~seed);
+    target ~name:"mutant-tau-over-admit" ~n:2 ~tau_cadence:3 ~expect_violation:true
+      (fun ~seed -> mutant_tau_over_admit ~seed);
+    target ~name:"mutant-dropped-straggler" ~n:3 ~expect_violation:true
+      (fun ~seed -> mutant_dropped_straggler ~seed);
+  ]
+
+let roster () = clean () @ mutants ()
+
+let builder ~name ~n =
+  match
+    List.find_opt (fun t -> String.equal t.Fuzz.fz_name name && t.Fuzz.fz_n = n) (roster ())
+  with
+  | Some t -> Some t.Fuzz.fz_build
+  | None -> None

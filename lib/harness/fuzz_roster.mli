@@ -1,0 +1,30 @@
+(** The fuzzing roster: what [renaming fuzz] runs.
+
+    Two halves:
+
+    - {!clean}: small instances of real algorithms (loose-geometric,
+      combined-geometric, uniform-probing, linear-scan).  The fuzzer
+      must report zero violations here — any hit is a real bug (or a
+      monitor blind spot) and fails the campaign.
+    - {!mutants}: deliberately seeded schedule-depth bugs — a
+      double-claim in the loose-geometric probe path, a τ-device
+      over-admit, and a dropped straggler in the Combined backup path.
+      Each is clean under the fair round-robin baseline and breaks only
+      under a rare bounded-depth interleaving; the fuzzer {e must} find
+      and shrink every one within its budget, or the campaign fails.
+      This is the fuzzing analogue of
+      [renaming analyze --inject broken-footprint]. *)
+
+val clean : unit -> Renaming_fuzz.Fuzz.target list
+
+val mutants : unit -> Renaming_fuzz.Fuzz.target list
+
+val roster : unit -> Renaming_fuzz.Fuzz.target list
+(** [clean () @ mutants ()]. *)
+
+val builder :
+  name:string ->
+  n:int ->
+  (seed:int64 -> Renaming_sched.Executor.instance) option
+(** Resolve a roster target by repro header, for [renaming shrink]
+    replay of fuzz-written artifacts. *)

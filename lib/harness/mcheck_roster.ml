@@ -107,6 +107,7 @@ let repro_of_case e (c : Mcheck.case) =
         rp_seed = e.e_seed;
         rp_check_ownership = e.e_check_ownership;
         rp_max_ticks = e.e_bounds.Mcheck.b_max_ticks;
+        rp_tau_cadence = 1;
         rp_kind = c.Mcheck.v_kind;
         rp_choices = r.Shrink.r_choices;
       }
@@ -121,6 +122,6 @@ let builder ~name ~n =
         (Chaos.algorithms ~n)
     with
     | Some a -> Some a.Campaign.build
-    | None -> None)
+    | None -> Fuzz_roster.builder ~name ~n)
 
 let check_ownership_of ~name:_ = true

@@ -81,6 +81,7 @@ let check ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8) target =
               check_ownership = target.t_check_ownership;
               choices = prefix;
               max_ticks = bounds.b_max_ticks;
+              tau_cadence = 1;
             }
       in
       cases := { v_kind = kind; v_message = message; v_prefix = prefix; v_shrunk = shrunk } :: !cases

@@ -1,0 +1,154 @@
+(* Direct unit tests for the scheduling adversaries: views are built by
+   hand so each strategy's decision rule is pinned down without running
+   a whole simulation. *)
+
+module Adversary = Renaming_sched.Adversary
+module Memory = Renaming_sched.Memory
+module Op = Renaming_sched.Op
+
+let check = Alcotest.check
+
+let view ?(time = 0) ?(crashed = []) ?(ops = []) ~memory runnable =
+  let runnable = Array.of_list runnable in
+  {
+    Adversary.time;
+    runnable_count = Array.length runnable;
+    runnable_nth = (fun i -> runnable.(i));
+    is_runnable = (fun pid -> Array.exists (Int.equal pid) runnable);
+    is_crashed = (fun pid -> List.mem pid crashed);
+    pending_op = (fun pid -> match List.assoc_opt pid ops with Some op -> op | None -> Op.Yield);
+    memory;
+  }
+
+let decision_to_string = function
+  | Adversary.Schedule p -> Printf.sprintf "schedule %d" p
+  | Adversary.Crash p -> Printf.sprintf "crash %d" p
+  | Adversary.Recover p -> Printf.sprintf "recover %d" p
+
+let decision =
+  Alcotest.testable (fun ppf d -> Format.pp_print_string ppf (decision_to_string d)) ( = )
+
+let test_round_robin_fair () =
+  let memory = Memory.create ~namespace:4 () in
+  let v = view ~memory [ 0; 1; 2 ] in
+  let a = Adversary.round_robin () in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 300 do
+    match a.Adversary.decide v with
+    | Adversary.Schedule p -> counts.(p) <- counts.(p) + 1
+    | d -> Alcotest.failf "round-robin made a non-schedule decision %s" (decision_to_string d)
+  done;
+  Array.iteri
+    (fun pid c -> check Alcotest.int (Printf.sprintf "pid %d scheduled equally" pid) 100 c)
+    counts;
+  (* The sweep is cyclic, not merely balanced. *)
+  let b = Adversary.round_robin () in
+  let order = List.init 6 (fun _ -> b.Adversary.decide v) in
+  check (Alcotest.list decision) "cyclic order"
+    Adversary.[ Schedule 0; Schedule 1; Schedule 2; Schedule 0; Schedule 1; Schedule 2 ]
+    order
+
+let test_round_robin_fresh_cursor () =
+  (* Each call to [round_robin ()] must return an independent scheduler:
+     a shared cursor would couple unrelated executions. *)
+  let memory = Memory.create ~namespace:4 () in
+  let v = view ~memory [ 0; 1 ] in
+  let a = Adversary.round_robin () in
+  ignore (a.Adversary.decide v);
+  let b = Adversary.round_robin () in
+  check decision "fresh scheduler starts at index 0" (Adversary.Schedule 0) (b.Adversary.decide v)
+
+let test_adaptive_contention_prefers_doomed_tas () =
+  let memory = Memory.create ~namespace:4 () in
+  (* Name 0 is already taken, so pid 2's pending TAS on it is wasted. *)
+  ignore (Memory.apply memory ~pid:7 (Op.Tas_name 0));
+  let ops = [ (1, Op.Tas_name 1); (2, Op.Tas_name 0) ] in
+  let v = view ~memory ~ops [ 1; 2 ] in
+  check decision "schedules the doomed TAS" (Adversary.Schedule 2)
+    (Adversary.adaptive_contention.Adversary.decide v);
+  (* Nobody doomed: falls back to the lowest runnable pid. *)
+  let v' = view ~memory ~ops:[ (1, Op.Tas_name 1); (2, Op.Tas_name 2) ] [ 1; 2 ] in
+  check decision "fallback is lowest pid" (Adversary.Schedule 1)
+    (Adversary.adaptive_contention.Adversary.decide v')
+
+let test_colluding_groups_shared_target () =
+  let memory = Memory.create ~namespace:4 () in
+  (* Pids 1 and 3 both target free register 2; pid 0 targets register 1
+     alone.  The colluding adversary runs the largest group, lowest pid
+     first, so all but one of its TAS operations lose. *)
+  let ops = [ (0, Op.Tas_name 1); (1, Op.Tas_name 2); (3, Op.Tas_name 2) ] in
+  let v = view ~memory ~ops [ 0; 1; 3 ] in
+  check decision "schedules the shared-target group" (Adversary.Schedule 1)
+    (Adversary.colluding.Adversary.decide v);
+  (* No shared targets: lowest runnable pid. *)
+  let v' = view ~memory ~ops:[ (0, Op.Tas_name 1); (1, Op.Tas_name 2) ] [ 0; 1 ] in
+  check decision "fallback is lowest pid" (Adversary.Schedule 0)
+    (Adversary.colluding.Adversary.decide v')
+
+let test_with_crashes_respects_budget () =
+  let memory = Memory.create ~namespace:4 () in
+  (* Two crash entries: the adversary must issue exactly two crashes, at
+     or after their scheduled times, and then behave like its base. *)
+  let a = Adversary.with_crashes ~base:(Adversary.round_robin ()) ~crash_times:[ (0, 1); (2, 2) ] in
+  check decision "first crash fires" (Adversary.Crash 1)
+    (a.Adversary.decide (view ~memory ~time:0 [ 0; 1; 2 ]));
+  (* Time 1: the second crash (due at 2) is not due yet. *)
+  check decision "not due yet" (Adversary.Schedule 0)
+    (a.Adversary.decide (view ~memory ~time:1 [ 0; 2 ]));
+  check decision "second crash fires" (Adversary.Crash 2)
+    (a.Adversary.decide (view ~memory ~time:2 [ 0; 2 ]));
+  (* Budget exhausted: only schedules from here on. *)
+  for t = 3 to 20 do
+    match a.Adversary.decide (view ~memory ~time:t [ 0 ]) with
+    | Adversary.Schedule _ -> ()
+    | d -> Alcotest.failf "crash budget exceeded at t=%d: %s" t (decision_to_string d)
+  done
+
+let test_with_crashes_never_kills_last_runnable () =
+  let memory = Memory.create ~namespace:4 () in
+  let a = Adversary.with_crashes ~base:(Adversary.round_robin ()) ~crash_times:[ (0, 0) ] in
+  (* Pid 0 is the only runnable process: the crash must be skipped
+     (dropped, not deferred), leaving a plain schedule. *)
+  check decision "skips the crash" (Adversary.Schedule 0)
+    (a.Adversary.decide (view ~memory ~time:5 [ 0 ]));
+  (* The skipped entry is dropped, not deferred: no crash later either. *)
+  (match a.Adversary.decide (view ~memory ~time:6 [ 0; 1 ]) with
+  | Adversary.Schedule _ -> ()
+  | d -> Alcotest.failf "dropped crash came back: %s" (decision_to_string d))
+
+let test_with_crash_recovery_schedule () =
+  let memory = Memory.create ~namespace:4 () in
+  let a =
+    Adversary.with_crash_recovery ~base:(Adversary.round_robin ()) ~crashes:[ (0, 1) ]
+      ~recover_after:3
+  in
+  check decision "crash fires" (Adversary.Crash 1)
+    (a.Adversary.decide (view ~memory ~time:0 [ 0; 1; 2 ]));
+  (* Recovery is due at time 3, not before. *)
+  check decision "too early to recover" (Adversary.Schedule 0)
+    (a.Adversary.decide (view ~memory ~time:2 ~crashed:[ 1 ] [ 0; 2 ]));
+  check decision "recovery fires" (Adversary.Recover 1)
+    (a.Adversary.decide (view ~memory ~time:3 ~crashed:[ 1 ] [ 0; 2 ]));
+  Alcotest.check_raises "recover_after must be positive"
+    (Invalid_argument "Adversary.with_crash_recovery: recover_after must be >= 1") (fun () ->
+      ignore
+        (Adversary.with_crash_recovery ~base:(Adversary.round_robin ()) ~crashes:[]
+           ~recover_after:0))
+
+let tests =
+  [
+    ( "sched.adversary",
+      [
+        Alcotest.test_case "round-robin is fair and cyclic" `Quick test_round_robin_fair;
+        Alcotest.test_case "round-robin cursor is per-instance" `Quick test_round_robin_fresh_cursor;
+        Alcotest.test_case "adaptive contention wastes doomed TAS" `Quick
+          test_adaptive_contention_prefers_doomed_tas;
+        Alcotest.test_case "colluding targets shared registers" `Quick
+          test_colluding_groups_shared_target;
+        Alcotest.test_case "crash injection respects the budget" `Quick
+          test_with_crashes_respects_budget;
+        Alcotest.test_case "never crashes the last runnable" `Quick
+          test_with_crashes_never_kills_last_runnable;
+        Alcotest.test_case "crash-recovery timing" `Quick test_with_crash_recovery_schedule;
+      ] );
+  ]

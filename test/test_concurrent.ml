@@ -116,6 +116,70 @@ let test_mc_repeated_runs_sound () =
 let test_recommended_domains_positive () =
   check Alcotest.bool "at least one" true (Mc_run.recommended_domains () >= 1)
 
+(* --- the stress watchdog --- *)
+
+module Clock = Renaming_clock.Clock
+
+(* Every process probes the single register forever: one wins and
+   retires, the rest are livelocked.  [count] is effectively infinite
+   relative to any deadline. *)
+let livelock_schedule _pid = [| Mc_run.Probe { base = 0; size = 1; count = max_int } |]
+
+let test_watchdog_stalls_livelocked_run () =
+  (* A unit-step virtual clock makes the deadline trip after a handful
+     of watchdog polls, independent of real time. *)
+  match
+    Mc_run.execute ~domains:2 ~clock:(Clock.virtual_ ()) ~deadline:5.0 ~n:4 ~namespace:1
+      ~schedule_of_pid:livelock_schedule ~seed:1L ()
+  with
+  | _ -> Alcotest.fail "livelocked run terminated"
+  | exception Mc_run.Stalled { deadline; elapsed; per_domain_steps; finished_domains; domains } ->
+    check (Alcotest.float 1e-9) "deadline recorded" 5.0 deadline;
+    check Alcotest.bool "elapsed past deadline" true (elapsed >= deadline);
+    check Alcotest.int "per-domain diagnostic" 2 (Array.length per_domain_steps);
+    check Alcotest.int "domains" 2 domains;
+    check Alcotest.bool "not all domains finished" true (finished_domains < 2)
+
+let test_watchdog_diagnostic_renders () =
+  match
+    Mc_run.execute ~domains:2 ~clock:(Clock.virtual_ ()) ~deadline:3.0 ~n:4 ~namespace:1
+      ~schedule_of_pid:livelock_schedule ~seed:2L ()
+  with
+  | _ -> Alcotest.fail "livelocked run terminated"
+  | exception (Mc_run.Stalled _ as e) ->
+    let s = Mc_run.stalled_to_string e in
+    List.iter
+      (fun fragment ->
+        let nh = String.length s and nn = String.length fragment in
+        let rec at i = i + nn <= nh && (String.sub s i nn = fragment || at (i + 1)) in
+        check Alcotest.bool ("diagnostic mentions " ^ fragment) true (at 0))
+      [ "stalled"; "deadline"; "domains finished"; "d0="; "d1=" ]
+
+let test_watchdog_passes_healthy_run () =
+  (* A terminating run under a generous deadline completes normally and
+     still reports clock-measured wall time. *)
+  let result =
+    Mc_run.loose_geometric ~domains:2 ~clock:(Clock.virtual_ ~step:0.001 ()) ~deadline:1e6 ~n:256
+      ~ell:2 ~seed:3L ()
+  in
+  check Alcotest.bool "valid assignment" true (Assignment.is_valid result.Mc_run.assignment);
+  check Alcotest.int "domains" 2 result.Mc_run.domains;
+  check Alcotest.bool "wall time measured" true (result.Mc_run.wall_seconds > 0.)
+
+let test_watchdog_parameter_validation () =
+  let run ?clock ?deadline () =
+    ignore
+      (Mc_run.execute ?clock ?deadline ~domains:1 ~n:2 ~namespace:2
+         ~schedule_of_pid:(fun _ -> [| Mc_run.Sweep { base = 0; size = 2 } |])
+         ~seed:4L ())
+  in
+  Alcotest.check_raises "deadline without a clock"
+    (Invalid_argument "Mc_run.execute: a deadline needs a ticking clock") (fun () ->
+      run ~deadline:1.0 ());
+  Alcotest.check_raises "non-positive deadline"
+    (Invalid_argument "Mc_run.execute: deadline must be > 0") (fun () ->
+      run ~clock:(Clock.virtual_ ()) ~deadline:0. ())
+
 let tests =
   [
     ( "concurrent",
@@ -130,5 +194,11 @@ let tests =
         Alcotest.test_case "mc steps recorded" `Quick test_mc_steps_recorded;
         Alcotest.test_case "mc repeated runs sound" `Quick test_mc_repeated_runs_sound;
         Alcotest.test_case "recommended domains" `Quick test_recommended_domains_positive;
+        Alcotest.test_case "watchdog stalls a livelocked run" `Quick
+          test_watchdog_stalls_livelocked_run;
+        Alcotest.test_case "watchdog diagnostic renders" `Quick test_watchdog_diagnostic_renders;
+        Alcotest.test_case "watchdog passes a healthy run" `Quick test_watchdog_passes_healthy_run;
+        Alcotest.test_case "watchdog parameter validation" `Quick
+          test_watchdog_parameter_validation;
       ] );
   ]

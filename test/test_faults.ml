@@ -12,6 +12,7 @@ module Report = Renaming_sched.Report
 module Stream = Renaming_rng.Stream
 module Xoshiro = Renaming_rng.Xoshiro
 module Retry = Renaming_faults.Retry
+module Clock = Renaming_clock.Clock
 module Injector = Renaming_faults.Injector
 module Monitor = Renaming_faults.Monitor
 module Campaign = Renaming_faults.Campaign
@@ -68,6 +69,40 @@ let test_retry_tas_exhaustion_is_lost () =
   check Alcotest.int "no name claimed" 0 (Report.named_count report);
   check Alcotest.bool "register untouched" true
     (Renaming_shm.Tas_array.owner (Memory.names memory) 0 = None)
+
+let test_retry_time_budget_on_virtual_clock () =
+  (* Attempts are plentiful, but a 3-second budget on a unit-step
+     virtual clock exhausts after the third faulted attempt: the clock
+     is read once when the combinator starts (0.) and once per fault
+     (1., 2., 3. — and 3.0 >= budget). *)
+  let policy = Retry.make_policy ~attempts:1000 ~base_delay:0 ~time_budget:3.0 () in
+  let program =
+    let* won = Retry.tas_name ~policy ~clock:(Clock.virtual_ ()) 0 in
+    Program.return (if won then Some 0 else None)
+  in
+  let report, memory =
+    run_single program ~namespace:1 ~inject:(fun ~time:_ ~pid:_ ~op -> Op.faultable op)
+  in
+  check Alcotest.int "gave up in the safe direction" 0 (Report.named_count report);
+  check Alcotest.bool "register untouched" true
+    (Renaming_shm.Tas_array.owner (Memory.names memory) 0 = None);
+  check Alcotest.int "budget cut the retries to three attempts" 3 report.Report.ticks
+
+let test_retry_time_budget_inert_without_clock () =
+  (* The same budget under the default absent clock never binds: all
+     attempts are available and the TAS wins once the faults stop. *)
+  let policy = Retry.make_policy ~attempts:5 ~base_delay:0 ~time_budget:3.0 () in
+  let program =
+    let* won = Retry.tas_name ~policy 0 in
+    Program.return (if won then Some 0 else None)
+  in
+  let report, _ = run_single program ~namespace:1 ~inject:(fault_first 4) in
+  check Alcotest.(option int) "budget never binds, tas wins" (Some 0)
+    report.Report.assignment.Assignment.names.(0);
+  check Alcotest.int "all five attempts used" 5 report.Report.ticks;
+  Alcotest.check_raises "budget must be positive"
+    (Invalid_argument "Retry.make_policy: time_budget must be > 0") (fun () ->
+      ignore (Retry.make_policy ~time_budget:0. ()))
 
 let test_retry_read_exhaustion_is_set () =
   (* A read whose retries exhaust reports "set" — the safe direction: a
@@ -452,6 +487,7 @@ let test_campaign_autoshrinks_violations () =
         check_ownership = false;
         choices = repro.Shrink.rp_choices;
         max_ticks = 1_000;
+        tau_cadence = 1;
       }
     in
     let replay () =
@@ -477,6 +513,7 @@ let test_shrink_none_when_input_passes () =
       check_ownership = true;
       choices = [ Directed.Step 0; Directed.Step 1 ];
       max_ticks = 1_000;
+      tau_cadence = 1;
     }
   in
   check Alcotest.bool "no failure, no result" true (Shrink.shrink input = None)
@@ -489,6 +526,7 @@ let test_repro_roundtrip () =
       rp_seed = 0x5EED_2015L;
       rp_check_ownership = true;
       rp_max_ticks = 50_000;
+      rp_tau_cadence = 2;
       rp_kind = "duplicate-name";
       rp_choices = [ Directed.Step 0; Directed.Fault 2; Directed.Crash 1; Directed.Recover 1 ];
     }
@@ -500,9 +538,20 @@ let test_repro_roundtrip () =
     check Alcotest.bool "seed" true (Int64.equal repro.Shrink.rp_seed r.Shrink.rp_seed);
     check Alcotest.bool "ownership" repro.Shrink.rp_check_ownership r.Shrink.rp_check_ownership;
     check Alcotest.int "max-ticks" repro.Shrink.rp_max_ticks r.Shrink.rp_max_ticks;
+    check Alcotest.int "tau-cadence" repro.Shrink.rp_tau_cadence r.Shrink.rp_tau_cadence;
     check Alcotest.string "kind" repro.Shrink.rp_kind r.Shrink.rp_kind;
     check Alcotest.bool "choices" true (repro.Shrink.rp_choices = r.Shrink.rp_choices)
   | Error e -> Alcotest.failf "round-trip failed: %s" e
+
+let test_repro_tau_cadence_header_optional () =
+  (* Artifacts written before the tau-cadence header existed must still
+     parse, with the executor-default cadence. *)
+  match
+    Shrink.repro_of_string
+      "algorithm: x\nn: 2\nseed: 1\ncheck-ownership: true\nmax-ticks: 10\nkind: k\ntrace:\nstep 0\n"
+  with
+  | Ok r -> check Alcotest.int "default cadence" 1 r.Shrink.rp_tau_cadence
+  | Error e -> Alcotest.failf "legacy artifact rejected: %s" e
 
 let test_repro_rejects_garbage () =
   check Alcotest.bool "no trace section" true
@@ -517,6 +566,10 @@ let tests =
         Alcotest.test_case "backoff delays" `Quick test_backoff_delays;
         Alcotest.test_case "tas wins after faults" `Quick test_retry_tas_wins_after_faults;
         Alcotest.test_case "tas exhaustion is lost" `Quick test_retry_tas_exhaustion_is_lost;
+        Alcotest.test_case "time budget on a virtual clock" `Quick
+          test_retry_time_budget_on_virtual_clock;
+        Alcotest.test_case "time budget inert without a clock" `Quick
+          test_retry_time_budget_inert_without_clock;
         Alcotest.test_case "read exhaustion is set" `Quick test_retry_read_exhaustion_is_set;
         Alcotest.test_case "scan skips faulty register" `Quick
           test_retry_scan_skips_faulty_register;
@@ -565,6 +618,8 @@ let tests =
           test_campaign_autoshrinks_violations;
         Alcotest.test_case "clean input yields no result" `Quick test_shrink_none_when_input_passes;
         Alcotest.test_case "repro round-trips" `Quick test_repro_roundtrip;
+        Alcotest.test_case "tau-cadence header optional" `Quick
+          test_repro_tau_cadence_header_optional;
         Alcotest.test_case "repro rejects garbage" `Quick test_repro_rejects_garbage;
       ] );
   ]

@@ -23,4 +23,6 @@ let () =
          Test_faults.tests;
          Test_mcheck.tests;
          Test_analysis.tests;
+         Test_adversary.tests;
+         Test_fuzz.tests;
        ])

@@ -194,6 +194,7 @@ let test_mcheck_finds_and_shrinks_double_claim () =
               check_ownership = false;
               choices = r.Shrink.r_choices;
               max_ticks = 1_000;
+              tau_cadence = 1;
             }
           in
           let kind () =
