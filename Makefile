@@ -10,11 +10,15 @@ build:
 test:
 	dune runtest
 
-# Regenerate every table and figure (quick scale, ~1 minute).
+# Regenerate every table and figure (quick scale, ~1 minute).  Also
+# writes the machine-readable baseline results/bench.json (tables as
+# data + Bechamel micro-benchmarks + telemetry overhead bound; schema
+# renaming.bench/1, see docs/observability.md).
 bench:
 	dune exec bench/main.exe
 
-# The EXPERIMENTS.md configuration (~15 minutes).
+# The EXPERIMENTS.md configuration (~15 minutes); JSON lands in
+# results/full_scale.json.
 bench-full:
 	RENAMING_SCALE=full dune exec bench/main.exe
 

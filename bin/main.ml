@@ -12,6 +12,11 @@ module Table = Renaming_harness.Table
 module Params = Renaming_core.Params
 module Report = Renaming_sched.Report
 module Adversary = Renaming_sched.Adversary
+module Obs = Renaming_obs.Obs
+module Export = Renaming_obs.Export
+module Json = Renaming_obs.Json
+module Telemetry = Renaming_sched.Telemetry
+module Executor = Renaming_sched.Executor
 
 let scale_arg =
   let scale = Arg.enum [ ("quick", Runcfg.Quick); ("full", Runcfg.Full) ] in
@@ -187,6 +192,21 @@ let write_repros ~dir repros =
       Printf.printf "(repro written to %s)\n" path)
     repros
 
+(* Shared --metrics option: campaigns opt into the telemetry registry
+   and persist a snapshot next to their JSON summary. *)
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Also write a telemetry metrics snapshot of the campaign to $(docv).")
+
+let obs_of_metrics metrics = Option.map (fun _ -> Obs.create ()) metrics
+
+let write_metrics ~label obs metrics =
+  match (obs, metrics) with
+  | Some obs, Some path ->
+    write_file path (Export.metrics_to_string ~label (Obs.metrics obs) ^ "\n");
+    Printf.printf "(metrics written to %s)\n" path
+  | _ -> ()
+
 let chaos_cmd =
   let module Campaign = Renaming_faults.Campaign in
   let module Chaos = Renaming_harness.Chaos in
@@ -199,7 +219,7 @@ let chaos_cmd =
     Arg.(value & opt string "results/chaos.json" & info [ "out" ] ~docv:"FILE"
            ~doc:"Write the JSON summary to $(docv).")
   in
-  let run n seed_count max_ticks out =
+  let run n seed_count max_ticks out metrics =
     if n < 8 then begin
       Printf.eprintf "chaos: -n must be >= 8 (the tight schedule's minimum)\n";
       exit 2
@@ -213,10 +233,12 @@ let chaos_cmd =
       Printf.eprintf "\rchaos: cell %d/%d%!" done_ total;
       if done_ = total then prerr_newline ()
     in
-    let summary = Campaign.run ~progress spec in
+    let obs = obs_of_metrics metrics in
+    let summary = Campaign.run ~progress ?obs spec in
     Format.printf "%a@." Campaign.pp summary;
     write_file out (Campaign.to_json summary ^ "\n");
     Printf.printf "(json written to %s)\n" out;
+    write_metrics ~label:"chaos" obs metrics;
     write_repros ~dir:(Filename.concat (Filename.dirname out) "repros")
       (List.concat_map (fun c -> c.Campaign.c_repros) summary.Campaign.cells);
     if summary.Campaign.total_violations > 0 then begin
@@ -229,7 +251,7 @@ let chaos_cmd =
        ~doc:
          "Run the deterministic chaos campaign: every algorithm under crash, crash-recovery and \
           transient-fault injection with the online safety monitor attached.")
-    Term.(const run $ n $ seeds $ max_ticks $ out)
+    Term.(const run $ n $ seeds $ max_ticks $ out $ metrics_arg)
 
 let mcheck_cmd =
   let module Mcheck = Renaming_mcheck.Mcheck in
@@ -246,7 +268,7 @@ let mcheck_cmd =
     Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME"
            ~doc:"Check only the named roster entries (repeatable).")
   in
-  let run tier1 out only =
+  let run tier1 out only metrics =
     let entries = if tier1 then Roster.tier1 () else Roster.roster () in
     let entries =
       if only = [] then entries
@@ -256,10 +278,11 @@ let mcheck_cmd =
       Printf.eprintf "mcheck: no roster entries selected\n";
       exit 2
     end;
+    let obs = obs_of_metrics metrics in
     let all =
       List.map
         (fun e ->
-          let stats = Roster.run_entry e in
+          let stats = Roster.run_entry ?obs e in
           Format.printf "%a@." Mcheck.pp_stats stats;
           write_repros ~dir:(Filename.concat (Filename.dirname out) "repros")
             (List.filter_map (Roster.repro_of_case e) stats.Mcheck.s_cases);
@@ -268,6 +291,7 @@ let mcheck_cmd =
     in
     write_file out (Mcheck.to_json all ^ "\n");
     Printf.printf "(json written to %s)\n" out;
+    write_metrics ~label:"mcheck" obs metrics;
     let violations =
       List.fold_left (fun acc s -> acc + s.Mcheck.s_violations) 0 all
     in
@@ -282,7 +306,7 @@ let mcheck_cmd =
          "Exhaustively model-check small instances: every schedule (plus bounded crash, recovery \
           and transient-fault injections) under the online safety monitor, with preemption \
           bounding and sleep-set pruning.")
-    Term.(const run $ tier1 $ out $ only)
+    Term.(const run $ tier1 $ out $ only $ metrics_arg)
 
 let analyze_cmd =
   let module Analyze = Renaming_analysis.Analyze in
@@ -442,7 +466,7 @@ let fuzz_cmd =
     Arg.(value & opt string "results/fuzz.json" & info [ "out" ] ~docv:"FILE"
            ~doc:"Write the JSON summary to $(docv).")
   in
-  let run seed iterations depth max_seconds mutants_only only out =
+  let run seed iterations depth max_seconds mutants_only only out metrics =
     if iterations < 1 || depth < 1 then begin
       Printf.eprintf "fuzz: --iterations and --depth must be >= 1\n";
       exit 2
@@ -461,10 +485,12 @@ let fuzz_cmd =
       Printf.eprintf "\rfuzz: %-28s %d/%d%!" target done_ total;
       if done_ = total then prerr_newline ()
     in
-    let summary = Fuzz.run ?clock ?max_seconds ~depth ~progress ~seed ~iterations targets in
+    let obs = obs_of_metrics metrics in
+    let summary = Fuzz.run ?clock ?max_seconds ~depth ~progress ?obs ~seed ~iterations targets in
     Format.printf "%a@." Fuzz.pp summary;
     write_file out (Fuzz.to_json summary ^ "\n");
     Printf.printf "(json written to %s)\n" out;
+    write_metrics ~label:"fuzz" obs metrics;
     write_repros ~dir:(Filename.concat (Filename.dirname out) "repros") (Fuzz.repros summary);
     if not (Fuzz.ok summary) then begin
       Printf.eprintf "fuzz: campaign failed (missed mutant or violation on a clean target)\n";
@@ -479,7 +505,210 @@ let fuzz_cmd =
           safety monitor, with every violation ddmin-shrunk to a replayable .repro.  The roster \
           mixes clean algorithms (must stay clean) with seeded schedule-depth mutants (must be \
           found).")
-    Term.(const run $ seed $ iterations $ depth $ max_seconds $ mutants_only $ only $ out)
+    Term.(const run $ seed $ iterations $ depth $ max_seconds $ mutants_only $ only $ out
+          $ metrics_arg)
+
+(* --- telemetry subcommands --- *)
+
+(* Build a fully instrumented instance of one of the paper algorithms:
+   the obs capability is threaded into the programs, the shared
+   instrumentation record is registered on the metrics registry, and
+   the memory access logger is attached. *)
+let obs_instance ~algorithm ~n ~ell ~seed ~mem_events obs =
+  let stream = Renaming_rng.Stream.create seed in
+  let inst =
+    match algorithm with
+    | "tight" | "tight-literal" ->
+      let policy =
+        if algorithm = "tight" then Params.Mass_conserving else Params.Paper_literal
+      in
+      let params = Params.make ~policy ~n () in
+      let instr = Renaming_core.Tight.create_instrumentation ~obs params in
+      Renaming_core.Tight.instance ~instr ~obs ~params ~stream ()
+    | "loose-geometric" ->
+      let cfg = { Renaming_core.Loose_geometric.n; ell } in
+      let instr = Renaming_core.Loose_geometric.create_instrumentation ~obs cfg in
+      Renaming_core.Loose_geometric.instance ~instr ~obs cfg ~stream
+    | "loose-clustered" ->
+      let cfg = { Renaming_core.Loose_clustered.n; ell } in
+      let instr = Renaming_core.Loose_clustered.create_instrumentation ~obs cfg in
+      Renaming_core.Loose_clustered.instance ~instr ~obs cfg ~stream
+    | "cor7" ->
+      Renaming_core.Combined.instance ~obs
+        { Renaming_core.Combined.n; variant = Renaming_core.Combined.Geometric { ell } }
+        ~stream
+    | "cor9" ->
+      Renaming_core.Combined.instance ~obs
+        { Renaming_core.Combined.n; variant = Renaming_core.Combined.Clustered { ell } }
+        ~stream
+    | other ->
+      Printf.eprintf
+        "unknown algorithm %S (expected tight, tight-literal, loose-geometric, loose-clustered, \
+         cor7 or cor9)\n"
+        other;
+      exit 2
+  in
+  Telemetry.attach ~events:mem_events obs inst.Executor.memory;
+  inst
+
+let trace_algorithm_arg =
+  Arg.(value & opt string "tight" & info [ "algorithm"; "a" ] ~docv:"ALGO"
+         ~doc:"One of: tight, tight-literal, loose-geometric, loose-clustered, cor7, cor9.")
+
+(* Every live (non-crashed-at-end) pid must have recorded at least one
+   event; used by --check and the CI trace-smoke step. *)
+let check_pid_coverage ~n events =
+  let seen = Array.make n false in
+  List.iter
+    (fun (e : Renaming_obs.Ring.event) ->
+      if e.Renaming_obs.Ring.ev_pid >= 0 && e.Renaming_obs.Ring.ev_pid < n then
+        seen.(e.Renaming_obs.Ring.ev_pid) <- true)
+    events;
+  let missing = ref [] in
+  Array.iteri (fun pid b -> if not b then missing := pid :: !missing) seen;
+  match !missing with
+  | [] -> Ok ()
+  | pids ->
+    Error
+      (Printf.sprintf "no events for %d pid(s): %s" (List.length pids)
+         (String.concat ", " (List.map string_of_int (List.rev pids))))
+
+(* Re-parse the written artifact with the validating parser, as an
+   independent check that the exporter emitted well-formed JSON. *)
+let check_trace_file ~format ~n path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match format with
+  | `Jsonl -> (
+    match Renaming_obs.Export.events_of_jsonl contents with
+    | Error e -> Error ("jsonl: " ^ e)
+    | Ok events -> check_pid_coverage ~n events)
+  | `Chrome -> (
+    match Json.of_string contents with
+    | Error e -> Error ("chrome trace: " ^ e)
+    | Ok doc -> (
+      match Option.bind (Json.member "traceEvents" doc) Json.to_items with
+      | None -> Error "chrome trace: no traceEvents array"
+      | Some items ->
+        let seen = Array.make n false in
+        let bad = ref None in
+        List.iter
+          (fun item ->
+            match (Json.member "ph" item, Json.member "tid" item) with
+            | Some ph, Some tid -> (
+              match (Json.to_str ph, Json.to_int tid) with
+              | Some "M", _ -> ()
+              | Some _, Some tid when tid >= 0 && tid < n -> seen.(tid) <- true
+              | Some _, Some _ -> ()
+              | _ -> bad := Some "chrome trace: malformed event (ph/tid types)")
+            | _ -> bad := Some "chrome trace: event missing ph or tid")
+          items;
+        (match !bad with
+        | Some e -> Error e
+        | None ->
+          let missing = ref 0 in
+          Array.iter (fun b -> if not b then incr missing) seen;
+          if !missing > 0 then
+            Error (Printf.sprintf "chrome trace: %d pid track(s) have no events" !missing)
+          else Ok ())))
+
+let trace_cmd =
+  let n = Arg.(value & opt int 256 & info [ "n" ] ~doc:"Number of processes.") in
+  let ell = Arg.(value & opt int 2 & info [ "l" ] ~doc:"The l parameter of the loose algorithms.") in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Random seed.") in
+  let format =
+    Arg.(value & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"$(b,chrome): a trace_event JSON document loadable in Perfetto / \
+                   chrome://tracing; $(b,jsonl): one event object per line.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Output path (default results/trace-<algo>.<ext>).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Re-parse the written file and verify every pid recorded at least one event; \
+                 exit nonzero otherwise (the CI trace-smoke configuration).")
+  in
+  let mem_events =
+    Arg.(value & flag & info [ "mem-events" ]
+           ~doc:"Also record one instant event per shared-memory access (large traces).")
+  in
+  let ring_capacity =
+    Arg.(value & opt int 1_048_576 & info [ "ring-capacity" ] ~docv:"N"
+           ~doc:"Event-ring capacity; the oldest events are dropped beyond it.")
+  in
+  let run algorithm n ell seed format out check mem_events ring_capacity =
+    let obs = Obs.create ~ring_capacity () in
+    let inst = obs_instance ~algorithm ~n ~ell ~seed ~mem_events obs in
+    let report = Executor.run ~obs ~adversary:(Adversary.round_robin ()) inst in
+    let events = Obs.events obs in
+    let out =
+      match out with
+      | Some path -> path
+      | None ->
+        Printf.sprintf "results/trace-%s.%s" algorithm
+          (match format with `Chrome -> "json" | `Jsonl -> "jsonl")
+    in
+    (match format with
+    | `Chrome -> write_file out (Export.chrome_trace ~process_name:inst.Executor.label events)
+    | `Jsonl -> write_file out (Export.jsonl events));
+    let dropped = Renaming_obs.Ring.dropped (Obs.ring obs) in
+    Printf.printf "%s: n=%d ticks=%d max-steps=%d events=%d%s\n(trace written to %s)\n"
+      inst.Executor.label n report.Report.ticks (Report.max_steps report) (List.length events)
+      (if dropped > 0 then Printf.sprintf " (%d dropped: ring full)" dropped else "")
+      out;
+    if check then begin
+      if dropped > 0 then begin
+        Printf.eprintf "trace: --check needs the full trace; raise --ring-capacity\n";
+        exit 1
+      end;
+      match check_trace_file ~format ~n out with
+      | Ok () -> Printf.printf "(check ok: valid JSON, all %d pids have events)\n" n
+      | Error e ->
+        Printf.eprintf "trace: check failed: %s\n" e;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one instrumented renaming instance and export its trace: per-process round / probe \
+          / win / lose spans from the algorithm, executor step and crash / recover events, as a \
+          Chrome trace_event document (Perfetto-loadable) or a JSONL event stream.")
+    Term.(const run $ trace_algorithm_arg $ n $ ell $ seed $ format $ out $ check $ mem_events
+          $ ring_capacity)
+
+let metrics_cmd =
+  let n = Arg.(value & opt int 256 & info [ "n" ] ~doc:"Number of processes.") in
+  let ell = Arg.(value & opt int 2 & info [ "l" ] ~doc:"The l parameter of the loose algorithms.") in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Random seed.") in
+  let out =
+    Arg.(value & opt string "results/metrics.json" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the metrics snapshot JSON to $(docv).")
+  in
+  let run algorithm n ell seed out =
+    let obs = Obs.create () in
+    let inst = obs_instance ~algorithm ~n ~ell ~seed ~mem_events:false obs in
+    let report = Executor.run ~obs ~adversary:(Adversary.round_robin ()) inst in
+    write_file out (Export.metrics_to_string ~label:inst.Executor.label (Obs.metrics obs) ^ "\n");
+    Printf.printf "%s: n=%d ticks=%d max-steps=%d unnamed=%d\n(metrics written to %s)\n"
+      inst.Executor.label n report.Report.ticks (Report.max_steps report)
+      (List.length (Report.surviving_unnamed report))
+      out
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one instrumented renaming instance and write the full metrics-registry snapshot \
+          (probe/win/loss counters, per-process step histograms, migrated per-round \
+          instrumentation vectors, memory access counts) as JSON.")
+    Term.(const run $ trace_algorithm_arg $ n $ ell $ seed $ out)
 
 let () =
   let doc = "Randomized renaming in shared memory systems (IPDPS 2015) — reproduction toolkit" in
@@ -493,6 +722,8 @@ let () =
             all_cmd;
             demo_cmd;
             multicore_cmd;
+            trace_cmd;
+            metrics_cmd;
             chaos_cmd;
             mcheck_cmd;
             fuzz_cmd;

@@ -23,6 +23,9 @@ let rules =
     ("wall-clock", "wall-clock reads (Unix.gettimeofday / Sys.time ...) in library code");
     ( "unstable-hash",
       "Hashtbl.hash is not stable across OCaml versions; derive keys with a pinned hash" );
+    ( "stdout-print",
+      "direct stdout/stderr printing (Printf.printf / print_endline / Format.printf ...) in \
+       library code; return data or emit through the Renaming_obs exporters" );
     ("parse-error", "file does not parse");
   ]
 
@@ -79,7 +82,7 @@ let rec path_of (lid : Longident.t) =
 
 let normalize = function "Stdlib" :: rest -> rest | path -> path
 
-let ident_rule ~whitelisted lid =
+let ident_rule ~whitelisted ~print_whitelisted lid =
   match normalize (path_of lid) with
   | "Obj" :: _ -> Some ("obj-magic", "use of Obj")
   | "Random" :: _ -> Some ("nondeterministic-rng", "use of Random")
@@ -89,6 +92,14 @@ let ident_rule ~whitelisted lid =
   | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] ->
     Some ("unstable-hash", "version-unstable Hashtbl.hash")
   | "Atomic" :: _ when not whitelisted -> Some ("atomic-outside-shm", "use of Atomic")
+  | ( [ ("Printf" | "Format"); ("printf" | "eprintf") ]
+    | [ "Format"; ("print_string" | "print_newline") ]
+    | [
+        ( "print_endline" | "print_string" | "print_newline" | "print_char" | "print_int"
+        | "print_float" | "prerr_endline" | "prerr_string" | "prerr_newline" );
+      ] )
+    when not print_whitelisted ->
+    Some ("stdout-print", "direct stdout/stderr print in library code")
   | _ -> None
 
 (* Does a module-level binding's right-hand side immediately allocate
@@ -115,7 +126,7 @@ let rec allocates_mutable (e : Parsetree.expression) =
 
 (* --- the walk --- *)
 
-let lint_source ~whitelisted ~path contents =
+let lint_source ~whitelisted ~print_whitelisted ~path contents =
   let findings = ref [] in
   let lines = Array.of_list (String.split_on_char '\n' contents) in
   let add ~(loc : Location.t) rule message =
@@ -141,7 +152,7 @@ let lint_source ~whitelisted ~path contents =
     let expr_iter (it : Ast_iterator.iterator) (e : Parsetree.expression) =
       (match e.Parsetree.pexp_desc with
       | Parsetree.Pexp_ident { txt; loc } -> (
-        match ident_rule ~whitelisted txt with
+        match ident_rule ~whitelisted ~print_whitelisted txt with
         | Some (rule, message) -> add ~loc rule message
         | None -> ())
       | _ -> ());
@@ -171,15 +182,22 @@ let lint_source ~whitelisted ~path contents =
 
 let default_whitelist = [ "concurrent"; "shm" ]
 
+(* Directories whose job is rendering output for the bin/ edge: the obs
+   exporters may talk to channels, everything else returns data. *)
+let default_print_whitelist = [ "obs" ]
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file ?(whitelist = default_whitelist) path =
-  let whitelisted = List.mem (Filename.basename (Filename.dirname path)) whitelist in
-  lint_source ~whitelisted ~path (read_file path)
+let lint_file ?(whitelist = default_whitelist) ?(print_whitelist = default_print_whitelist) path
+    =
+  let dir = Filename.basename (Filename.dirname path) in
+  let whitelisted = List.mem dir whitelist in
+  let print_whitelisted = List.mem dir print_whitelist in
+  lint_source ~whitelisted ~print_whitelisted ~path (read_file path)
 
 let rec ml_files dir =
   match Sys.readdir dir with
@@ -196,9 +214,9 @@ let rec ml_files dir =
         else acc)
       [] entries
 
-let lint_dir ?whitelist root =
+let lint_dir ?whitelist ?print_whitelist root =
   let files = ml_files root in
-  (List.length files, List.concat_map (lint_file ?whitelist) files)
+  (List.length files, List.concat_map (lint_file ?whitelist ?print_whitelist) files)
 
 let active findings = List.filter (fun f -> not f.l_waived) findings
 

@@ -14,7 +14,12 @@
       [Random.self_init] additionally seeds from the wall clock);
     - [wall-clock]: [Unix.gettimeofday], [Unix.time], [Sys.time], ...;
     - [unstable-hash]: [Hashtbl.hash] and friends, whose output may
-      change between OCaml releases.
+      change between OCaml releases;
+    - [stdout-print]: direct channel printing ([Printf.printf],
+      [Printf.eprintf], [Format.printf], [print_endline], [prerr_*],
+      ...) outside the print-whitelisted directories (default:
+      [lib/obs], whose exporters render output for the [bin/] edge) —
+      library code returns data instead of writing to channels.
 
     A finding is waived with an inline comment on the same line or the
     line above: [(* lint: allow wall-clock — benchmarking *)]; waived
@@ -35,9 +40,14 @@ val default_whitelist : string list
 (** Directory basenames exempt from the shared-mutable-state rules:
     [["concurrent"; "shm"]]. *)
 
-val lint_file : ?whitelist:string list -> string -> finding list
+val default_print_whitelist : string list
+(** Directory basenames exempt from [stdout-print]: [["obs"]]. *)
 
-val lint_dir : ?whitelist:string list -> string -> int * finding list
+val lint_file :
+  ?whitelist:string list -> ?print_whitelist:string list -> string -> finding list
+
+val lint_dir :
+  ?whitelist:string list -> ?print_whitelist:string list -> string -> int * finding list
 (** Walk [root] recursively (skipping [_build] and dotted directories)
     and lint every [.ml] file; returns (files linted, findings). *)
 

@@ -1,6 +1,8 @@
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
 module Clock = Renaming_clock.Clock
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
 
 type result = {
   assignment : Renaming_shm.Assignment.t;
@@ -109,7 +111,22 @@ let rec step regs p =
         else true
       end
 
-let execute ?domains ?(clock = Clock.none) ?deadline ~n ~namespace ~schedule_of_pid ~seed () =
+(* Obs recording happens strictly after the domains are joined: the
+   registry is process-local mutable state and must not be touched from
+   worker domains. *)
+let record_result obs (r : result) =
+  match obs with
+  | None -> ()
+  | Some o ->
+    let h = Obs.histogram o "multicore/steps" in
+    Array.iter (fun s -> Renaming_obs.Hist.observe h s) r.steps;
+    Metrics.add (Obs.counter o "multicore/steps_total") (Array.fold_left ( + ) 0 r.steps);
+    Metrics.add (Obs.counter o "multicore/runs") 1;
+    Obs.gauge o "multicore/wall_seconds" (fun () -> r.wall_seconds);
+    Obs.gauge o "multicore/domains" (fun () -> float_of_int r.domains)
+
+let execute ?obs ?domains ?(clock = Clock.none) ?deadline ~n ~namespace ~schedule_of_pid ~seed
+    () =
   let domains = match domains with Some d -> max 1 d | None -> recommended_domains () in
   (match deadline with
   | Some dl ->
@@ -207,12 +224,16 @@ let execute ?domains ?(clock = Clock.none) ?deadline ~n ~namespace ~schedule_of_
          steps.(p.pid) <- p.steps;
          names.(p.pid) <- p.name))
     shards;
-  {
-    assignment = Renaming_shm.Assignment.make ~namespace names;
-    steps;
-    wall_seconds;
-    domains;
-  }
+  let result =
+    {
+      assignment = Renaming_shm.Assignment.make ~namespace names;
+      steps;
+      wall_seconds;
+      domains;
+    }
+  in
+  record_result obs result;
+  result
 
 let pow2 e =
   let rec go acc e = if e = 0 then acc else go (acc * 2) (e - 1) in
@@ -226,15 +247,16 @@ let loglog_ceil n = max 1 (log2_ceil (max 2 (log2_ceil n)))
 
 let logloglog_ceil n = max 1 (log2_ceil (max 2 (loglog_ceil n)))
 
-let loose_geometric ?domains ?clock ?deadline ~n ~ell ~seed () =
+let loose_geometric ?obs ?domains ?clock ?deadline ~n ~ell ~seed () =
   if n < 4 || ell < 1 then invalid_arg "Mc_run.loose_geometric: bad parameters";
   let rounds = ell * logloglog_ceil n in
   let schedule =
     Array.init rounds (fun i -> Probe { base = 0; size = n; count = pow2 (i + 1) })
   in
-  execute ?domains ?clock ?deadline ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule) ~seed ()
+  execute ?obs ?domains ?clock ?deadline ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule)
+    ~seed ()
 
-let loose_clustered ?domains ?clock ?deadline ~n ~ell ~seed () =
+let loose_clustered ?obs ?domains ?clock ?deadline ~n ~ell ~seed () =
   if n < 4 || ell < 1 then invalid_arg "Mc_run.loose_clustered: bad parameters";
   let phases = loglog_ceil n in
   let per_phase = 2 * ell * loglog_ceil n in
@@ -245,9 +267,11 @@ let loose_clustered ?domains ?clock ?deadline ~n ~ell ~seed () =
     schedule.(j - 1) <- Probe { base = !base; size; count = per_phase };
     base := !base + size
   done;
-  execute ?domains ?clock ?deadline ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule) ~seed ()
+  execute ?obs ?domains ?clock ?deadline ~n ~namespace:n ~schedule_of_pid:(fun _ -> schedule)
+    ~seed ()
 
-let uniform_probing ?domains ?clock ?deadline ~n ~m ~seed () =
+let uniform_probing ?obs ?domains ?clock ?deadline ~n ~m ~seed () =
   if n < 1 || m < n then invalid_arg "Mc_run.uniform_probing: bad parameters";
   let schedule = [| Probe { base = 0; size = m; count = 4 * m }; Sweep { base = 0; size = m } |] in
-  execute ?domains ?clock ?deadline ~n ~namespace:m ~schedule_of_pid:(fun _ -> schedule) ~seed ()
+  execute ?obs ?domains ?clock ?deadline ~n ~namespace:m ~schedule_of_pid:(fun _ -> schedule)
+    ~seed ()

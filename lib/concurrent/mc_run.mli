@@ -55,6 +55,7 @@ type segment =
   | Sweep of { base : int; size : int }
 
 val execute :
+  ?obs:Renaming_obs.Obs.t ->
   ?domains:int ->
   ?clock:Renaming_clock.Clock.t ->
   ?deadline:float ->
@@ -67,9 +68,17 @@ val execute :
 (** Run [n] processes with the given per-pid segment schedules over the
     domain pool.  Raises [Invalid_argument] if [?deadline] is given
     without a ticking clock (it could never expire), and {!Stalled} if
-    the deadline passes before all domains finish. *)
+    the deadline passes before all domains finish.
+
+    With [obs], a completed run records — strictly after the worker
+    domains are joined, since the registry is process-local state —
+    the [multicore/steps] histogram (per-process step counts), the
+    [multicore/steps_total] and [multicore/runs] counters, and
+    [multicore/wall_seconds] / [multicore/domains] gauges.  A
+    {!Stalled} run records nothing. *)
 
 val loose_geometric :
+  ?obs:Renaming_obs.Obs.t ->
   ?domains:int ->
   ?clock:Renaming_clock.Clock.t ->
   ?deadline:float ->
@@ -81,6 +90,7 @@ val loose_geometric :
 (** Lemma 6 on real domains: namespace [n], geometric rounds. *)
 
 val loose_clustered :
+  ?obs:Renaming_obs.Obs.t ->
   ?domains:int ->
   ?clock:Renaming_clock.Clock.t ->
   ?deadline:float ->
@@ -92,6 +102,7 @@ val loose_clustered :
 (** Lemma 8 on real domains (with the tail-absorbing last cluster). *)
 
 val uniform_probing :
+  ?obs:Renaming_obs.Obs.t ->
   ?domains:int ->
   ?clock:Renaming_clock.Clock.t ->
   ?deadline:float ->

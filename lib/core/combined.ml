@@ -4,6 +4,7 @@ module Memory = Renaming_sched.Memory
 module Adversary = Renaming_sched.Adversary
 module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
+module Obs = Renaming_obs.Obs
 open Program.Syntax
 
 type variant = Geometric of { ell : int } | Clustered of { ell : int }
@@ -34,30 +35,40 @@ let predicted_steps cfg =
     float_of_int (Loose_clustered.step_budget { Loose_clustered.n = cfg.n; ell })
     +. float_of_int (Mathx.loglog2_ceil cfg.n * 4)
 
-let program cfg ~rng =
+let program ?obs cfg ~rng =
   let ext = extension_size cfg in
+  let trace f = match obs with Some s -> f s | None -> () in
   let first_phase =
+    (* The sub-programs inherit the same scoped view, so their round /
+       phase spans and counters land on the shared registry. *)
     match cfg.variant with
-    | Geometric { ell } -> Loose_geometric.program { Loose_geometric.n = cfg.n; ell } ~rng
-    | Clustered { ell } -> Loose_clustered.program { Loose_clustered.n = cfg.n; ell } ~rng
+    | Geometric { ell } ->
+      Loose_geometric.program ?obs { Loose_geometric.n = cfg.n; ell } ~rng
+    | Clustered { ell } ->
+      Loose_clustered.program ?obs { Loose_clustered.n = cfg.n; ell } ~rng
   in
   let* name = first_phase in
   match name with
   | Some nm -> Program.return (Some nm)
   | None ->
+    trace (fun s -> Obs.s_begin s ~args:[ ("size", ext) ] "backup");
     let* name = Backup.program ~base:cfg.n ~size:ext ~rng in
+    trace (fun s -> Obs.s_end s "backup");
     (match name with
     | Some nm -> Program.return (Some nm)
     | None ->
       (* Extension exhausted (possible only when the first phase left
          more than [ext] unnamed — the event the corollary bounds).
          With m > n a free main-namespace register must exist. *)
+      trace (fun s -> Obs.s_instant s "main-sweep");
       Retry.scan_names ~first:0 ~count:cfg.n ())
 
-let instance cfg ~stream =
+let instance ?obs cfg ~stream =
   let memory = Memory.create ~namespace:(namespace cfg) () in
   let programs =
-    Array.init cfg.n (fun pid -> program cfg ~rng:(Stream.fork stream ~index:pid))
+    Array.init cfg.n (fun pid ->
+        let obs = Option.map (fun o -> Obs.scoped o ~pid) obs in
+        program ?obs cfg ~rng:(Stream.fork stream ~index:pid))
   in
   let label =
     match cfg.variant with
@@ -66,8 +77,8 @@ let instance cfg ~stream =
   in
   { Executor.memory; programs; label }
 
-let run ?adversary cfg ~seed =
+let run ?obs ?adversary cfg ~seed =
   let stream = Stream.create seed in
-  let inst = instance cfg ~stream in
+  let inst = instance ?obs cfg ~stream in
   let adversary = match adversary with Some a -> a | None -> Adversary.round_robin () in
-  Executor.run ~adversary inst
+  Executor.run ?obs ~adversary inst

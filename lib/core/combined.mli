@@ -31,9 +31,17 @@ val predicted_steps : config -> float
     [O((log log n)^2)], with explicit constants. *)
 
 val instance :
-  config -> stream:Renaming_rng.Stream.t -> Renaming_sched.Executor.instance
+  ?obs:Renaming_obs.Obs.t ->
+  config ->
+  stream:Renaming_rng.Stream.t ->
+  Renaming_sched.Executor.instance
+(** With [obs], the first-phase sub-programs record their own counters
+    and spans, and the extension phase is wrapped in a per-pid
+    ["backup"] span (with a ["main-sweep"] instant on the rare full
+    fallback). *)
 
 val run :
+  ?obs:Renaming_obs.Obs.t ->
   ?adversary:Renaming_sched.Adversary.t ->
   config ->
   seed:int64 ->

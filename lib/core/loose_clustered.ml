@@ -5,6 +5,8 @@ module Adversary = Renaming_sched.Adversary
 module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
 open Program.Syntax
 
 type config = { n : int; ell : int }
@@ -45,9 +47,14 @@ let predicted_unnamed cfg =
 
 type instrumentation = { named_in_phase : int array }
 
-let create_instrumentation cfg = { named_in_phase = Array.make (phases cfg) 0 }
+let create_instrumentation ?obs cfg =
+  let instr = { named_in_phase = Array.make (phases cfg) 0 } in
+  (match obs with
+  | None -> ()
+  | Some o -> Obs.vector o "loose-clustered/named_in_phase" instr.named_in_phase);
+  instr
 
-let program ?instr cfg ~rng =
+let program ?instr ?obs cfg ~rng =
   let bounds = cluster_bounds cfg in
   let per_phase = steps_per_phase cfg in
   let record j =
@@ -55,16 +62,41 @@ let program ?instr cfg ~rng =
     | Some s -> s.named_in_phase.(j) <- s.named_in_phase.(j) + 1
     | None -> ()
   in
+  let trace f = match obs with Some s -> f s | None -> () in
+  let probes, wins =
+    match obs with
+    | None -> (None, None)
+    | Some s ->
+      let o = Obs.scoped_obs s in
+      (Some (Obs.counter o "loose-clustered/probes"), Some (Obs.counter o "loose-clustered/wins"))
+  in
+  let bump = function Some c -> Metrics.incr c | None -> () in
   let rec phase j =
-    if j >= Array.length bounds then Program.return None else step j per_phase
+    if j >= Array.length bounds then begin
+      trace (fun s -> Obs.s_instant s "give-up");
+      Program.return None
+    end
+    else begin
+      trace (fun s -> Obs.s_begin s ~args:[ ("phase", j) ] "phase");
+      step j per_phase
+    end
   and step j remaining =
-    if remaining = 0 then phase (j + 1)
+    if remaining = 0 then begin
+      trace (fun s -> Obs.s_end s "phase");
+      phase (j + 1)
+    end
     else begin
       let base, size = bounds.(j) in
       let target = base + Sample.uniform_int rng size in
+      bump probes;
+      trace (fun s -> Obs.s_instant s ~args:[ ("target", target) ] "probe");
       let* won = Retry.tas_name target in
       if won then begin
         record j;
+        bump wins;
+        trace (fun s ->
+            Obs.s_instant s ~args:[ ("phase", j); ("name", target) ] "win";
+            Obs.s_end s "phase");
         Program.return (Some target)
       end
       else step j (remaining - 1)
@@ -72,16 +104,18 @@ let program ?instr cfg ~rng =
   in
   phase 0
 
-let instance ?instr cfg ~stream =
+let instance ?instr ?obs cfg ~stream =
   validate cfg;
   let memory = Memory.create ~namespace:cfg.n () in
   let programs =
-    Array.init cfg.n (fun pid -> program ?instr cfg ~rng:(Stream.fork stream ~index:pid))
+    Array.init cfg.n (fun pid ->
+        let obs = Option.map (fun o -> Obs.scoped o ~pid) obs in
+        program ?instr ?obs cfg ~rng:(Stream.fork stream ~index:pid))
   in
   { Executor.memory; programs; label = "loose-clustered" }
 
-let run ?instr ?adversary cfg ~seed =
+let run ?instr ?obs ?adversary cfg ~seed =
   let stream = Stream.create seed in
-  let inst = instance ?instr cfg ~stream in
+  let inst = instance ?instr ?obs cfg ~stream in
   let adversary = match adversary with Some a -> a | None -> Adversary.round_robin () in
-  Executor.run ~adversary inst
+  Executor.run ?obs ~adversary inst

@@ -32,22 +32,30 @@ val predicted_unnamed : config -> float
 
 type instrumentation = { named_in_phase : int array }
 
-val create_instrumentation : config -> instrumentation
+val create_instrumentation : ?obs:Renaming_obs.Obs.t -> config -> instrumentation
+(** With [obs], [named_in_phase] is additionally registered as the
+    read-through vector [loose-clustered/named_in_phase]. *)
 
 val program :
   ?instr:instrumentation ->
+  ?obs:Renaming_obs.Obs.scoped ->
   config ->
   rng:Renaming_rng.Xoshiro.t ->
   int option Renaming_sched.Program.t
+(** [obs] is the per-pid scoped view; it records
+    [loose-clustered/probes]/[wins] counters plus phase spans and
+    probe/win/give-up trace events. *)
 
 val instance :
   ?instr:instrumentation ->
+  ?obs:Renaming_obs.Obs.t ->
   config ->
   stream:Renaming_rng.Stream.t ->
   Renaming_sched.Executor.instance
 
 val run :
   ?instr:instrumentation ->
+  ?obs:Renaming_obs.Obs.t ->
   ?adversary:Renaming_sched.Adversary.t ->
   config ->
   seed:int64 ->

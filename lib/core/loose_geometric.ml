@@ -5,6 +5,8 @@ module Adversary = Renaming_sched.Adversary
 module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
 open Program.Syntax
 
 type config = { n : int; ell : int }
@@ -25,39 +27,72 @@ let predicted_unnamed cfg =
 
 type instrumentation = { named_in_round : int array }
 
-let create_instrumentation cfg = { named_in_round = Array.make (rounds cfg) 0 }
+let create_instrumentation ?obs cfg =
+  let instr = { named_in_round = Array.make (rounds cfg) 0 } in
+  (match obs with
+  | None -> ()
+  | Some o -> Obs.vector o "loose-geometric/named_in_round" instr.named_in_round);
+  instr
 
-let program ?instr cfg ~rng =
+let program ?instr ?obs cfg ~rng =
   let total_rounds = rounds cfg in
   let record i = match instr with
     | Some s -> s.named_in_round.(i) <- s.named_in_round.(i) + 1
     | None -> ()
   in
+  let trace f = match obs with Some s -> f s | None -> () in
+  let probes, wins =
+    match obs with
+    | None -> (None, None)
+    | Some s ->
+      let o = Obs.scoped_obs s in
+      (Some (Obs.counter o "loose-geometric/probes"), Some (Obs.counter o "loose-geometric/wins"))
+  in
+  let bump = function Some c -> Metrics.incr c | None -> () in
   let rec round i =
-    if i > total_rounds then Program.return None else step i (Mathx.pow_int 2 i)
+    if i > total_rounds then begin
+      trace (fun s -> Obs.s_instant s "give-up");
+      Program.return None
+    end
+    else begin
+      trace (fun s -> Obs.s_begin s ~args:[ ("round", i) ] "round");
+      step i (Mathx.pow_int 2 i)
+    end
   and step i remaining =
-    if remaining = 0 then round (i + 1)
-    else
+    if remaining = 0 then begin
+      trace (fun s -> Obs.s_end s "round");
+      round (i + 1)
+    end
+    else begin
       let target = Sample.uniform_int rng cfg.n in
+      bump probes;
+      trace (fun s -> Obs.s_instant s ~args:[ ("target", target) ] "probe");
       let* won = Retry.tas_name target in
       if won then begin
         record (i - 1);
+        bump wins;
+        trace (fun s ->
+            Obs.s_instant s ~args:[ ("round", i); ("name", target) ] "win";
+            Obs.s_end s "round");
         Program.return (Some target)
       end
       else step i (remaining - 1)
+    end
   in
   round 1
 
-let instance ?instr cfg ~stream =
+let instance ?instr ?obs cfg ~stream =
   validate cfg;
   let memory = Memory.create ~namespace:cfg.n () in
   let programs =
-    Array.init cfg.n (fun pid -> program ?instr cfg ~rng:(Stream.fork stream ~index:pid))
+    Array.init cfg.n (fun pid ->
+        let obs = Option.map (fun o -> Obs.scoped o ~pid) obs in
+        program ?instr ?obs cfg ~rng:(Stream.fork stream ~index:pid))
   in
   { Executor.memory; programs; label = "loose-geometric" }
 
-let run ?instr ?adversary cfg ~seed =
+let run ?instr ?obs ?adversary cfg ~seed =
   let stream = Stream.create seed in
-  let inst = instance ?instr cfg ~stream in
+  let inst = instance ?instr ?obs cfg ~stream in
   let adversary = match adversary with Some a -> a | None -> Adversary.round_robin () in
-  Executor.run ~adversary inst
+  Executor.run ?obs ~adversary inst

@@ -23,25 +23,32 @@ type instrumentation = {
   named_in_round : int array;  (** wins per round, 1-based round index at [i-1] *)
 }
 
-val create_instrumentation : config -> instrumentation
+val create_instrumentation : ?obs:Renaming_obs.Obs.t -> config -> instrumentation
+(** With [obs], [named_in_round] is additionally registered as the
+    read-through vector [loose-geometric/named_in_round]. *)
 
 val program :
   ?instr:instrumentation ->
+  ?obs:Renaming_obs.Obs.scoped ->
   config ->
   rng:Renaming_rng.Xoshiro.t ->
   int option Renaming_sched.Program.t
 (** One process's program; returns the name won or [None] after
     exhausting the step budget.  Exposed so {!Combined} can sequence it
-    with the backup phase. *)
+    with the backup phase.  [obs] is the per-pid scoped view (the
+    caller fixes the pid); it records [loose-geometric/probes]/[wins]
+    counters plus round spans and probe/win/give-up trace events. *)
 
 val instance :
   ?instr:instrumentation ->
+  ?obs:Renaming_obs.Obs.t ->
   config ->
   stream:Renaming_rng.Stream.t ->
   Renaming_sched.Executor.instance
 
 val run :
   ?instr:instrumentation ->
+  ?obs:Renaming_obs.Obs.t ->
   ?adversary:Renaming_sched.Adversary.t ->
   config ->
   seed:int64 ->

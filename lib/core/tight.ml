@@ -6,6 +6,8 @@ module Tau_register = Renaming_device.Tau_register
 module Retry = Renaming_faults.Retry
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
 open Program.Syntax
 
 type instrumentation = {
@@ -16,14 +18,28 @@ type instrumentation = {
   mutable safety_net_entries : int;
 }
 
-let create_instrumentation (params : Params.t) =
-  {
-    requests_per_tau = Array.make params.Params.total_taus 0;
-    wins_per_round = Array.make (Params.round_count params) 0;
-    losses_per_round = Array.make (Params.round_count params) 0;
-    reserve_entries = 0;
-    safety_net_entries = 0;
-  }
+let create_instrumentation ?obs (params : Params.t) =
+  let instr =
+    {
+      requests_per_tau = Array.make params.Params.total_taus 0;
+      wins_per_round = Array.make (Params.round_count params) 0;
+      losses_per_round = Array.make (Params.round_count params) 0;
+      reserve_entries = 0;
+      safety_net_entries = 0;
+    }
+  in
+  (* The private counters double as registry entries: vectors read the
+     arrays in place, gauges read the scalars, so a metrics snapshot
+     sees whatever the instrumented run has recorded so far. *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+    Obs.vector o "tight/requests_per_tau" instr.requests_per_tau;
+    Obs.vector o "tight/wins_per_round" instr.wins_per_round;
+    Obs.vector o "tight/losses_per_round" instr.losses_per_round;
+    Obs.gauge o "tight/reserve_entries" (fun () -> float_of_int instr.reserve_entries);
+    Obs.gauge o "tight/safety_net_entries" (fun () -> float_of_int instr.safety_net_entries));
+  instr
 
 let build_taus ?rule (params : Params.t) =
   Array.map
@@ -31,9 +47,21 @@ let build_taus ?rule (params : Params.t) =
       Tau_register.create ?rule ~base:name_base ~tau ~width:params.Params.width ())
     (Params.tau_geometry params)
 
-let program ?instr (params : Params.t) ~rng =
+let program ?instr ?obs (params : Params.t) ~rng =
   let nrounds = Params.round_count params in
   let record f = match instr with Some i -> f i | None -> () in
+  let trace f = match obs with Some s -> f s | None -> () in
+  let probes, wins, losses =
+    match obs with
+    | None -> (None, None, None)
+    | Some s ->
+      let o = Obs.scoped_obs s in
+      (* handles resolved once, at program construction *)
+      ( Some (Obs.counter o "tight/probes"),
+        Some (Obs.counter o "tight/wins"),
+        Some (Obs.counter o "tight/losses") )
+  in
+  let bump = function Some c -> Metrics.incr c | None -> () in
   let rec rounds i =
     if i >= nrounds then reserve_scan ()
     else begin
@@ -41,10 +69,18 @@ let program ?instr (params : Params.t) ~rng =
       let tau_id = round.Params.first_tau + Sample.uniform_int rng round.Params.blocks in
       let bit = Sample.uniform_int rng params.Params.width in
       record (fun s -> s.requests_per_tau.(tau_id) <- s.requests_per_tau.(tau_id) + 1);
+      bump probes;
+      trace (fun s ->
+          Obs.s_begin s ~args:[ ("round", i) ] "round";
+          Obs.s_instant s ~args:[ ("tau", tau_id); ("bit", bit) ] "probe");
       let* () = Program.tau_submit ~reg:tau_id ~bit in
       let* won = Program.tau_await tau_id in
       if won then begin
         record (fun s -> s.wins_per_round.(i) <- s.wins_per_round.(i) + 1);
+        bump wins;
+        trace (fun s ->
+            Obs.s_instant s ~args:[ ("round", i) ] "win";
+            Obs.s_end s "round");
         let* name =
           Retry.scan_names ~first:(Params.block_of_tau params tau_id).Params.name_base
             ~count:params.Params.tau ()
@@ -58,14 +94,20 @@ let program ?instr (params : Params.t) ~rng =
       end
       else begin
         record (fun s -> s.losses_per_round.(i) <- s.losses_per_round.(i) + 1);
+        bump losses;
+        trace (fun s ->
+            Obs.s_instant s ~args:[ ("round", i) ] "lose";
+            Obs.s_end s "round");
         rounds (i + 1)
       end
     end
   and reserve_scan () =
     record (fun s -> s.reserve_entries <- s.reserve_entries + 1);
+    trace (fun s -> Obs.s_begin s "reserve-scan");
     let* name =
       Retry.scan_names ~first:params.Params.reserve_base ~count:(Params.reserve_size params) ()
     in
+    trace (fun s -> Obs.s_end s "reserve-scan");
     match name with
     | Some nm -> Program.return (Some nm)
     | None -> safety_net ()
@@ -73,26 +115,29 @@ let program ?instr (params : Params.t) ~rng =
     (* Names burnt by crashed device winners live below reserve_base and
        are still free TAS registers; a full scan finds them. *)
     record (fun s -> s.safety_net_entries <- s.safety_net_entries + 1);
+    trace (fun s -> Obs.s_begin s "safety-net");
     let* name = Retry.scan_names ~first:0 ~count:params.Params.reserve_base () in
+    trace (fun s -> Obs.s_end s "safety-net");
     Program.return name
   in
   rounds 0
 
-let instance ?rule ?instr ~params ~stream () =
+let instance ?rule ?instr ?obs ~params ~stream () =
   let n = params.Params.n in
   let taus = build_taus ?rule params in
   let memory = Memory.create ~namespace:n ~taus () in
   let programs =
     Array.init n (fun pid ->
         let rng = Stream.fork stream ~index:pid in
-        program ?instr params ~rng)
+        let obs = Option.map (fun o -> Obs.scoped o ~pid) obs in
+        program ?instr ?obs params ~rng)
   in
   { Executor.memory; programs; label = "tight" }
 
-let run ?rule ?instr ?adversary ~params ~seed () =
+let run ?rule ?instr ?obs ?adversary ~params ~seed () =
   let stream = Stream.create seed in
-  let inst = instance ?rule ?instr ~params ~stream () in
+  let inst = instance ?rule ?instr ?obs ~params ~stream () in
   let adversary =
     match adversary with Some a -> a | None -> Adversary.round_robin ()
   in
-  Executor.run ~adversary inst
+  Executor.run ?obs ~adversary inst

@@ -23,26 +23,38 @@ type instrumentation = {
   mutable safety_net_entries : int;  (** processes that needed the full fallback scan *)
 }
 
-val create_instrumentation : Params.t -> instrumentation
+val create_instrumentation : ?obs:Renaming_obs.Obs.t -> Params.t -> instrumentation
+(** With [obs], the private counters are additionally registered on the
+    shared metrics registry ([tight/requests_per_tau],
+    [tight/wins_per_round], [tight/losses_per_round] as read-through
+    vectors; [tight/reserve_entries], [tight/safety_net_entries] as
+    gauges), so metrics snapshots include them. *)
 
 val instance :
   ?rule:Renaming_device.Counting_device.discard_rule ->
   ?instr:instrumentation ->
+  ?obs:Renaming_obs.Obs.t ->
   params:Params.t ->
   stream:Renaming_rng.Stream.t ->
   unit ->
   Renaming_sched.Executor.instance
 (** Builds memory (namespace [n], one τ-register per block) and one
     program per process.  Process [pid]'s coin flips come from
-    [Stream.fork stream ~index:pid], so runs are replayable. *)
+    [Stream.fork stream ~index:pid], so runs are replayable.
+
+    With [obs], programs record [tight/probes]/[wins]/[losses] counters
+    and per-pid round/probe/win/lose/reserve-scan/safety-net trace
+    events; without it each recording site costs one branch. *)
 
 val run :
   ?rule:Renaming_device.Counting_device.discard_rule ->
   ?instr:instrumentation ->
+  ?obs:Renaming_obs.Obs.t ->
   ?adversary:Renaming_sched.Adversary.t ->
   params:Params.t ->
   seed:int64 ->
   unit ->
   Renaming_sched.Report.t
 (** Convenience wrapper: build an instance from [seed] and execute it
-    (default adversary: round-robin). *)
+    (default adversary: round-robin).  [obs] is threaded through both
+    the programs and the executor. *)

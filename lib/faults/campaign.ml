@@ -4,6 +4,8 @@ module Report = Renaming_sched.Report
 module Trace = Renaming_sched.Trace
 module Directed = Renaming_sched.Directed
 module Stream = Renaming_rng.Stream
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
 
 type algorithm = {
   algo_name : string;
@@ -201,7 +203,7 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
     c_repros = List.rev !repros;
   }
 
-let run ?progress spec =
+let run ?progress ?obs spec =
   let report_progress =
     match progress with Some f -> f | None -> fun ~done_:_ ~total:_ -> ()
   in
@@ -232,13 +234,24 @@ let run ?progress spec =
           spec.adversaries)
       spec.algorithms
   in
-  {
-    cells;
-    total_runs = List.fold_left (fun acc c -> acc + c.c_runs) 0 cells;
-    total_violations = List.fold_left (fun acc c -> acc + c.c_violations) 0 cells;
-    total_livelocks = List.fold_left (fun acc c -> acc + c.c_livelocks) 0 cells;
-    total_injected = List.fold_left (fun acc c -> acc + c.c_injected) 0 cells;
-  }
+  let summary =
+    {
+      cells;
+      total_runs = List.fold_left (fun acc c -> acc + c.c_runs) 0 cells;
+      total_violations = List.fold_left (fun acc c -> acc + c.c_violations) 0 cells;
+      total_livelocks = List.fold_left (fun acc c -> acc + c.c_livelocks) 0 cells;
+      total_injected = List.fold_left (fun acc c -> acc + c.c_injected) 0 cells;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    Metrics.add (Obs.counter o "chaos/cells") (List.length summary.cells);
+    Metrics.add (Obs.counter o "chaos/runs") summary.total_runs;
+    Metrics.add (Obs.counter o "chaos/violations") summary.total_violations;
+    Metrics.add (Obs.counter o "chaos/livelocks") summary.total_livelocks;
+    Metrics.add (Obs.counter o "chaos/injected_faults") summary.total_injected);
+  summary
 
 (* --- JSON emission (hand-rolled: the toolchain has no JSON library and
    the driver forbids adding one) --- *)

@@ -73,9 +73,16 @@ type summary = {
   total_injected : int;
 }
 
-val run : ?progress:(done_:int -> total:int -> unit) -> spec -> summary
+val run :
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?obs:Renaming_obs.Obs.t ->
+  spec ->
+  summary
 (** Runs every cell; a monitor violation aborts only that run and is
-    recorded in the cell.  Deterministic given [spec.seeds]. *)
+    recorded in the cell.  Deterministic given [spec.seeds].  With
+    [obs], campaign totals are recorded on the registry as the
+    [chaos/cells], [chaos/runs], [chaos/violations], [chaos/livelocks]
+    and [chaos/injected_faults] counters. *)
 
 val to_json : summary -> string
 

@@ -8,6 +8,8 @@ module Shrink = Renaming_faults.Shrink
 module Stream = Renaming_rng.Stream
 module Sample = Renaming_rng.Sample
 module Clock = Renaming_clock.Clock
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
 
 type target = {
   fz_name : string;
@@ -247,7 +249,7 @@ let fuzz_target ~master ~depth ~iterations ~should_stop target =
     r_violations = List.rev !violations;
   }
 
-let run ?(clock = Clock.none) ?(depth = 3) ?max_seconds ?progress ~seed ~iterations targets =
+let run ?(clock = Clock.none) ?(depth = 3) ?max_seconds ?progress ?obs ~seed ~iterations targets =
   if depth < 1 then invalid_arg "Fuzz.run: depth must be >= 1";
   if iterations < 0 then invalid_arg "Fuzz.run: iterations must be >= 0";
   let master = Stream.create seed in
@@ -271,13 +273,28 @@ let run ?(clock = Clock.none) ?(depth = 3) ?max_seconds ?progress ~seed ~iterati
         r)
       targets
   in
-  {
-    s_seed = seed;
-    s_depth = depth;
-    s_iteration_budget = iterations;
-    s_stopped_early = !stopped_early;
-    s_results = results;
-  }
+  let summary =
+    {
+      s_seed = seed;
+      s_depth = depth;
+      s_iteration_budget = iterations;
+      s_stopped_early = !stopped_early;
+      s_results = results;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let sum f = List.fold_left (fun acc r -> acc + f r) 0 summary.s_results in
+    Metrics.add (Obs.counter o "fuzz/targets") (List.length summary.s_results);
+    Metrics.add (Obs.counter o "fuzz/iterations") (sum (fun r -> r.r_iterations));
+    Metrics.add (Obs.counter o "fuzz/livelocks") (sum (fun r -> r.r_livelocks));
+    Metrics.add (Obs.counter o "fuzz/corpus_entries") (sum (fun r -> r.r_corpus_size));
+    Metrics.add (Obs.counter o "fuzz/coverage_edges") (sum (fun r -> r.r_edges));
+    Metrics.add
+      (Obs.counter o "fuzz/violations")
+      (sum (fun r -> List.length r.r_violations)));
+  summary
 
 (* --- JSON emission (hand-rolled, same dialect as the chaos campaign:
    the toolchain has no JSON library and the driver forbids adding

@@ -85,6 +85,7 @@ val run :
   ?depth:int ->
   ?max_seconds:float ->
   ?progress:(target:string -> done_:int -> total:int -> unit) ->
+  ?obs:Renaming_obs.Obs.t ->
   seed:int64 ->
   iterations:int ->
   target list ->
@@ -92,7 +93,13 @@ val run :
 (** [depth] (default 3) is the maximum PCT depth swept.  [max_seconds]
     bounds campaign wall time as measured on [clock] (default
     {!Renaming_clock.Clock.none}, under which the bound never trips —
-    pass a real clock from the [bin/] edge to make it effective). *)
+    pass a real clock from the [bin/] edge to make it effective).
+
+    With [obs], campaign totals are accumulated onto the
+    [fuzz/targets], [fuzz/iterations], [fuzz/livelocks],
+    [fuzz/corpus_entries], [fuzz/coverage_edges] and [fuzz/violations]
+    counters; the fuzzing loop itself never sees [obs], so results are
+    identical either way. *)
 
 val ok : summary -> bool
 (** Every mutant target found (with a shrunk repro for each violation)

@@ -94,7 +94,7 @@ let target e =
     t_check_ownership = e.e_check_ownership;
   }
 
-let run_entry e = Mcheck.check ~bounds:e.e_bounds (target e)
+let run_entry ?obs e = Mcheck.check ~bounds:e.e_bounds ?obs (target e)
 
 let repro_of_case e (c : Mcheck.case) =
   match c.Mcheck.v_shrunk with

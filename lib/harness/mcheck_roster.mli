@@ -28,7 +28,7 @@ val tier1 : unit -> entry list
 
 val target : entry -> Renaming_mcheck.Mcheck.target
 
-val run_entry : entry -> Renaming_mcheck.Mcheck.stats
+val run_entry : ?obs:Renaming_obs.Obs.t -> entry -> Renaming_mcheck.Mcheck.stats
 
 val repro_of_case :
   entry -> Renaming_mcheck.Mcheck.case -> Renaming_faults.Shrink.repro option

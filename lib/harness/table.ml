@@ -1,3 +1,4 @@
+(* Careful with to_json below: rows and notes are stored reversed. *)
 type t = {
   title : string;
   columns : string list;
@@ -48,6 +49,17 @@ let to_csv t =
   emit t.columns;
   List.iter emit (List.rev t.rows);
   Buffer.contents buf
+
+let to_json t =
+  let module Json = Renaming_obs.Json in
+  let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+  Json.Obj
+    [
+      ("title", Json.String t.title);
+      ("columns", strings t.columns);
+      ("rows", Json.List (List.map strings (List.rev t.rows)));
+      ("notes", strings (List.rev t.notes));
+    ]
 
 let cell_int = string_of_int
 

@@ -17,6 +17,10 @@ val render : t -> string
 
 val to_csv : t -> string
 
+val to_json : t -> Renaming_obs.Json.t
+(** [{"title", "columns", "rows", "notes"}] — rows in display order;
+    the payload `make bench` embeds in results/bench.json. *)
+
 val cell_int : int -> string
 val cell_float : ?decimals:int -> float -> string
 val cell_bool : bool -> string

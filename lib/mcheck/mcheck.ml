@@ -4,6 +4,8 @@ module Report = Renaming_sched.Report
 module Op = Renaming_sched.Op
 module Monitor = Renaming_faults.Monitor
 module Shrink = Renaming_faults.Shrink
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
 
 type target = {
   t_name : string;
@@ -59,7 +61,7 @@ let independent = Renaming_analysis.Footprint.independent
 
 exception Capped
 
-let check ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8) target =
+let check ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8) ?obs target =
   let schedules = ref 0 in
   let points = ref 0 in
   let slept = ref 0 in
@@ -208,16 +210,28 @@ let check ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8) target =
      explore [] ~sleep:[] ~preemptions:bounds.b_preemptions ~crashes:bounds.b_crashes
        ~recoveries:bounds.b_recoveries ~faults:bounds.b_faults
    with Capped -> capped := true);
-  {
-    s_target = target.t_name;
-    s_schedules = !schedules;
-    s_points = !points;
-    s_slept = !slept;
-    s_livelocks = !livelocks;
-    s_violations = !violations;
-    s_capped = !capped;
-    s_cases = List.rev !cases;
-  }
+  let stats =
+    {
+      s_target = target.t_name;
+      s_schedules = !schedules;
+      s_points = !points;
+      s_slept = !slept;
+      s_livelocks = !livelocks;
+      s_violations = !violations;
+      s_capped = !capped;
+      s_cases = List.rev !cases;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    Metrics.add (Obs.counter o "mcheck/targets") 1;
+    Metrics.add (Obs.counter o "mcheck/schedules") stats.s_schedules;
+    Metrics.add (Obs.counter o "mcheck/points") stats.s_points;
+    Metrics.add (Obs.counter o "mcheck/slept") stats.s_slept;
+    Metrics.add (Obs.counter o "mcheck/violations") stats.s_violations;
+    Metrics.add (Obs.counter o "mcheck/livelocks") stats.s_livelocks);
+  stats
 
 let pp_stats fmt s =
   Format.fprintf fmt "@[<v>%-28s %8d schedules %8d points %6d slept %3d livelocks %3d violations%s@ "

@@ -72,11 +72,21 @@ type stats = {
   s_cases : case list;  (** first few violations, in discovery order *)
 }
 
-val check : ?bounds:bounds -> ?shrink:bool -> ?max_cases:int -> target -> stats
+val check :
+  ?bounds:bounds ->
+  ?shrink:bool ->
+  ?max_cases:int ->
+  ?obs:Renaming_obs.Obs.t ->
+  target ->
+  stats
 (** Exhaustively explores [target] within [bounds].  [shrink] (default
     [true]): minimise each recorded violation.  [max_cases] (default
     [8]) caps the number of *recorded* cases ([s_violations] still
-    counts all of them). *)
+    counts all of them).  With [obs], the final stats are accumulated
+    onto the [mcheck/targets], [mcheck/schedules], [mcheck/points],
+    [mcheck/slept], [mcheck/violations] and [mcheck/livelocks]
+    counters.  The exploration itself never sees [obs], so the visited
+    schedule space is identical either way. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 

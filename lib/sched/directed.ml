@@ -51,8 +51,8 @@ let expected_of_choice : choice -> Trace.expected = function
   | Crash pid -> `Crash pid
   | Recover pid -> `Recover pid
 
-let run ?(max_ticks = 100_000) ?(tau_cadence = 1) ?(strict = false) ?(record_from = 0) ?on_event
-    ~prefix instance =
+let run ?obs ?(max_ticks = 100_000) ?(tau_cadence = 1) ?(strict = false) ?(record_from = 0)
+    ?on_event ~prefix instance =
   let n = Array.length instance.Executor.programs in
   let remaining = ref prefix in
   let points = Vec.create () in
@@ -152,7 +152,7 @@ let run ?(max_ticks = 100_000) ?(tau_cadence = 1) ?(strict = false) ?(record_fro
   in
   let adversary = { Adversary.name = "directed"; decide } in
   let outcome =
-    try Finished (Executor.run ~max_ticks ~tau_cadence ~inject ?on_event ~adversary instance)
+    try Finished (Executor.run ?obs ~max_ticks ~tau_cadence ~inject ?on_event ~adversary instance)
     with e -> Raised e
   in
   { points = Vec.to_array points; taken = Vec.to_array taken; dropped = !dropped; outcome }

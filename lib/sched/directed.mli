@@ -55,6 +55,7 @@ type result = {
 }
 
 val run :
+  ?obs:Renaming_obs.Obs.t ->
   ?max_ticks:int ->
   ?tau_cadence:int ->
   ?strict:bool ->

@@ -46,7 +46,15 @@ let live_add t pid =
   t.pos.(pid) <- t.len;
   t.len <- t.len + 1
 
-let run ?(tau_cadence = 1) ?(max_ticks = 1_000_000_000) ?on_tick ?on_event ?inject ?recover
+(* Per-run telemetry: counter handles are resolved once here so the
+   per-step cost with a capability is two field increments plus one
+   ring push, and without one is a single match on [None]. *)
+type obs_hooks = {
+  h_obs : Renaming_obs.Obs.t;
+  h_steps : Renaming_obs.Metrics.counter;
+}
+
+let run ?obs ?(tau_cadence = 1) ?(max_ticks = 1_000_000_000) ?on_tick ?on_event ?inject ?recover
     ~adversary instance =
   if tau_cadence < 1 then invalid_arg "Executor.run: tau_cadence must be >= 1";
   let n = Array.length instance.programs in
@@ -57,7 +65,30 @@ let run ?(tau_cadence = 1) ?(max_ticks = 1_000_000_000) ?on_tick ?on_event ?inje
   let ever_recovered = Array.make n false in
   let time = ref 0 in
   let outcome = ref Report.Completed in
-  let emit e = match on_event with Some f -> f e | None -> () in
+  let hooks =
+    match obs with
+    | None -> None
+    | Some o ->
+      Renaming_obs.Obs.set_now o (fun () -> !time);
+      Some { h_obs = o; h_steps = Renaming_obs.Obs.counter o (instance.label ^ "/executor.steps") }
+  in
+  let emit e =
+    (match hooks with
+    | None -> ()
+    | Some h -> (
+      match e with
+      | Stepped { pid; op; _ } ->
+        Renaming_obs.Metrics.incr h.h_steps;
+        Renaming_obs.Obs.instant h.h_obs ~pid ~args:(Telemetry.op_args op)
+          (Telemetry.op_label op)
+      | Crashed { pid; _ } -> Renaming_obs.Obs.span_begin h.h_obs ~pid "crashed"
+      | Recovered { pid; _ } -> Renaming_obs.Obs.span_end h.h_obs ~pid "crashed"
+      | Returned { pid; value; _ } ->
+        Renaming_obs.Obs.instant h.h_obs ~pid
+          ~args:(match value with Some v -> [ ("name", v) ] | None -> [])
+          "return"));
+    match on_event with Some f -> f e | None -> ()
+  in
   (* Restarting a crashed process: rediscover a name already won (so it
      is kept, not leaked), then rerun its program from the top.  An
      explicit [recover] hook supplies an algorithm-specific restart. *)
@@ -154,6 +185,24 @@ let run ?(tau_cadence = 1) ?(max_ticks = 1_000_000_000) ?on_tick ?on_event ?inje
     done;
     !acc
   in
+  (match hooks with
+  | None -> ()
+  | Some h ->
+    let o = h.h_obs in
+    let steps_hist = Renaming_obs.Obs.histogram o (instance.label ^ "/steps") in
+    for pid = 0 to n - 1 do
+      Renaming_obs.Hist.observe steps_hist (Renaming_shm.Step_ledger.steps_of ledger ~pid)
+    done;
+    let named =
+      Array.fold_left (fun acc v -> match v with Some _ -> acc + 1 | None -> acc) 0 returns
+    in
+    Renaming_obs.Metrics.add (Renaming_obs.Obs.counter o (instance.label ^ "/named")) named;
+    Renaming_obs.Metrics.add
+      (Renaming_obs.Obs.counter o (instance.label ^ "/crashed"))
+      (Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 crashed);
+    Renaming_obs.Metrics.add
+      (Renaming_obs.Obs.counter o (instance.label ^ "/recovered"))
+      (Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 ever_recovered));
   {
     Report.assignment = Memory.assignment_of_returns instance.memory returns;
     ledger;

@@ -30,6 +30,7 @@ type event =
 val pp_event : Format.formatter -> event -> unit
 
 val run :
+  ?obs:Renaming_obs.Obs.t ->
   ?tau_cadence:int ->
   ?max_ticks:int ->
   ?on_tick:(time:int -> pid:int -> op:Op.t -> unit) ->
@@ -39,7 +40,14 @@ val run :
   adversary:Adversary.t ->
   instance ->
   Report.t
-(** [tau_cadence] (default 1): device cycles run after every [cadence]
+(** [obs] attaches a telemetry capability: every event is mirrored into
+    its ring (steps as instants, crash windows as spans, returns), the
+    per-pid step counts land in the [<label>/steps] histogram, and
+    [<label>/executor.steps], [<label>/named], [<label>/crashed] and
+    [<label>/recovered] counters are updated.  Omitting it costs a
+    single branch per event (docs/observability.md).
+
+    [tau_cadence] (default 1): device cycles run after every [cadence]
     executed steps — the paper's constant answer delay.
 
     [max_ticks] guards against livelock (default [10^9]); exceeding it

@@ -1,0 +1,75 @@
+(* Telemetry sinks for the simulation layer: adapters that turn the
+   existing instrumentation hooks into first-class obs signals.
+
+   The main one reuses {!Memory.set_access_logger} — the same hook the
+   static-analysis coverage audit and the fuzzer's interleaving
+   coverage attach to — so every concrete shared-memory access becomes
+   a counter increment and (optionally) a trace event. *)
+
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
+
+let op_label (op : Op.t) =
+  match op with
+  | Op.Tas_name _ -> "tas-name"
+  | Op.Tas_aux _ -> "tas-aux"
+  | Op.Read_name _ -> "read-name"
+  | Op.Read_aux _ -> "read-aux"
+  | Op.Owned_name _ -> "owned-name"
+  | Op.Tau_submit _ -> "tau-submit"
+  | Op.Tau_poll _ -> "tau-poll"
+  | Op.Read_word _ -> "read-word"
+  | Op.Write_word _ -> "write-word"
+  | Op.Release_name _ -> "release-name"
+  | Op.Yield -> "yield"
+
+let op_args (op : Op.t) =
+  match op with
+  | Op.Tas_name i | Op.Tas_aux i | Op.Read_name i | Op.Read_aux i | Op.Owned_name i
+  | Op.Release_name i | Op.Tau_poll i | Op.Read_word i ->
+    [ ("idx", i) ]
+  | Op.Tau_submit { reg; bit } -> [ ("reg", reg); ("bit", bit) ]
+  | Op.Write_word { idx; value } -> [ ("idx", idx); ("value", value) ]
+  | Op.Yield -> []
+
+let region_name = function
+  | Memory.Names -> "names"
+  | Memory.Aux -> "aux"
+  | Memory.Words -> "words"
+  | Memory.Device -> "device"
+
+(* Counter handles are resolved once per attachment, so the logger body
+   is field increments only. *)
+let access_logger ?(events = false) obs =
+  let reads = Obs.counter obs "mem/reads" in
+  let writes = Obs.counter obs "mem/writes" in
+  let region_counters =
+    List.map
+      (fun region ->
+        ( region,
+          Obs.counter obs (Printf.sprintf "mem/%s-reads" (region_name region)),
+          Obs.counter obs (Printf.sprintf "mem/%s-writes" (region_name region)) ))
+      [ Memory.Names; Memory.Aux; Memory.Words; Memory.Device ]
+  in
+  fun ~pid (op : Op.t) accesses ->
+    List.iter
+      (fun (a : Memory.access) ->
+        let _, region_reads, region_writes =
+          List.find (fun (r, _, _) -> r = a.Memory.acc_region) region_counters
+        in
+        if a.Memory.acc_write then begin
+          Metrics.incr writes;
+          Metrics.incr region_writes
+        end
+        else begin
+          Metrics.incr reads;
+          Metrics.incr region_reads
+        end;
+        if events then
+          Obs.instant obs ~pid
+            ~args:[ ("idx", a.Memory.acc_idx); ("write", if a.Memory.acc_write then 1 else 0) ]
+            ("mem:" ^ region_name a.Memory.acc_region))
+      accesses;
+    ignore op
+
+let attach ?events obs memory = Memory.set_access_logger memory (Some (access_logger ?events obs))

@@ -177,6 +177,23 @@ let test_lint_whitelist_exempts_atomics () =
         (List.length (Lint.lint_file ~whitelist:[ dir ] path));
       check Alcotest.int "otherwise flagged" 1 (List.length (Lint.lint_file path)))
 
+let test_lint_stdout_print_rule () =
+  let source = "let report x = Printf.printf \"%d\\n\" x\nlet shout s = print_endline s\n" in
+  with_temp_source source (fun path ->
+      check (Alcotest.list Alcotest.string) "printing flagged" [ "stdout-print" ]
+        (rules_of (Lint.lint_file path));
+      check Alcotest.int "both sites reported" 2 (List.length (Lint.lint_file path));
+      let dir = Filename.basename (Filename.dirname path) in
+      check Alcotest.int "exporter directories may print" 0
+        (List.length (Lint.lint_file ~print_whitelist:[ dir ] path)))
+
+let test_lint_stdout_print_waiver () =
+  let source = "(* lint: allow stdout-print — progress line *)\nlet go () = print_endline \"hi\"\n" in
+  with_temp_source source (fun path ->
+      let findings = Lint.lint_file path in
+      check Alcotest.int "reported" 1 (List.length findings);
+      check Alcotest.int "waived" 0 (List.length (Lint.active findings)))
+
 let test_lint_parse_error_is_a_finding () =
   with_temp_source "let let let" (fun path ->
       check (Alcotest.list Alcotest.string) "parse error surfaces" [ "parse-error" ]
@@ -240,6 +257,8 @@ let tests =
           test_lint_waiver_suppresses_but_reports;
         Alcotest.test_case "waiver is rule-specific" `Quick test_lint_waiver_is_rule_specific;
         Alcotest.test_case "whitelist exempts atomics" `Quick test_lint_whitelist_exempts_atomics;
+        Alcotest.test_case "stdout-print rule" `Quick test_lint_stdout_print_rule;
+        Alcotest.test_case "stdout-print waiver" `Quick test_lint_stdout_print_waiver;
         Alcotest.test_case "parse error is a finding" `Quick test_lint_parse_error_is_a_finding;
       ] );
     ( "analysis.analyze",
