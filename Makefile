@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full chaos mcheck mcheck-tier1 fuzz fuzz-smoke analyze examples clean loc
+.PHONY: all build test bench bench-full chaos chaos-service chaos-service-smoke mcheck mcheck-tier1 fuzz fuzz-smoke analyze examples clean loc
 
 all: build test
 
@@ -27,6 +27,19 @@ bench-full:
 # Exits nonzero on any safety violation; JSON lands in results/chaos.json.
 chaos:
 	dune exec bin/main.exe -- chaos
+
+# Lease-service churn campaign: crash-restart clients against the
+# lease/reclaim/fencing service with admission control, >= 10^6 client
+# sessions across four degradation regimes.  Exits nonzero on any
+# lease-safety violation, livelock, unfenced stale operation, or if the
+# campaign failed to exercise reclamation/shedding; JSON lands in
+# results/chaos.json (schema renaming.chaos-service/1).
+chaos-service:
+	dune exec bin/main.exe -- chaos --service
+
+# Reduced-run CI configuration of the same campaign (~10^5 sessions).
+chaos-service-smoke:
+	dune exec bin/main.exe -- chaos --service --sessions 12500 --seeds 2 --out results/chaos-service-smoke.json
 
 # Bounded model checking: exhaustively explore every schedule of the
 # small roster instances (preemption-bounded, sleep-set pruned) with the

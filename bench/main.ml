@@ -105,6 +105,12 @@ let bench_f2 () =
 let bench_f3 () =
   ignore (Combined.run { Combined.n = 1024; variant = Combined.Geometric { ell = 3 } } ~seed:11L)
 
+let service_churn_cfg =
+  Renaming_service.Churn.make_config ~clients:64 ~sessions_target:2_000 ~capacity:32
+    ~crash_rate:0.25 ()
+
+let bench_t17 () = ignore (Renaming_service.Churn.run service_churn_cfg ~seed:17L)
+
 let micro_tests =
   Test.make_grouped ~name:"renaming"
     [
@@ -119,6 +125,7 @@ let micro_tests =
       Test.make ~name:"T8.sortnet-renaming.n256" (Staged.stage bench_t8);
       Test.make ~name:"T9.adaptive-adversary.n256" (Staged.stage bench_t9);
       Test.make ~name:"T10.device.30cycles" (Staged.stage bench_t10);
+      Test.make ~name:"T17.lease-service.2k-sessions" (Staged.stage bench_t17);
       Test.make ~name:"F1.shape-fit" (Staged.stage bench_f1);
       Test.make ~name:"F2.round-decay.n4096" (Staged.stage bench_f2);
       Test.make ~name:"F3.tradeoff.n1024" (Staged.stage bench_f3);

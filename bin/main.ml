@@ -207,6 +207,54 @@ let write_metrics ~label obs metrics =
     Printf.printf "(metrics written to %s)\n" path
   | _ -> ()
 
+(* `chaos --service`: the lease-service churn campaign.  Safety here is
+   lease-safety (audited in-run); the command fails loudly unless the
+   campaign is violation- and livelock-free AND actually exercised the
+   robustness machinery (nonzero reclaims and sheds). *)
+let run_service_chaos ~sessions ~seed_count ~out ~metrics =
+  let module Scampaign = Renaming_service.Campaign in
+  let seeds = Renaming_harness.Seeds.take seed_count in
+  let spec = Scampaign.default_spec ~sessions_per_cell:sessions ~seeds () in
+  let progress ~done_ ~total =
+    Printf.eprintf "\rchaos --service: run %d/%d%!" done_ total;
+    if done_ = total then prerr_newline ()
+  in
+  let obs = obs_of_metrics metrics in
+  let summary = Scampaign.run ~progress ?obs spec in
+  Format.printf "%a@." Scampaign.pp summary;
+  write_file out (Scampaign.to_json summary ^ "\n");
+  Printf.printf "(json written to %s)\n" out;
+  write_metrics ~label:"chaos-service" obs metrics;
+  let fail fmt = Printf.eprintf fmt in
+  let failed = ref false in
+  if summary.Scampaign.total_violations > 0 then begin
+    fail "chaos --service: %d lease-safety violation(s)\n" summary.Scampaign.total_violations;
+    failed := true
+  end;
+  if summary.Scampaign.total_livelocks > 0 then begin
+    fail "chaos --service: %d livelocked run(s)\n" summary.Scampaign.total_livelocks;
+    failed := true
+  end;
+  if summary.Scampaign.total_stale_rejected <> summary.Scampaign.total_stale_ops then begin
+    fail "chaos --service: %d stale operation(s) not fenced\n"
+      (summary.Scampaign.total_stale_ops - summary.Scampaign.total_stale_rejected);
+    failed := true
+  end;
+  if summary.Scampaign.total_unexpected_fenced > 0 then begin
+    fail "chaos --service: %d live operation(s) wrongly fenced\n"
+      summary.Scampaign.total_unexpected_fenced;
+    failed := true
+  end;
+  if summary.Scampaign.total_reclaims = 0 then begin
+    fail "chaos --service: campaign reclaimed no leases (churn not exercised)\n";
+    failed := true
+  end;
+  if summary.Scampaign.total_sheds = 0 then begin
+    fail "chaos --service: campaign shed no requests (overload not exercised)\n";
+    failed := true
+  end;
+  if !failed then exit 1
+
 let chaos_cmd =
   let module Campaign = Renaming_faults.Campaign in
   let module Chaos = Renaming_harness.Chaos in
@@ -219,39 +267,57 @@ let chaos_cmd =
     Arg.(value & opt string "results/chaos.json" & info [ "out" ] ~docv:"FILE"
            ~doc:"Write the JSON summary to $(docv).")
   in
-  let run n seed_count max_ticks out metrics =
-    if n < 8 then begin
-      Printf.eprintf "chaos: -n must be >= 8 (the tight schedule's minimum)\n";
-      exit 2
-    end;
+  let service =
+    Arg.(value & flag & info [ "service" ]
+           ~doc:"Run the lease-service churn campaign instead of the algorithm campaign.")
+  in
+  let sessions =
+    Arg.(value & opt int 150_000 & info [ "sessions" ] ~docv:"N"
+           ~doc:"With $(b,--service): client sessions per campaign cell.")
+  in
+  let run n seed_count max_ticks out metrics service sessions =
     if seed_count < 1 then begin
       Printf.eprintf "chaos: --seeds must be >= 1\n";
       exit 2
     end;
-    let spec = Chaos.spec ~n ~seed_count ~max_ticks () in
-    let progress ~done_ ~total =
-      Printf.eprintf "\rchaos: cell %d/%d%!" done_ total;
-      if done_ = total then prerr_newline ()
-    in
-    let obs = obs_of_metrics metrics in
-    let summary = Campaign.run ~progress ?obs spec in
-    Format.printf "%a@." Campaign.pp summary;
-    write_file out (Campaign.to_json summary ^ "\n");
-    Printf.printf "(json written to %s)\n" out;
-    write_metrics ~label:"chaos" obs metrics;
-    write_repros ~dir:(Filename.concat (Filename.dirname out) "repros")
-      (List.concat_map (fun c -> c.Campaign.c_repros) summary.Campaign.cells);
-    if summary.Campaign.total_violations > 0 then begin
-      Printf.eprintf "chaos: %d safety violation(s) detected\n" summary.Campaign.total_violations;
-      exit 1
+    if service then begin
+      if sessions < 1 then begin
+        Printf.eprintf "chaos: --sessions must be >= 1\n";
+        exit 2
+      end;
+      run_service_chaos ~sessions ~seed_count ~out ~metrics
+    end
+    else begin
+      if n < 8 then begin
+        Printf.eprintf "chaos: -n must be >= 8 (the tight schedule's minimum)\n";
+        exit 2
+      end;
+      let spec = Chaos.spec ~n ~seed_count ~max_ticks () in
+      let progress ~done_ ~total =
+        Printf.eprintf "\rchaos: cell %d/%d%!" done_ total;
+        if done_ = total then prerr_newline ()
+      in
+      let obs = obs_of_metrics metrics in
+      let summary = Campaign.run ~progress ?obs spec in
+      Format.printf "%a@." Campaign.pp summary;
+      write_file out (Campaign.to_json summary ^ "\n");
+      Printf.printf "(json written to %s)\n" out;
+      write_metrics ~label:"chaos" obs metrics;
+      write_repros ~dir:(Filename.concat (Filename.dirname out) "repros")
+        (List.concat_map (fun c -> c.Campaign.c_repros) summary.Campaign.cells);
+      if summary.Campaign.total_violations > 0 then begin
+        Printf.eprintf "chaos: %d safety violation(s) detected\n" summary.Campaign.total_violations;
+        exit 1
+      end
     end
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the deterministic chaos campaign: every algorithm under crash, crash-recovery and \
-          transient-fault injection with the online safety monitor attached.")
-    Term.(const run $ n $ seeds $ max_ticks $ out $ metrics_arg)
+          transient-fault injection with the online safety monitor attached; with $(b,--service), \
+          the lease-service churn campaign (crash-restart clients, reclamation, admission control).")
+    Term.(const run $ n $ seeds $ max_ticks $ out $ metrics_arg $ service $ sessions)
 
 let mcheck_cmd =
   let module Mcheck = Renaming_mcheck.Mcheck in

@@ -6,7 +6,11 @@ type t = {
   tau : int;
   devices : Device.t array;
   (* capacity of the last device may be smaller than tau *)
-  granted_tokens : (int, int) Hashtbl.t;  (* token -> pid *)
+  token_owner : int array;  (* token id -> pid, -1 when ungranted; the
+                               id space is [device_count · 2 · tau], so a
+                               flat array doubles as a deterministic,
+                               iteration-order-stable ledger *)
+  mutable ledger : int;  (* granted tokens according to the ledger *)
 }
 
 let create ?rule ?(tau = 16) ~capacity () =
@@ -18,7 +22,7 @@ let create ?rule ?(tau = 16) ~capacity () =
         let this_tau = min tau (capacity - (d * tau)) in
         Device.create ?rule ~width:(2 * this_tau) ~threshold:this_tau ())
   in
-  { capacity; tau; devices; granted_tokens = Hashtbl.create 64 }
+  { capacity; tau; devices; token_owner = Array.make (device_count * 2 * tau) (-1); ledger = 0 }
 
 let capacity t = t.capacity
 let device_count t = Array.length t.devices
@@ -86,17 +90,18 @@ let try_acquire t ~pid ~rng =
   in
   match token with
   | Some token ->
-    (match Hashtbl.find_opt t.granted_tokens token with
-    | Some _ -> invalid_arg "Token_dispenser: duplicate token grant (bug)"
-    | None ->
-      Hashtbl.add t.granted_tokens token pid;
-      Some { token; probes = !probes })
+    if t.token_owner.(token) >= 0 then
+      invalid_arg "Token_dispenser: duplicate token grant (bug)"
+    else begin
+      t.token_owner.(token) <- pid;
+      t.ledger <- t.ledger + 1;
+      Some { token; probes = !probes }
+    end
   | None -> None
 
 let check_invariants t =
   if granted t > t.capacity then Error "granted more tokens than capacity"
-  else if Hashtbl.length t.granted_tokens <> granted t then
-    Error "token ledger disagrees with device state"
+  else if t.ledger <> granted t then Error "token ledger disagrees with device state"
   else begin
     let bad = ref None in
     Array.iter

@@ -152,6 +152,14 @@ let clean () =
   [
     target ~name:"loose-geometric-n4" ~n:4 ~allow_faults:true ~allow_crashes:true
       (fun ~seed -> loose_geometric ~n:4 ~seed);
+    (* Lease-handoff fencing (Renaming_service.Handoff): the returned
+       name is guarded by aux-register locks, not a namespace TAS, so
+       ownership checking is off; uniqueness of the returned name is the
+       property under test.  All traffic goes through Retry, so fault
+       mutation is sound. *)
+    target ~name:"lease-handoff-n4" ~n:4 ~check_ownership:false ~allow_faults:true
+      ~allow_crashes:true
+      (fun ~seed -> Renaming_service.Handoff.instance ~n:4 ~seed);
     target ~name:"combined-geometric-n8" ~n:8 ~allow_faults:true ~allow_crashes:true
       (fun ~seed -> combined_geometric ~n:8 ~seed);
     target ~name:"uniform-probing-n3" ~n:3 ~allow_faults:true ~allow_crashes:true
@@ -168,6 +176,15 @@ let mutants () =
       (fun ~seed -> mutant_tau_over_admit ~seed);
     target ~name:"mutant-dropped-straggler" ~n:3 ~expect_violation:true
       (fun ~seed -> mutant_dropped_straggler ~seed);
+    (* Stale-write handoff: the holder validates its lease by re-reading
+       the epoch register instead of taking the settle lock — the
+       time-of-check/time-of-use bug epoch fencing exists to prevent.
+       Round-robin resolves the race benignly; a priority schedule that
+       parks the reclaimer until the holder's validation read, then lets
+       the claimant commit at the next epoch, yields a double grant. *)
+    target ~name:"mutant-lease-stale-write" ~n:3 ~check_ownership:false
+      ~expect_violation:true
+      (fun ~seed -> Renaming_service.Handoff.instance_stale_write ~n:3 ~seed);
   ]
 
 let roster () = clean () @ mutants ()

@@ -45,46 +45,71 @@ let tight ~n ~seed =
   let params = Params.make ~policy:Params.Mass_conserving ~n () in
   Renaming_core.Tight.instance ~params ~stream:(Stream.create seed) ()
 
-let entry ~name ~n ~build ~bounds =
-  { e_name = name; e_n = n; e_seed = seed; e_check_ownership = true; e_build = build; e_bounds = bounds }
+let entry ?(check_ownership = true) ~name ~n ~build ~bounds () =
+  {
+    e_name = name;
+    e_n = n;
+    e_seed = seed;
+    e_check_ownership = check_ownership;
+    e_build = build;
+    e_bounds = bounds;
+  }
 
 let roster () =
   [
     (* Schedule-only exploration, preemption bound 2. *)
     entry ~name:"loose-geometric-n4" ~n:4
       ~build:(fun ~seed -> loose_geometric ~n:4 ~seed)
-      ~bounds:(bounds ~preemptions:2 ());
+      ~bounds:(bounds ~preemptions:2 ()) ();
     entry ~name:"uniform-probing-n3" ~n:3
       ~build:(fun ~seed -> uniform_probing ~n:3 ~seed)
-      ~bounds:(bounds ~preemptions:2 ());
+      ~bounds:(bounds ~preemptions:2 ()) ();
     entry ~name:"linear-scan-n3" ~n:3
       ~build:(fun ~seed -> linear_scan ~n:3 ~seed)
-      ~bounds:(bounds ~preemptions:2 ());
+      ~bounds:(bounds ~preemptions:2 ()) ();
     entry ~name:"linear-scan-n4" ~n:4
       ~build:(fun ~seed -> linear_scan ~n:4 ~seed)
-      ~bounds:(bounds ~preemptions:2 ());
+      ~bounds:(bounds ~preemptions:2 ()) ();
     (* Tight needs n >= 8 (Params.make), so its traces are an order of
        magnitude longer; one preemption keeps it in budget. *)
     entry ~name:"tight-n8" ~n:8
       ~build:(fun ~seed -> tight ~n:8 ~seed)
-      ~bounds:(bounds ~preemptions:0 ());
+      ~bounds:(bounds ~preemptions:0 ()) ();
+    (* The lease-handoff fencing protocol (Renaming_service.Handoff):
+       no process TASes a namespace register for the name it returns, so
+       ownership checking is off — the property is uniqueness of the
+       returned name, which the monitor checks regardless. *)
+    entry ~name:"lease-handoff-n3" ~n:3 ~check_ownership:false
+      ~build:(fun ~seed -> Renaming_service.Handoff.instance ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:3 ()) ();
+    entry ~name:"lease-handoff-n4" ~n:4 ~check_ownership:false
+      ~build:(fun ~seed -> Renaming_service.Handoff.instance ~n:4 ~seed)
+      ~bounds:(bounds ~preemptions:2 ()) ();
     (* Crash/recovery and transient-fault injection variants. *)
     entry ~name:"uniform-probing-n3-crash" ~n:3
       ~build:(fun ~seed -> uniform_probing ~n:3 ~seed)
-      ~bounds:(bounds ~preemptions:1 ~crashes:1 ~recoveries:1 ());
+      ~bounds:(bounds ~preemptions:1 ~crashes:1 ~recoveries:1 ()) ();
     entry ~name:"linear-scan-n3-crash" ~n:3
       ~build:(fun ~seed -> linear_scan ~n:3 ~seed)
-      ~bounds:(bounds ~preemptions:1 ~crashes:1 ~recoveries:1 ());
+      ~bounds:(bounds ~preemptions:1 ~crashes:1 ~recoveries:1 ()) ();
     entry ~name:"uniform-probing-n3-fault" ~n:3
       ~build:(fun ~seed -> uniform_probing ~n:3 ~seed)
-      ~bounds:(bounds ~preemptions:1 ~faults:1 ());
+      ~bounds:(bounds ~preemptions:1 ~faults:1 ()) ();
     entry ~name:"loose-geometric-n4-fault" ~n:4
       ~build:(fun ~seed -> loose_geometric ~n:4 ~seed)
-      ~bounds:(bounds ~preemptions:1 ~faults:1 ());
+      ~bounds:(bounds ~preemptions:1 ~faults:1 ()) ();
+    entry ~name:"lease-handoff-n3-fault" ~n:3 ~check_ownership:false
+      ~build:(fun ~seed -> Renaming_service.Handoff.instance ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:1 ~faults:1 ()) ();
   ]
 
 let tier1 () =
-  let keep = [ "uniform-probing-n3"; "linear-scan-n3"; "uniform-probing-n3-crash" ] in
+  let keep =
+    [
+      "uniform-probing-n3"; "linear-scan-n3"; "uniform-probing-n3-crash";
+      "lease-handoff-n3";
+    ]
+  in
   List.filter (fun e -> List.mem e.e_name keep) (roster ())
 
 let target e =
@@ -124,4 +149,9 @@ let builder ~name ~n =
     | Some a -> Some a.Campaign.build
     | None -> Fuzz_roster.builder ~name ~n)
 
-let check_ownership_of ~name:_ = true
+let check_ownership_of ~name =
+  (* Handoff-protocol targets return a name they never TASed in the
+     namespace (the grant lives in aux registers), so ownership checking
+     would misfire; uniqueness is still checked. *)
+  let prefixed p = String.length name >= String.length p && String.sub name 0 (String.length p) = p in
+  not (prefixed "lease-handoff" || prefixed "mutant-lease")

@@ -110,6 +110,13 @@ let all =
       run = Exp_csweep.t16;
     };
     {
+      id = "T17";
+      title = "Lease-based renaming service under churn";
+      claim =
+        "crashed clients' names are reclaimed by lease expiry + epoch fencing with zero double-grants; overload degrades to structured shed/timeout outcomes";
+      run = Exp_service.t17;
+    };
+    {
       id = "F1";
       title = "Scaling shape fits";
       claim = "measured curves match the predicted asymptotic shapes";

@@ -7,16 +7,21 @@ module Sample = Renaming_rng.Sample
 module Summary = Renaming_stats.Summary
 open Program.Syntax
 
-type config = { sessions : int; rounds : int; epsilon : float }
+type config = { sessions : int; rounds : int; epsilon : float; probe_cap : int option }
 
-let make_config ?(epsilon = 0.5) ?(rounds = 8) ~sessions () =
+let make_config ?(epsilon = 0.5) ?(rounds = 8) ?probe_cap ~sessions () =
   if sessions < 1 then invalid_arg "Longlived.make_config: sessions must be >= 1";
   if rounds < 1 then invalid_arg "Longlived.make_config: rounds must be >= 1";
   if epsilon <= 0. then invalid_arg "Longlived.make_config: epsilon must be positive";
-  { sessions; rounds; epsilon }
+  (match probe_cap with
+  | Some c when c < 0 -> invalid_arg "Longlived.make_config: probe_cap must be >= 0"
+  | _ -> ());
+  { sessions; rounds; epsilon; probe_cap }
 
-let namespace cfg =
-  max (cfg.sessions + 1) (int_of_float (ceil ((1. +. cfg.epsilon) *. float_of_int cfg.sessions)))
+let namespace_for ~sessions ~epsilon =
+  max (sessions + 1) (int_of_float (ceil ((1. +. epsilon) *. float_of_int sessions)))
+
+let namespace cfg = namespace_for ~sessions:cfg.sessions ~epsilon:cfg.epsilon
 
 type stats = {
   acquires : int;
@@ -24,6 +29,8 @@ type stats = {
   release_failures : int;
   probe_summary : Summary.t;
   max_held : int;
+  cap_exhaustions : int;
+  aborted_sessions : int;
 }
 
 let create_stats () =
@@ -34,9 +41,14 @@ let create_stats () =
       release_failures = 0;
       probe_summary = Summary.create ();
       max_held = 0;
+      cap_exhaustions = 0;
+      aborted_sessions = 0;
     }
 
 let predicted_probes cfg = (1. +. cfg.epsilon) /. cfg.epsilon
+
+let probe_cap cfg =
+  match cfg.probe_cap with Some c -> c | None -> 64 * namespace cfg
 
 (* One session process: [rounds] acquire/hold/release cycles.  The hold
    phase is a read of the held register (one step) — enough to give the
@@ -44,37 +56,51 @@ let predicted_probes cfg = (1. +. cfg.epsilon) /. cfg.epsilon
 let program ?stats cfg ~held_counter ~rng =
   let m = namespace cfg in
   let bump f = match stats with Some s -> s := f !s | None -> () in
-  let probe_cap = 64 * m in
+  let cap = probe_cap cfg in
+  (* Random probing up to the cap, then one deterministic sweep.  The
+     cap is unreachable in practice (success probability has a positive
+     floor), but when it does trip — adversarial schedules, tiny
+     namespaces, injected contention — the outcome is *structured*:
+     the exhaustion is counted in [stats.cap_exhaustions], the sweep
+     either recovers a name or fails, and a failed sweep aborts the
+     session ([stats.aborted_sessions]) instead of looping forever. *)
   let rec acquire probes =
-    if probes >= probe_cap then
-      (* Unreachable in practice (success probability has a positive
-         floor); scan deterministically rather than loop forever. *)
+    if probes >= cap then begin
+      bump (fun s -> { s with cap_exhaustions = s.cap_exhaustions + 1 });
       let* name = Program.scan_names ~first:0 ~count:m in
       match name with
-      | Some nm -> Program.return (nm, probes + m)
-      | None -> acquire probes  (* everything held: retry; cannot persist *)
+      | Some nm -> Program.return (Some (nm, probes + m))
+      | None -> Program.return None
+    end
     else
       let target = Sample.uniform_int rng m in
       let* won = Program.tas_name target in
-      if won then Program.return (target, probes + 1) else acquire (probes + 1)
+      if won then Program.return (Some (target, probes + 1)) else acquire (probes + 1)
   in
   let rec cycle r =
     if r = 0 then Program.return None
     else
-      let* name, probes = acquire 0 in
-      bump (fun s -> { s with acquires = s.acquires + 1 });
-      (match stats with
-      | Some s -> Summary.add_int !s.probe_summary probes
-      | None -> ());
-      incr held_counter;
-      bump (fun s -> { s with max_held = max s.max_held !held_counter });
-      let* _ = Program.read_name name in
-      decr held_counter;
-      let* released = Program.release_name name in
-      bump (fun s ->
-          if released then { s with releases = s.releases + 1 }
-          else { s with release_failures = s.release_failures + 1 });
-      cycle (r - 1)
+      let* acquired = acquire 0 in
+      match acquired with
+      | None ->
+        (* Probe cap tripped and the recovery sweep found every register
+           held: give the session up gracefully rather than livelock. *)
+        bump (fun s -> { s with aborted_sessions = s.aborted_sessions + 1 });
+        Program.return None
+      | Some (name, probes) ->
+        bump (fun s -> { s with acquires = s.acquires + 1 });
+        (match stats with
+        | Some s -> Summary.add_int !s.probe_summary probes
+        | None -> ());
+        incr held_counter;
+        bump (fun s -> { s with max_held = max s.max_held !held_counter });
+        let* _ = Program.read_name name in
+        decr held_counter;
+        let* released = Program.release_name name in
+        bump (fun s ->
+            if released then { s with releases = s.releases + 1 }
+            else { s with release_failures = s.release_failures + 1 });
+        cycle (r - 1)
   in
   cycle cfg.rounds
 

@@ -16,7 +16,10 @@
       time (TAS wins only on free registers; release is owner-checked);
     - lock-freedom under churn: every acquire terminates (the geometric
       success probability has a positive floor, plus a deterministic
-      sweep cap);
+      sweep cap) — and the cap itself is a *structured* outcome: a
+      tripped probe cap is counted in [stats.cap_exhaustions], and a
+      session whose recovery sweep also fails aborts gracefully
+      ([stats.aborted_sessions]) instead of spinning;
     - the amortized step complexity of an acquire concentrates around
       [(1+ε)/ε] probes — measured by experiment T15. *)
 
@@ -24,12 +27,27 @@ type config = {
   sessions : int;  (** concurrent processes, each holding ≤ 1 name *)
   rounds : int;  (** acquire/release cycles per process *)
   epsilon : float;  (** namespace slack *)
+  probe_cap : int option;
+      (** random probes before the deterministic sweep; [None] means the
+          default [64 · m].  Exposed so tests (and embedders such as
+          {!Renaming_service}) can exercise the exhaustion path. *)
 }
 
-val make_config : ?epsilon:float -> ?rounds:int -> sessions:int -> unit -> config
-(** [epsilon] defaults to 0.5, [rounds] to 8. *)
+val make_config :
+  ?epsilon:float -> ?rounds:int -> ?probe_cap:int -> sessions:int -> unit -> config
+(** [epsilon] defaults to 0.5, [rounds] to 8, [probe_cap] to [64 · m]. *)
 
 val namespace : config -> int
+
+val namespace_for : sessions:int -> epsilon:float -> int
+(** [max (sessions+1) ⌈(1+ε)·sessions⌉] — the namespace the long-lived
+    probing discipline needs for [sessions] concurrent holders.  Shared
+    with the lease-based service layer ({!Renaming_service.Lease}),
+    which sizes its slot table with the same slack. *)
+
+val probe_cap : config -> int
+(** The effective probe cap ([config.probe_cap] or the [64 · m]
+    default). *)
 
 type stats = {
   acquires : int;
@@ -37,9 +55,26 @@ type stats = {
   release_failures : int;  (** owner-check refusals; must be 0 *)
   probe_summary : Renaming_stats.Summary.t;  (** probes per successful acquire *)
   max_held : int;  (** peak simultaneously-held names observed *)
+  cap_exhaustions : int;
+      (** probe-cap trips (each followed by a deterministic sweep);
+          0 in every fair run of sensible configurations *)
+  aborted_sessions : int;
+      (** sessions that gave up after a tripped cap *and* a failed
+          sweep — the structured form of the former "unreachable in
+          practice" branch *)
 }
 
 val create_stats : unit -> stats ref
+
+val program :
+  ?stats:stats ref ->
+  config ->
+  held_counter:int ref ->
+  rng:Renaming_rng.Xoshiro.t ->
+  int option Renaming_sched.Program.t
+(** One session's program (exposed for tests and embedders that need to
+    run it against a custom memory, e.g. to force the exhaustion
+    path). *)
 
 val instance :
   ?stats:stats ref -> config -> stream:Renaming_rng.Stream.t -> Renaming_sched.Executor.instance

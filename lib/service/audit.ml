@@ -1,0 +1,111 @@
+exception Violation of { kind : string; message : string }
+
+type slot = { s_fence : Lease.fence; s_expires : float }
+
+type t = {
+  capacity : int;
+  n_slots : int;
+  mirror : slot option array;
+  mutable n_live : int;
+  mutable n_events : int;
+  mutable last_now : float;
+}
+
+let create ~capacity ~slots =
+  {
+    capacity;
+    n_slots = slots;
+    mirror = Array.make slots None;
+    n_live = 0;
+    n_events = 0;
+    last_now = neg_infinity;
+  }
+
+type event =
+  | Granted of { fence : Lease.fence; expires : float }
+  | Renewed of { fence : Lease.fence; expires : float; accepted : bool }
+  | Validated of { fence : Lease.fence; accepted : bool }
+  | Released of { fence : Lease.fence; accepted : bool }
+  | Reclaimed of { fence : Lease.fence; expired_at : float }
+
+let fail ~kind fmt =
+  Printf.ksprintf (fun message -> raise (Violation { kind; message })) fmt
+
+let pp_fence (f : Lease.fence) =
+  Printf.sprintf "name=%d session=%d epoch=%d" f.Lease.f_name f.Lease.f_session
+    f.Lease.f_epoch
+
+let current t (fence : Lease.fence) =
+  fence.Lease.f_name >= 0
+  && fence.Lease.f_name < t.n_slots
+  &&
+  match t.mirror.(fence.Lease.f_name) with
+  | Some s -> s.s_fence = fence
+  | None -> false
+
+let free_slot t (fence : Lease.fence) =
+  t.mirror.(fence.Lease.f_name) <- None;
+  t.n_live <- t.n_live - 1
+
+let observe t ~now event =
+  t.n_events <- t.n_events + 1;
+  if now < t.last_now then
+    fail ~kind:"time-regression" "clock moved from %g back to %g" t.last_now now;
+  t.last_now <- now;
+  match event with
+  | Granted { fence; expires } ->
+    if fence.Lease.f_name < 0 || fence.Lease.f_name >= t.n_slots then
+      fail ~kind:"slot-range" "grant outside namespace: %s (slots=%d)" (pp_fence fence)
+        t.n_slots;
+    (match t.mirror.(fence.Lease.f_name) with
+    | Some held ->
+      fail ~kind:"double-grant" "slot granted while held: new=%s held-by=%s"
+        (pp_fence fence) (pp_fence held.s_fence)
+    | None -> ());
+    if t.n_live >= t.capacity then
+      fail ~kind:"capacity-exceeded" "grant %s would make %d live leases (capacity %d)"
+        (pp_fence fence) (t.n_live + 1) t.capacity;
+    t.mirror.(fence.Lease.f_name) <- Some { s_fence = fence; s_expires = expires };
+    t.n_live <- t.n_live + 1
+  | Renewed { fence; expires; accepted } ->
+    if accepted then begin
+      if not (current t fence) then
+        fail ~kind:"stale-accept" "renew accepted for dead fence %s" (pp_fence fence);
+      let s = Option.get t.mirror.(fence.Lease.f_name) in
+      if expires < s.s_expires then
+        fail ~kind:"expiry-regression" "renew moved expiry of %s from %g back to %g"
+          (pp_fence fence) s.s_expires expires;
+      t.mirror.(fence.Lease.f_name) <- Some { s with s_expires = expires }
+    end
+    else if current t fence then
+      fail ~kind:"fenced-live" "renew fenced for live fence %s" (pp_fence fence)
+  | Validated { fence; accepted } ->
+    if accepted then begin
+      if not (current t fence) then
+        fail ~kind:"stale-accept" "validate accepted for dead fence %s (crashed client wrote)"
+          (pp_fence fence)
+    end
+    else if current t fence then
+      fail ~kind:"fenced-live" "validate fenced for live fence %s" (pp_fence fence)
+  | Released { fence; accepted } ->
+    if accepted then begin
+      if not (current t fence) then
+        fail ~kind:"stale-accept" "release accepted for dead fence %s" (pp_fence fence);
+      free_slot t fence
+    end
+    else if current t fence then
+      fail ~kind:"fenced-live" "release fenced for live fence %s" (pp_fence fence)
+  | Reclaimed { fence; expired_at } ->
+    if not (current t fence) then
+      fail ~kind:"stale-accept" "reclaim of a slot not held by %s" (pp_fence fence);
+    let s = Option.get t.mirror.(fence.Lease.f_name) in
+    if now < s.s_expires then
+      fail ~kind:"early-reclaim" "reclaim of %s at %g before expiry %g" (pp_fence fence)
+        now s.s_expires;
+    if expired_at > now then
+      fail ~kind:"early-reclaim" "reclaim of %s reports future expiry %g at %g"
+        (pp_fence fence) expired_at now;
+    free_slot t fence
+
+let live t = t.n_live
+let events t = t.n_events

@@ -1,0 +1,42 @@
+(** Independent safety auditor for the lease service.
+
+    The auditor maintains its own mirror of who holds what, fed only by
+    the event stream the service emits, and raises {!Violation} the
+    moment an event contradicts the lease-safety invariants.  It shares
+    no state with {!Lease} — a bug in the table cannot also hide the
+    evidence (same pattern as {!Renaming_faults.Monitor}).
+
+    Invariants checked:
+    - {b double-grant}: a grant names a slot the mirror believes is held;
+    - {b capacity-exceeded}: grants outrun [capacity];
+    - {b slot-range}: a granted name falls outside [0, slots);
+    - {b stale-accept}: a renew/validate/release succeeded for a fence
+      the mirror knows was fenced off (the crashed-client safety
+      property);
+    - {b fenced-live}: the service fenced an operation whose fence the
+      mirror believes is current (liveness-side complement);
+    - {b expiry-regression}: a renewal moved a lease's expiry backwards;
+    - {b early-reclaim}: a reclamation fired before the lease's expiry;
+    - {b time-regression}: the event clock went backwards. *)
+
+exception Violation of { kind : string; message : string }
+
+type t
+
+val create : capacity:int -> slots:int -> t
+
+type event =
+  | Granted of { fence : Lease.fence; expires : float }
+  | Renewed of { fence : Lease.fence; expires : float; accepted : bool }
+  | Validated of { fence : Lease.fence; accepted : bool }
+  | Released of { fence : Lease.fence; accepted : bool }
+  | Reclaimed of { fence : Lease.fence; expired_at : float }
+
+val observe : t -> now:float -> event -> unit
+(** Feed one service event; raises {!Violation} on contradiction. *)
+
+val live : t -> int
+(** Leases the mirror believes are currently live. *)
+
+val events : t -> int
+(** Total events observed. *)

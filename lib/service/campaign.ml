@@ -1,0 +1,201 @@
+module Json = Renaming_obs.Json
+module Export = Renaming_obs.Export
+
+type cell = { cell_name : string; cell_cfg : Churn.config }
+
+type spec = { cells : cell list; seeds : int64 array }
+
+let default_spec ?(sessions_per_cell = 150_000) ?(seeds = [| 0x5EED_2015L; 0xC0FFEEL |])
+    () =
+  let base = Churn.make_config ~sessions_target:sessions_per_cell in
+  {
+    seeds;
+    cells =
+      [
+        (* Utilization shedding: the high-water mark refuses new work
+           while reclaim churn eats the reserved headroom. *)
+        { cell_name = "steady-shed"; cell_cfg = base ~crash_rate:0.25 () };
+        (* Queue-only admission: shedding disabled (high_water > 1), so
+           degradation happens through the bounded queue — waits,
+           timeouts, queue-full refusals. *)
+        {
+          cell_name = "queue-degrade";
+          cell_cfg =
+            base ~crash_rate:0.25 ~high_water:1.5 ~queue_limit:32 ~request_timeout:2.0
+              ~clients:192 ();
+        };
+        (* Correlated burst: a third of the population crashes inside a
+           ten-tick window — reclamation has to recover a block of names
+           at once. *)
+        {
+          cell_name = "burst-reclaim";
+          cell_cfg =
+            base ~crash_rate:0.25
+              ~burst:{ Churn.b_at = 300; b_width = 10; b_failures = 42 }
+              ();
+        };
+        (* Zipf-hot churn: skew 1.4 and short thinks concentrate arrivals
+           on a few hot clients at a 35% crash rate. *)
+        {
+          cell_name = "hot-zipf";
+          cell_cfg = base ~crash_rate:0.35 ~zipf_s:1.4 ~mean_think:1.5 ();
+        };
+      ];
+  }
+
+type cell_result = { cr_name : string; cr_seed : int64; cr_summary : Churn.summary }
+
+type summary = {
+  results : cell_result list;
+  total_sessions : int;
+  total_grants : int;
+  total_reclaims : int;
+  total_sheds : int;
+  total_expired_requests : int;
+  total_stale_ops : int;
+  total_stale_rejected : int;
+  total_crashes : int;
+  total_abandoned : int;
+  total_violations : int;
+  total_livelocks : int;
+  total_unexpected_fenced : int;
+}
+
+let summarize results =
+  let add f = List.fold_left (fun acc r -> acc + f r.cr_summary) 0 results in
+  {
+    results;
+    total_sessions = add (fun s -> s.Churn.sessions);
+    total_grants = add (fun s -> s.Churn.service.Service.grants);
+    total_reclaims = add (fun s -> s.Churn.service.Service.reclaims);
+    total_sheds =
+      add (fun s ->
+          s.Churn.service.Service.sheds_high_water
+          + s.Churn.service.Service.sheds_queue_full);
+    total_expired_requests = add (fun s -> s.Churn.service.Service.expired_requests);
+    total_stale_ops = add (fun s -> s.Churn.stale_ops);
+    total_stale_rejected = add (fun s -> s.Churn.stale_rejected);
+    total_crashes = add (fun s -> s.Churn.crashes);
+    total_abandoned = add (fun s -> s.Churn.abandoned);
+    total_violations =
+      add (fun s -> match s.Churn.violation with Some _ -> 1 | None -> 0);
+    total_livelocks = add (fun s -> if s.Churn.livelocked then 1 else 0);
+    total_unexpected_fenced = add (fun s -> s.Churn.unexpected_fenced);
+  }
+
+let run ?progress ?obs spec =
+  let total = List.length spec.cells * Array.length spec.seeds in
+  let done_ = ref 0 in
+  let results =
+    List.concat_map
+      (fun cell ->
+        Array.to_list
+          (Array.map
+             (fun seed ->
+               let summary = Churn.run ?obs cell.cell_cfg ~seed in
+               incr done_;
+               (match progress with Some f -> f ~done_:!done_ ~total | None -> ());
+               { cr_name = cell.cell_name; cr_seed = seed; cr_summary = summary })
+             spec.seeds))
+      spec.cells
+  in
+  let summary = summarize results in
+  (match obs with
+  | Some o ->
+    let record name v =
+      Renaming_obs.Metrics.add (Renaming_obs.Obs.counter o name) v
+    in
+    record "chaos_service/runs" (List.length results);
+    record "chaos_service/sessions" summary.total_sessions;
+    record "chaos_service/violations" summary.total_violations;
+    record "chaos_service/livelocks" summary.total_livelocks;
+    record "chaos_service/reclaims" summary.total_reclaims;
+    record "chaos_service/sheds" summary.total_sheds
+  | None -> ());
+  summary
+
+let result_json r =
+  let s = r.cr_summary in
+  let sv = s.Churn.service in
+  Json.Obj
+    [
+      ("cell", Json.String r.cr_name);
+      ("seed", Json.String (Printf.sprintf "0x%Lx" r.cr_seed));
+      ("sessions", Json.Int s.Churn.sessions);
+      ("events", Json.Int s.Churn.events);
+      ("sim_time", Json.Float s.Churn.sim_time);
+      ("grants", Json.Int sv.Service.grants);
+      ("queued", Json.Int sv.Service.queued);
+      ("renews", Json.Int sv.Service.renews);
+      ("releases", Json.Int sv.Service.releases);
+      ("reclaims", Json.Int sv.Service.reclaims);
+      ("sheds_high_water", Json.Int sv.Service.sheds_high_water);
+      ("sheds_queue_full", Json.Int sv.Service.sheds_queue_full);
+      ("expired_requests", Json.Int sv.Service.expired_requests);
+      ("fenced", Json.Int sv.Service.fenced);
+      ("crashes", Json.Int s.Churn.crashes);
+      ("restarts", Json.Int s.Churn.restarts);
+      ("abandoned", Json.Int s.Churn.abandoned);
+      ("retries", Json.Int s.Churn.retries);
+      ("stale_ops", Json.Int s.Churn.stale_ops);
+      ("stale_rejected", Json.Int s.Churn.stale_rejected);
+      ("unexpected_fenced", Json.Int s.Churn.unexpected_fenced);
+      ("peak_held", Json.Int s.Churn.peak_held);
+      ("final_held", Json.Int s.Churn.final_held);
+      ("livelocked", Json.Bool s.Churn.livelocked);
+      ( "violation",
+        match s.Churn.violation with
+        | None -> Json.Null
+        | Some (kind, message) ->
+          Json.Obj [ ("kind", Json.String kind); ("message", Json.String message) ] );
+      ("hist_probes", Export.hist_json s.Churn.h_probes);
+      ("hist_reclaim_lateness", Export.hist_json s.Churn.h_reclaim);
+      ("hist_queue_wait", Export.hist_json s.Churn.h_wait);
+      ("hist_lease_lifetime", Export.hist_json s.Churn.h_lifetime);
+    ]
+
+let to_json summary =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.String "renaming.chaos-service/1");
+         ("total_sessions", Json.Int summary.total_sessions);
+         ("total_grants", Json.Int summary.total_grants);
+         ("total_reclaims", Json.Int summary.total_reclaims);
+         ("total_sheds", Json.Int summary.total_sheds);
+         ("total_expired_requests", Json.Int summary.total_expired_requests);
+         ("total_stale_ops", Json.Int summary.total_stale_ops);
+         ("total_stale_rejected", Json.Int summary.total_stale_rejected);
+         ("total_crashes", Json.Int summary.total_crashes);
+         ("total_abandoned", Json.Int summary.total_abandoned);
+         ("total_violations", Json.Int summary.total_violations);
+         ("total_livelocks", Json.Int summary.total_livelocks);
+         ("total_unexpected_fenced", Json.Int summary.total_unexpected_fenced);
+         ("runs", Json.List (List.map result_json summary.results));
+       ])
+
+let pp fmt summary =
+  Format.fprintf fmt
+    "service chaos: %d runs, %d sessions, %d grants, %d reclaims, %d sheds, %d \
+     expired, %d stale ops (%d fenced), %d crashes, %d violations, %d livelocks@."
+    (List.length summary.results)
+    summary.total_sessions summary.total_grants summary.total_reclaims
+    summary.total_sheds summary.total_expired_requests summary.total_stale_ops
+    summary.total_stale_rejected summary.total_crashes summary.total_violations
+    summary.total_livelocks;
+  List.iter
+    (fun r ->
+      let s = r.cr_summary in
+      Format.fprintf fmt
+        "  %-14s seed=0x%Lx sessions=%d grants=%d reclaims=%d sheds=%d+%d expired=%d \
+         stale=%d/%d peak=%d%s%s@."
+        r.cr_name r.cr_seed s.Churn.sessions s.Churn.service.Service.grants
+        s.Churn.service.Service.reclaims s.Churn.service.Service.sheds_high_water
+        s.Churn.service.Service.sheds_queue_full
+        s.Churn.service.Service.expired_requests s.Churn.stale_rejected
+        s.Churn.stale_ops s.Churn.peak_held
+        (if s.Churn.livelocked then " LIVELOCK" else "")
+        (match s.Churn.violation with
+        | Some (kind, _) -> " VIOLATION:" ^ kind
+        | None -> ""))
+    summary.results

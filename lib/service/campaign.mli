@@ -1,0 +1,53 @@
+(** Service chaos campaign: churn cells × seeds, with safety roll-up.
+
+    Mirrors {!Renaming_faults.Campaign} one level up the stack: instead
+    of schedules over a single algorithm run, each cell here is a full
+    closed-loop churn simulation ({!Churn}) against the lease service,
+    and the safety property is lease-safety (no double grant, fencing
+    holds, capacity bound respected) as enforced by the in-run
+    {!Audit} mirror.
+
+    The default spec sweeps four degradation regimes — utilization
+    shedding, queue-only admission, correlated crash bursts, Zipf-hot
+    churn — at crash rates of 25–35%, totalling over 10^6 client
+    sessions. *)
+
+type cell = { cell_name : string; cell_cfg : Churn.config }
+
+type spec = { cells : cell list; seeds : int64 array }
+
+val default_spec : ?sessions_per_cell:int -> ?seeds:int64 array -> unit -> spec
+(** [sessions_per_cell] defaults to 150_000 (×4 cells ×2 seeds ≥ 10^6
+    sessions); pass something small for smoke runs. *)
+
+type cell_result = { cr_name : string; cr_seed : int64; cr_summary : Churn.summary }
+
+type summary = {
+  results : cell_result list;
+  total_sessions : int;
+  total_grants : int;
+  total_reclaims : int;
+  total_sheds : int;
+  total_expired_requests : int;
+  total_stale_ops : int;
+  total_stale_rejected : int;
+  total_crashes : int;
+  total_abandoned : int;
+  total_violations : int;  (** audit violations across runs — must be 0 *)
+  total_livelocks : int;  (** runs cut off by the event guard — must be 0 *)
+  total_unexpected_fenced : int;
+}
+
+val run :
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?obs:Renaming_obs.Obs.t ->
+  spec ->
+  summary
+
+val to_json : summary -> string
+(** Schema ["renaming.chaos-service/1"]: campaign totals, then one
+    object per (cell, seed) run with its counters and the
+    reclaim-lateness / queue-wait / probe / lease-lifetime
+    histograms. *)
+
+val pp : Format.formatter -> summary -> unit

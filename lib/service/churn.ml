@@ -1,0 +1,442 @@
+module Clock = Renaming_clock.Clock
+module Stream = Renaming_rng.Stream
+module Sample = Renaming_rng.Sample
+module Retry = Renaming_faults.Retry
+module Arrival = Renaming_workload.Arrival
+module Crash_pattern = Renaming_workload.Crash_pattern
+module Zipf = Renaming_workload.Zipf
+module Hist = Renaming_obs.Hist
+
+type burst = { b_at : int; b_width : int; b_failures : int }
+
+type config = {
+  clients : int;
+  sessions_target : int;
+  capacity : int;
+  epsilon : float;
+  ttl : float;
+  renew_every : float;
+  queue_limit : int;
+  request_timeout : float;
+  high_water : float;
+  crash_rate : float;
+  stale_wakeup : float;
+  zipf_s : float;
+  mean_hold : float;
+  mean_think : float;
+  restart_delay : float;
+  max_attempts : int;
+  backoff_unit : float;
+  arrival : Arrival.pattern;
+  burst : burst option;
+  max_events : int;
+}
+
+let make_config ?(clients = 128) ?(sessions_target = 10_000) ?(capacity = 64)
+    ?(epsilon = 0.5) ?(ttl = 10.0) ?(renew_every = 3.0) ?(queue_limit = 64)
+    ?(request_timeout = 5.0) ?(high_water = 0.85) ?(crash_rate = 0.2)
+    ?(stale_wakeup = 0.25) ?(zipf_s = 1.0) ?(mean_hold = 6.0) ?(mean_think = 4.0)
+    ?(restart_delay = 8.0) ?(max_attempts = 6) ?(backoff_unit = 0.25)
+    ?(arrival = Arrival.Staggered { gap = 1 }) ?burst ?(max_events = 200_000_000) () =
+  if clients < 1 then invalid_arg "Churn.make_config: clients must be >= 1";
+  if sessions_target < 1 then invalid_arg "Churn.make_config: sessions_target must be >= 1";
+  if capacity < 1 then invalid_arg "Churn.make_config: capacity must be >= 1";
+  if renew_every <= 0. || renew_every >= ttl then
+    invalid_arg "Churn.make_config: renew_every must be in (0, ttl)";
+  if crash_rate < 0. || crash_rate > 1. then
+    invalid_arg "Churn.make_config: crash_rate must be in [0, 1]";
+  if stale_wakeup < 0. || stale_wakeup > 1. then
+    invalid_arg "Churn.make_config: stale_wakeup must be in [0, 1]";
+  {
+    clients;
+    sessions_target;
+    capacity;
+    epsilon;
+    ttl;
+    renew_every;
+    queue_limit;
+    request_timeout;
+    high_water;
+    crash_rate;
+    stale_wakeup;
+    zipf_s;
+    mean_hold;
+    mean_think;
+    restart_delay;
+    max_attempts;
+    backoff_unit;
+    arrival;
+    burst;
+    max_events;
+  }
+
+type phase =
+  | Idle
+  | Waiting of int  (* ticket *)
+  | Holding of Lease.fence
+  | Crashed
+  | Finished
+
+type client = {
+  rank : int;
+  think_scale : float;
+  mutable phase : phase;
+  mutable gen : int;  (* bumped at every transition; stale timers are dropped *)
+  mutable session : int option;  (* minted id of the in-flight session *)
+  mutable attempts : int;
+  mutable hold_end : float;
+}
+
+type ev =
+  | E_start of { client : int; gen : int }
+  | E_poll of { client : int; gen : int }
+  | E_renew of { client : int; gen : int }
+  | E_finish of { client : int; gen : int }
+  | E_crash of { client : int; gen : int }
+  | E_restart of { client : int; gen : int }
+  | E_stale of { client : int; fence : Lease.fence }
+  | E_burst_crash of { client : int }
+
+type summary = {
+  sessions : int;
+  crashes : int;
+  restarts : int;
+  abandoned : int;
+  stale_ops : int;
+  stale_rejected : int;
+  retries : int;
+  unexpected_fenced : int;
+  events : int;
+  sim_time : float;
+  peak_held : int;
+  final_held : int;
+  livelocked : bool;
+  violation : (string * string) option;
+  service : Service.stats;
+  h_probes : Hist.t;
+  h_reclaim : Hist.t;
+  h_wait : Hist.t;
+  h_lifetime : Hist.t;
+}
+
+let run ?obs cfg ~seed =
+  let stream = Stream.create seed in
+  let rng = Stream.fork_named stream ~name:"churn-driver" in
+  let service_rng = Stream.fork_named stream ~name:"service" in
+  let minter_rng = Stream.fork_named stream ~name:"minter" in
+  let sim_now = ref 0. in
+  let clock = Clock.of_fn ~label:"churn-sim" (fun () -> !sim_now) in
+  let lease_cfg =
+    Lease.make_config ~epsilon:cfg.epsilon ~ttl:cfg.ttl ~capacity:cfg.capacity ()
+  in
+  let admission_cfg =
+    Admission.make_config ~queue_limit:cfg.queue_limit
+      ~request_timeout:cfg.request_timeout ~high_water:cfg.high_water ()
+  in
+  let svc =
+    Service.create ?obs ~clock ~rng:service_rng
+      { Service.lease = lease_cfg; admission = admission_cfg }
+  in
+  let minter = Minter.create ~rng:minter_rng () in
+  let zipf = Zipf.create ~s:cfg.zipf_s ~n:cfg.clients () in
+  let retry_policy = Retry.make_policy ~attempts:(cfg.max_attempts + 1) () in
+  let clients =
+    Array.init cfg.clients (fun rank ->
+        (* Hot (low-rank) clients re-arrive sooner: think time shrinks
+           with the client's Zipf pressure, floored so the simulation
+           keeps a spread of time scales. *)
+        let pressure = Zipf.relative_pressure zipf rank in
+        let think_scale = max 0.05 (1. /. sqrt pressure) in
+        {
+          rank;
+          think_scale;
+          phase = Idle;
+          gen = 0;
+          session = None;
+          attempts = 0;
+          hold_end = 0.;
+        })
+  in
+  let heap : ev Heap.t = Heap.create () in
+  let minted = ref 0 in
+  let crashes = ref 0 in
+  let restarts = ref 0 in
+  let abandoned = ref 0 in
+  let stale_ops = ref 0 in
+  let stale_rejected = ref 0 in
+  let retries = ref 0 in
+  let unexpected_fenced = ref 0 in
+  let peak_held = ref 0 in
+  let n_events = ref 0 in
+  let livelocked = ref false in
+  let violation = ref None in
+  (* ticket -> client index, for resolving pump completions *)
+  let waiting = ref [] in
+  let jitter ~around = around *. (0.5 +. Sample.float_unit rng) in
+  let schedule ~at ev = Heap.push heap ~time:(max at !sim_now) ev in
+
+  let think c = jitter ~around:(cfg.mean_think *. c.think_scale) in
+
+  let begin_session_attempt idx ~at =
+    let c = clients.(idx) in
+    c.gen <- c.gen + 1;
+    c.phase <- Idle;
+    schedule ~at (E_start { client = idx; gen = c.gen })
+  in
+
+  let finish_session idx ~next_in =
+    let c = clients.(idx) in
+    c.session <- None;
+    c.attempts <- 0;
+    if !minted >= cfg.sessions_target then begin
+      c.gen <- c.gen + 1;
+      c.phase <- Finished
+    end
+    else begin_session_attempt idx ~at:(!sim_now +. next_in)
+  in
+
+  let enter_holding idx (grant : Lease.grant) =
+    let c = clients.(idx) in
+    c.gen <- c.gen + 1;
+    c.attempts <- 0;
+    c.phase <- Holding grant.Lease.g_fence;
+    let hold = jitter ~around:cfg.mean_hold in
+    c.hold_end <- !sim_now +. hold;
+    if Sample.bernoulli rng cfg.crash_rate then
+      schedule
+        ~at:(!sim_now +. (Sample.float_unit rng *. hold))
+        (E_crash { client = idx; gen = c.gen })
+    else begin
+      schedule ~at:c.hold_end (E_finish { client = idx; gen = c.gen });
+      if !sim_now +. cfg.renew_every < c.hold_end then
+        schedule ~at:(!sim_now +. cfg.renew_every) (E_renew { client = idx; gen = c.gen })
+    end
+  in
+
+  let handle_completions completions =
+    List.iter
+      (fun completion ->
+        match completion with
+        | Service.Done { ticket; grant; _ } -> (
+          match List.assoc_opt ticket !waiting with
+          | None -> ()
+          | Some idx ->
+            waiting := List.remove_assoc ticket !waiting;
+            let c = clients.(idx) in
+            (match c.phase with
+            | Waiting t when t = ticket -> enter_holding idx grant
+            | _ ->
+              (* The client is no longer waiting (e.g. burst-crashed):
+                 hand the name straight back. *)
+              ignore (Service.release svc ~fence:grant.Lease.g_fence)))
+        | Service.Timed_out { ticket; _ } -> (
+          match List.assoc_opt ticket !waiting with
+          | None -> ()
+          | Some idx ->
+            waiting := List.remove_assoc ticket !waiting;
+            let c = clients.(idx) in
+            (match c.phase with
+            | Waiting t when t = ticket ->
+              c.gen <- c.gen + 1;
+              c.phase <- Idle;
+              c.attempts <- c.attempts + 1;
+              if c.attempts > cfg.max_attempts then begin
+                incr abandoned;
+                finish_session idx ~next_in:(think c)
+              end
+              else begin
+                incr retries;
+                let delay =
+                  float_of_int (Retry.backoff_delay retry_policy ~attempt:c.attempts)
+                  *. cfg.backoff_unit
+                in
+                schedule ~at:(!sim_now +. delay) (E_start { client = idx; gen = c.gen })
+              end
+            | _ -> ())))
+      completions
+  in
+
+  let crash_holding idx =
+    let c = clients.(idx) in
+    match c.phase with
+    | Holding fence ->
+      incr crashes;
+      c.gen <- c.gen + 1;
+      c.phase <- Crashed;
+      schedule
+        ~at:(!sim_now +. jitter ~around:cfg.restart_delay)
+        (E_restart { client = idx; gen = c.gen });
+      if Sample.bernoulli rng cfg.stale_wakeup then
+        (* The dead incarnation wakes long after its lease could have
+           survived: 1.5–2.5 TTLs later, well past expiry. *)
+        schedule
+          ~at:(!sim_now +. (1.5 *. cfg.ttl) +. (Sample.float_unit rng *. cfg.ttl))
+          (E_stale { client = idx; fence })
+    | _ -> ()
+  in
+
+  (* Seed arrivals. *)
+  let arrivals = Arrival.times cfg.arrival ~n:cfg.clients in
+  Array.iteri
+    (fun idx at -> begin_session_attempt idx ~at:(float_of_int at *. 0.5))
+    arrivals;
+  (* Seed correlated crash bursts, reusing the crash-pattern generator:
+     each (time, pid) pair becomes a forced crash of that client if it
+     is holding a lease when the burst fires. *)
+  (match cfg.burst with
+  | None -> ()
+  | Some b ->
+    List.iter
+      (fun (time, pid) ->
+        schedule ~at:(float_of_int time) (E_burst_crash { client = pid }))
+      (Crash_pattern.burst ~rng ~n:cfg.clients ~failures:b.b_failures ~at:b.b_at
+         ~width:b.b_width));
+
+  let fresh c gen = c.gen = gen in
+  (try
+     let continue_ = ref true in
+     while !continue_ do
+       if !n_events > cfg.max_events then begin
+         livelocked := true;
+         continue_ := false
+       end
+       else
+         match Heap.pop heap with
+         | None -> continue_ := false
+         | Some (time, ev) ->
+           incr n_events;
+           sim_now := max !sim_now time;
+           handle_completions (Service.pump svc);
+           (match ev with
+           | E_start { client = idx; gen } ->
+             let c = clients.(idx) in
+             if fresh c gen then begin
+               (match c.session with
+               | Some _ -> ()
+               | None ->
+                 if !minted < cfg.sessions_target then begin
+                   c.session <- Some (Minter.mint minter);
+                   incr minted
+                 end);
+               match c.session with
+               | None ->
+                 c.gen <- c.gen + 1;
+                 c.phase <- Finished
+               | Some session -> (
+                 match Service.acquire svc ~session with
+                 | Service.Granted grant -> enter_holding idx grant
+                 | Service.Queued ticket ->
+                   c.gen <- c.gen + 1;
+                   c.phase <- Waiting ticket;
+                   waiting := (ticket, idx) :: !waiting;
+                   schedule
+                     ~at:(!sim_now +. cfg.request_timeout +. 0.001)
+                     (E_poll { client = idx; gen = c.gen })
+                 | Service.Shed _ ->
+                   c.attempts <- c.attempts + 1;
+                   if c.attempts > cfg.max_attempts then begin
+                     incr abandoned;
+                     finish_session idx ~next_in:(think c)
+                   end
+                   else begin
+                     incr retries;
+                     c.gen <- c.gen + 1;
+                     let delay =
+                       float_of_int (Retry.backoff_delay retry_policy ~attempt:c.attempts)
+                       *. cfg.backoff_unit
+                     in
+                     schedule ~at:(!sim_now +. delay)
+                       (E_start { client = idx; gen = c.gen })
+                   end)
+             end
+           | E_poll { client = idx; gen } ->
+             (* Completions were handled by the pump above; the poll
+                event only exists so a timeout cannot sit unprocessed
+                when no other event touches the service. *)
+             ignore (fresh clients.(idx) gen)
+           | E_renew { client = idx; gen } ->
+             let c = clients.(idx) in
+             if fresh c gen then (
+               match c.phase with
+               | Holding fence -> (
+                 match Service.renew svc ~fence with
+                 | Ok _ ->
+                   if !sim_now +. cfg.renew_every < c.hold_end then
+                     schedule
+                       ~at:(!sim_now +. cfg.renew_every)
+                       (E_renew { client = idx; gen = c.gen })
+                 | Error `Fenced ->
+                   (* A live, renewing client must never be fenced. *)
+                   incr unexpected_fenced;
+                   c.gen <- c.gen + 1;
+                   finish_session idx ~next_in:(think c))
+               | _ -> ())
+           | E_finish { client = idx; gen } ->
+             let c = clients.(idx) in
+             if fresh c gen then (
+               match c.phase with
+               | Holding fence ->
+                 (match Service.use svc ~fence with
+                 | Ok () -> ()
+                 | Error `Fenced -> incr unexpected_fenced);
+                 (match Service.release svc ~fence with
+                 | Ok _ -> ()
+                 | Error `Fenced -> incr unexpected_fenced);
+                 c.gen <- c.gen + 1;
+                 finish_session idx ~next_in:(think c)
+               | _ -> ())
+           | E_crash { client = idx; gen } ->
+             let c = clients.(idx) in
+             if fresh c gen then crash_holding idx
+           | E_restart { client = idx; gen } ->
+             let c = clients.(idx) in
+             if fresh c gen then begin
+               incr restarts;
+               c.session <- None;
+               c.attempts <- 0;
+               if !minted >= cfg.sessions_target then begin
+                 c.gen <- c.gen + 1;
+                 c.phase <- Finished
+               end
+               else begin_session_attempt idx ~at:!sim_now
+             end
+           | E_stale { client = _; fence } ->
+             (* The ghost of a crashed incarnation replays its fence.
+                All three operations must come back [`Fenced]. *)
+             let fenced = ref 0 in
+             incr stale_ops;
+             (match Service.renew svc ~fence with
+             | Error `Fenced -> incr fenced
+             | Ok _ -> ());
+             (match Service.use svc ~fence with
+             | Error `Fenced -> incr fenced
+             | Ok () -> ());
+             (match Service.release svc ~fence with
+             | Error `Fenced -> incr fenced
+             | Ok _ -> ());
+             if !fenced = 3 then incr stale_rejected
+           | E_burst_crash { client = idx } -> crash_holding idx);
+           peak_held := max !peak_held (Service.held svc)
+     done
+   with Audit.Violation { kind; message } -> violation := Some (kind, message));
+  {
+    sessions = !minted;
+    crashes = !crashes;
+    restarts = !restarts;
+    abandoned = !abandoned;
+    stale_ops = !stale_ops;
+    stale_rejected = !stale_rejected;
+    retries = !retries;
+    unexpected_fenced = !unexpected_fenced;
+    events = !n_events;
+    sim_time = !sim_now;
+    peak_held = !peak_held;
+    final_held = Service.held svc;
+    livelocked = !livelocked;
+    violation = !violation;
+    service = Service.stats svc;
+    h_probes = Service.probes_hist svc;
+    h_reclaim = Service.reclaim_lateness_hist svc;
+    h_wait = Service.queue_wait_hist svc;
+    h_lifetime = Service.lifetime_hist svc;
+  }

@@ -1,0 +1,96 @@
+(** Closed-loop churn workload against the lease service.
+
+    A fixed population of [clients] runs session loops forever (until
+    [sessions_target] sessions have been minted): mint a session id,
+    request a name, hold it while renewing, release, think, repeat.
+    Client heat is Zipf-skewed ({!Renaming_workload.Zipf}): hot clients
+    think less and re-arrive sooner.  Arrival offsets come from
+    {!Renaming_workload.Arrival}.
+
+    Crash-restart churn: with probability [crash_rate] a grant ends in a
+    crash at a uniform point of the hold instead of a release — no
+    release is sent, the name must be recovered by lease reclamation —
+    and the client restarts later as a fresh session.  With probability
+    [stale_wakeup] the crashed incarnation also wakes up long past its
+    lease and replays renew/use/release with the dead fence; every such
+    operation must be rejected ([`Fenced]), which the independent
+    {!Audit} mirror enforces.  Optional correlated bursts
+    ({!Renaming_workload.Crash_pattern.burst}) crash many holders at
+    once.
+
+    The whole run is a deterministic discrete-event simulation: one
+    event heap, a virtual clock read by the service, all randomness from
+    the seed. *)
+
+type burst = { b_at : int; b_width : int; b_failures : int }
+
+type config = {
+  clients : int;
+  sessions_target : int;  (** stop minting new sessions past this *)
+  capacity : int;
+  epsilon : float;
+  ttl : float;
+  renew_every : float;
+  queue_limit : int;
+  request_timeout : float;
+  high_water : float;
+  crash_rate : float;
+  stale_wakeup : float;  (** P(crashed incarnation replays its fence) *)
+  zipf_s : float;
+  mean_hold : float;
+  mean_think : float;
+  restart_delay : float;
+  max_attempts : int;  (** shed/timeout retries before abandoning *)
+  backoff_unit : float;  (** clock units per {!Renaming_faults.Retry} backoff step *)
+  arrival : Renaming_workload.Arrival.pattern;
+  burst : burst option;
+  max_events : int;  (** livelock guard *)
+}
+
+val make_config :
+  ?clients:int ->
+  ?sessions_target:int ->
+  ?capacity:int ->
+  ?epsilon:float ->
+  ?ttl:float ->
+  ?renew_every:float ->
+  ?queue_limit:int ->
+  ?request_timeout:float ->
+  ?high_water:float ->
+  ?crash_rate:float ->
+  ?stale_wakeup:float ->
+  ?zipf_s:float ->
+  ?mean_hold:float ->
+  ?mean_think:float ->
+  ?restart_delay:float ->
+  ?max_attempts:int ->
+  ?backoff_unit:float ->
+  ?arrival:Renaming_workload.Arrival.pattern ->
+  ?burst:burst ->
+  ?max_events:int ->
+  unit ->
+  config
+
+type summary = {
+  sessions : int;  (** session ids minted *)
+  crashes : int;
+  restarts : int;
+  abandoned : int;  (** sessions given up after [max_attempts] *)
+  stale_ops : int;  (** replayed dead-fence operations *)
+  stale_rejected : int;  (** ... of which fenced (must equal [stale_ops]) *)
+  retries : int;  (** re-admissions after shed/timeout *)
+  unexpected_fenced : int;  (** live-path fenced results (should be 0) *)
+  events : int;
+  sim_time : float;
+  peak_held : int;
+  final_held : int;
+  livelocked : bool;
+  violation : (string * string) option;  (** audit (kind, message), if any *)
+  service : Service.stats;
+  h_probes : Renaming_obs.Hist.t;
+  h_reclaim : Renaming_obs.Hist.t;
+  h_wait : Renaming_obs.Hist.t;
+  h_lifetime : Renaming_obs.Hist.t;
+}
+
+val run : ?obs:Renaming_obs.Obs.t -> config -> seed:int64 -> summary

@@ -1,0 +1,21 @@
+(** A deterministic binary min-heap keyed by [(time, insertion order)].
+
+    Both the lease table (expiry queue) and the churn driver (event
+    queue) need a priority queue whose pop order is a pure function of
+    the push sequence: ties on [time] are broken by insertion order, so
+    two runs with the same inputs drain in byte-identical order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest [(time, seq)] first; [None] when empty. *)
+
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

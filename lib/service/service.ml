@@ -1,0 +1,243 @@
+module Clock = Renaming_clock.Clock
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
+module Hist = Renaming_obs.Hist
+
+type config = { lease : Lease.config; admission : Admission.config }
+
+let make_config ?lease ?admission () =
+  let lease = match lease with Some l -> l | None -> Lease.make_config ~capacity:64 () in
+  let admission = match admission with Some a -> a | None -> Admission.make_config () in
+  { lease; admission }
+
+type stats = {
+  mutable grants : int;
+  mutable queued : int;
+  mutable renews : int;
+  mutable releases : int;
+  mutable fenced : int;
+  mutable sheds_high_water : int;
+  mutable sheds_queue_full : int;
+  mutable expired_requests : int;
+  mutable reclaims : int;
+  mutable validates : int;
+}
+
+type counters = {
+  c_grants : Metrics.counter;
+  c_renews : Metrics.counter;
+  c_releases : Metrics.counter;
+  c_fenced : Metrics.counter;
+  c_sheds : Metrics.counter;
+  c_expired : Metrics.counter;
+  c_reclaims : Metrics.counter;
+}
+
+type t = {
+  cfg : config;
+  clock : Clock.t;
+  rng : Renaming_rng.Xoshiro.t;
+  lease : Lease.t;
+  admission : Admission.t;
+  audit : Audit.t;
+  st : stats;
+  counters : counters option;
+  h_probes : Hist.t;
+  h_reclaim : Hist.t;
+  h_wait : Hist.t;
+  h_lifetime : Hist.t;
+}
+
+let centiticks x = if x <= 0. then 0 else int_of_float ((x *. 100.) +. 0.5)
+
+let create ?obs ~clock ~rng (cfg : config) =
+  let lease = Lease.create cfg.lease in
+  let hist name = match obs with Some o -> Obs.histogram o name | None -> Hist.create () in
+  let counters =
+    Option.map
+      (fun o ->
+        {
+          c_grants = Obs.counter o "service/grants";
+          c_renews = Obs.counter o "service/renews";
+          c_releases = Obs.counter o "service/releases";
+          c_fenced = Obs.counter o "service/fenced";
+          c_sheds = Obs.counter o "service/sheds";
+          c_expired = Obs.counter o "service/expired_requests";
+          c_reclaims = Obs.counter o "service/reclaims";
+        })
+      obs
+  in
+  {
+    cfg;
+    clock;
+    rng;
+    lease;
+    admission = Admission.create cfg.admission;
+    audit = Audit.create ~capacity:cfg.lease.Lease.capacity ~slots:(Lease.slots lease);
+    st =
+      {
+        grants = 0;
+        queued = 0;
+        renews = 0;
+        releases = 0;
+        fenced = 0;
+        sheds_high_water = 0;
+        sheds_queue_full = 0;
+        expired_requests = 0;
+        reclaims = 0;
+        validates = 0;
+      };
+    counters;
+    h_probes = hist "service/probes";
+    h_reclaim = hist "service/reclaim_lateness";
+    h_wait = hist "service/queue_wait";
+    h_lifetime = hist "service/lease_lifetime";
+  }
+
+let bump t f = match t.counters with Some c -> Metrics.incr (f c) | None -> ()
+
+let capacity t = t.cfg.lease.Lease.capacity
+let ttl t = t.cfg.lease.Lease.ttl
+
+(* Every entry point reclaims first: expiry work is driven by whoever
+   touches the service, so no background thread is needed and the
+   auditor always sees reclaims before any operation at the same
+   instant could observe the freed slot. *)
+let reclaim t ~now =
+  List.iter
+    (fun (r : Lease.reclaimed) ->
+      Audit.observe t.audit ~now
+        (Audit.Reclaimed { fence = r.Lease.r_fence; expired_at = r.Lease.r_expired_at });
+      t.st.reclaims <- t.st.reclaims + 1;
+      bump t (fun c -> c.c_reclaims);
+      Hist.observe t.h_reclaim (centiticks r.Lease.r_lateness))
+    (Lease.reclaim_expired t.lease ~now)
+
+(* Callers must ensure [held < capacity]; the lease table then cannot
+   refuse (the probe cap falls back to a sweep over a non-full table). *)
+let do_grant t ~session ~now =
+  match Lease.acquire t.lease ~session ~now ~rng:t.rng with
+  | Error `At_capacity -> invalid_arg "Service.do_grant: called at capacity"
+  | Ok grant ->
+    Audit.observe t.audit ~now
+      (Audit.Granted { fence = grant.Lease.g_fence; expires = now +. ttl t });
+    t.st.grants <- t.st.grants + 1;
+    bump t (fun c -> c.c_grants);
+    Hist.observe t.h_probes grant.Lease.g_probes;
+    grant
+
+type outcome =
+  | Granted of Lease.grant
+  | Queued of int
+  | Shed of Admission.shed_reason
+
+let acquire t ~session =
+  let now = Clock.now t.clock in
+  reclaim t ~now;
+  let util = Lease.utilization t.lease in
+  if
+    Admission.depth t.admission = 0
+    && util < t.cfg.admission.Admission.high_water
+    && Lease.held t.lease < capacity t
+  then Granted (do_grant t ~session ~now)
+  else
+    match Admission.offer t.admission ~session ~now ~utilization:util with
+    | Error reason ->
+      (match reason with
+      | Admission.High_water -> t.st.sheds_high_water <- t.st.sheds_high_water + 1
+      | Admission.Queue_full -> t.st.sheds_queue_full <- t.st.sheds_queue_full + 1);
+      bump t (fun c -> c.c_sheds);
+      Shed reason
+    | Ok ticket ->
+      t.st.queued <- t.st.queued + 1;
+      Queued ticket
+
+let renew t ~fence =
+  let now = Clock.now t.clock in
+  reclaim t ~now;
+  let result = Lease.renew t.lease ~fence ~now in
+  let accepted = Result.is_ok result in
+  let expires = match result with Ok e -> e | Error `Fenced -> 0. in
+  Audit.observe t.audit ~now (Audit.Renewed { fence; expires; accepted });
+  if accepted then begin
+    t.st.renews <- t.st.renews + 1;
+    bump t (fun c -> c.c_renews)
+  end
+  else begin
+    t.st.fenced <- t.st.fenced + 1;
+    bump t (fun c -> c.c_fenced)
+  end;
+  result
+
+let use t ~fence =
+  let now = Clock.now t.clock in
+  reclaim t ~now;
+  let result = Lease.validate t.lease ~fence in
+  let accepted = Result.is_ok result in
+  Audit.observe t.audit ~now (Audit.Validated { fence; accepted });
+  t.st.validates <- t.st.validates + 1;
+  if not accepted then begin
+    t.st.fenced <- t.st.fenced + 1;
+    bump t (fun c -> c.c_fenced)
+  end;
+  result
+
+let release t ~fence =
+  let now = Clock.now t.clock in
+  reclaim t ~now;
+  let result = Lease.release t.lease ~fence ~now in
+  let accepted = Result.is_ok result in
+  Audit.observe t.audit ~now (Audit.Released { fence; accepted });
+  (match result with
+  | Ok held_for ->
+    t.st.releases <- t.st.releases + 1;
+    bump t (fun c -> c.c_releases);
+    Hist.observe t.h_lifetime (centiticks held_for)
+  | Error `Fenced ->
+    t.st.fenced <- t.st.fenced + 1;
+    bump t (fun c -> c.c_fenced));
+  result
+
+type completion =
+  | Done of { ticket : int; session : int; grant : Lease.grant; waited : float }
+  | Timed_out of { ticket : int; session : int; waited : float }
+
+let pump t =
+  let now = Clock.now t.clock in
+  reclaim t ~now;
+  let timed_out =
+    List.map
+      (fun (x : Admission.expired) ->
+        t.st.expired_requests <- t.st.expired_requests + 1;
+        bump t (fun c -> c.c_expired);
+        Hist.observe t.h_wait (centiticks x.Admission.x_waited);
+        Timed_out
+          {
+            ticket = x.Admission.x_ticket;
+            session = x.Admission.x_session;
+            waited = x.Admission.x_waited;
+          })
+      (Admission.expire t.admission ~now)
+  in
+  let rec drain acc =
+    if Lease.held t.lease >= capacity t then List.rev acc
+    else
+      match Admission.take t.admission ~now with
+      | None -> List.rev acc
+      | Some (ticket, session, waited) ->
+        let grant = do_grant t ~session ~now in
+        Hist.observe t.h_wait (centiticks waited);
+        drain (Done { ticket; session; grant; waited } :: acc)
+  in
+  timed_out @ drain []
+
+let stats t = t.st
+let held t = Lease.held t.lease
+let utilization t = Lease.utilization t.lease
+let slots t = Lease.slots t.lease
+let queue_depth t = Admission.depth t.admission
+let audit_live t = Audit.live t.audit
+let probes_hist t = t.h_probes
+let reclaim_lateness_hist t = t.h_reclaim
+let queue_wait_hist t = t.h_wait
+let lifetime_hist t = t.h_lifetime

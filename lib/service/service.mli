@@ -1,0 +1,95 @@
+(** The lease-based renaming service façade.
+
+    One object ties the pieces together: the {!Lease} table (names,
+    TTLs, fencing epochs), the {!Admission} queue (bounded waiting,
+    shedding, request deadlines), an independent {!Audit} mirror that
+    raises on any safety violation, and telemetry (plain counters always,
+    {!Renaming_obs.Obs} registration when a capability is supplied).
+
+    Time comes exclusively from the injected {!Renaming_clock.Clock} —
+    the service never reads the wall clock — so simulated runs are
+    deterministic and tests drive expiry by hand.
+
+    Call {!pump} periodically (the churn driver does so at every event):
+    it reclaims expired leases, expires overdue queued requests, and
+    grants to the head of the queue while capacity allows. *)
+
+type config = { lease : Lease.config; admission : Admission.config }
+
+val make_config : ?lease:Lease.config -> ?admission:Admission.config -> unit -> config
+
+type t
+
+val create :
+  ?obs:Renaming_obs.Obs.t ->
+  clock:Renaming_clock.Clock.t ->
+  rng:Renaming_rng.Xoshiro.t ->
+  config ->
+  t
+
+(** {2 Client operations} *)
+
+type outcome =
+  | Granted of Lease.grant
+  | Queued of int  (** ticket; resolution arrives from {!pump} *)
+  | Shed of Admission.shed_reason
+
+val acquire : t -> session:int -> outcome
+(** Fast path grants immediately when the queue is empty, utilization is
+    below the high-water mark and capacity remains; otherwise the
+    request queues or sheds. *)
+
+val renew : t -> fence:Lease.fence -> (float, [ `Fenced ]) result
+val release : t -> fence:Lease.fence -> (float, [ `Fenced ]) result
+
+val use : t -> fence:Lease.fence -> (unit, [ `Fenced ]) result
+(** Fenced access check — the operation a reclaimed (stale) client must
+    always see rejected. *)
+
+(** {2 Service loop} *)
+
+type completion =
+  | Done of { ticket : int; session : int; grant : Lease.grant; waited : float }
+  | Timed_out of { ticket : int; session : int; waited : float }
+
+val pump : t -> completion list
+(** Reclaim expired leases, expire overdue queued requests, then grant
+    from the queue head while capacity allows. *)
+
+(** {2 Introspection} *)
+
+type stats = {
+  mutable grants : int;
+  mutable queued : int;
+  mutable renews : int;
+  mutable releases : int;
+  mutable fenced : int;  (** stale operations rejected by epoch fencing *)
+  mutable sheds_high_water : int;
+  mutable sheds_queue_full : int;
+  mutable expired_requests : int;
+  mutable reclaims : int;
+  mutable validates : int;
+}
+
+val stats : t -> stats
+val held : t -> int
+val utilization : t -> float
+val slots : t -> int
+val queue_depth : t -> int
+val audit_live : t -> int
+
+val probes_hist : t -> Renaming_obs.Hist.t
+(** Probes per grant. *)
+
+val reclaim_lateness_hist : t -> Renaming_obs.Hist.t
+(** Centiticks between lease expiry and its reclamation. *)
+
+val queue_wait_hist : t -> Renaming_obs.Hist.t
+(** Centiticks queued requests waited before grant or timeout. *)
+
+val lifetime_hist : t -> Renaming_obs.Hist.t
+(** Centiticks between grant and voluntary release. *)
+
+val centiticks : float -> int
+(** The fixed time→bucket scaling used by the histograms above
+    (1 clock unit = 100 centiticks). *)

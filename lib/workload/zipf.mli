@@ -1,0 +1,28 @@
+(** Zipf-distributed skew for workload generation.
+
+    Real client populations are not uniform: a few hot clients issue
+    most of the traffic.  A [Zipf.t] precomputes the CDF of the
+    Zipf(s) distribution over ranks [0..n-1] (probability of rank [k]
+    proportional to [1/(k+1)^s]) so the churn driver can draw skewed
+    client identities, and exposes the per-rank weight so per-client
+    think times can be scaled (hot clients re-arrive sooner). *)
+
+type t
+
+val create : ?s:float -> n:int -> unit -> t
+(** [s] is the skew exponent, default 1.0; [s = 0.] degenerates to
+    uniform.  [n] must be >= 1. *)
+
+val n : t -> int
+
+val draw : t -> rng:Renaming_rng.Xoshiro.t -> int
+(** A rank in [0, n), hot ranks (low indices) more likely; inverse-CDF
+    by binary search, O(log n). *)
+
+val weight : t -> int -> float
+(** Normalized probability of rank [k]; decreasing in [k]. *)
+
+val relative_pressure : t -> int -> float
+(** [weight k / weight (n-1)] — how much hotter rank [k] is than the
+    coldest rank; >= 1, used to scale think times down for hot
+    clients. *)

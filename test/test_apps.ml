@@ -62,6 +62,22 @@ let test_dispenser_validation () =
     (Invalid_argument "Token_dispenser.create: tau must be in [1, 31]") (fun () ->
       ignore (Dispenser.create ~tau:32 ~capacity:10 ()))
 
+let test_dispenser_ledger_consistent () =
+  (* The deterministic grant ledger must agree with the device state at
+     every point of the dispenser's lifetime, not just at the end. *)
+  let rng = Xoshiro.create 12L in
+  let d = Dispenser.create ~capacity:40 () in
+  let grants = ref 0 in
+  for pid = 0 to 119 do
+    (match Dispenser.try_acquire d ~pid ~rng with
+    | Some _ -> incr grants
+    | None -> ());
+    match Dispenser.check_invariants d with
+    | Ok () -> check Alcotest.int "ledger = granted" !grants (Dispenser.granted d)
+    | Error e -> Alcotest.fail e
+  done;
+  check Alcotest.int "exhausted at capacity" 40 !grants
+
 let test_barrier_releases_exactly_at_parties () =
   let rng = Xoshiro.create 4L in
   let b = Barrier.create ~parties:10 () in
@@ -112,6 +128,7 @@ let tests =
         Alcotest.test_case "dispenser device count" `Quick test_dispenser_device_count;
         Alcotest.test_case "dispenser tau=1" `Quick test_dispenser_small_tau;
         Alcotest.test_case "dispenser validation" `Quick test_dispenser_validation;
+        Alcotest.test_case "dispenser ledger consistent" `Quick test_dispenser_ledger_consistent;
         Alcotest.test_case "barrier release" `Quick test_barrier_releases_exactly_at_parties;
         Alcotest.test_case "leader unique" `Quick test_leader_unique;
         Alcotest.test_case "leader first wins" `Quick test_leader_first_wins;

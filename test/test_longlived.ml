@@ -80,6 +80,59 @@ let test_under_adversaries () =
       Adversary.uniform (Stream.fork_named (Stream.create 5L) ~name:"a");
     ]
 
+(* Probe-cap exhaustion (the structured slow path): run one session's
+   program against a pre-filled namespace so random probes keep losing.
+   With one free slot the deterministic sweep must recover; with none
+   the session must abort gracefully instead of spinning. *)
+
+module Memory = Renaming_sched.Memory
+module Op = Renaming_sched.Op
+module Executor = Renaming_sched.Executor
+module Xoshiro = Renaming_rng.Xoshiro
+
+let run_prefilled ~prefill ~rounds ~seed =
+  let cfg = Longlived.make_config ~epsilon:0.5 ~rounds ~probe_cap:1 ~sessions:4 () in
+  let m = Longlived.namespace cfg in
+  let memory = Memory.create ~namespace:m () in
+  for i = 0 to prefill m - 1 do
+    ignore (Memory.apply memory ~pid:9 (Op.Tas_name i))
+  done;
+  let stats = Longlived.create_stats () in
+  let program =
+    Longlived.program ~stats cfg ~held_counter:(ref 0) ~rng:(Xoshiro.create seed)
+  in
+  let report =
+    Executor.run ~adversary:(Adversary.round_robin ())
+      { Executor.memory; programs = [| program |]; label = "longlived-capped" }
+  in
+  (!stats, report)
+
+let test_probe_cap_exhaustion_recovers () =
+  let stats, _ = run_prefilled ~prefill:(fun m -> m - 1) ~rounds:3 ~seed:21L in
+  check Alcotest.int "all acquires still complete" 3 stats.Longlived.acquires;
+  check Alcotest.int "all releases follow" 3 stats.Longlived.releases;
+  check Alcotest.bool "cap tripped at least once" true
+    (stats.Longlived.cap_exhaustions >= 1);
+  check Alcotest.int "no aborts: the sweep recovered" 0
+    stats.Longlived.aborted_sessions
+
+let test_probe_cap_abort_graceful () =
+  let stats, report = run_prefilled ~prefill:(fun m -> m) ~rounds:3 ~seed:22L in
+  check Alcotest.int "no acquires in a full namespace" 0 stats.Longlived.acquires;
+  check Alcotest.bool "cap tripped" true (stats.Longlived.cap_exhaustions >= 1);
+  check Alcotest.int "aborted exactly once" 1 stats.Longlived.aborted_sessions;
+  check Alcotest.int "returns no name" 0 (Report.named_count report)
+
+let test_probe_cap_config () =
+  let cfg = Longlived.make_config ~probe_cap:7 ~sessions:4 () in
+  check Alcotest.int "explicit cap" 7 (Longlived.probe_cap cfg);
+  let cfg' = Longlived.make_config ~sessions:4 () in
+  check Alcotest.int "default cap is 64m" (64 * Longlived.namespace cfg')
+    (Longlived.probe_cap cfg');
+  Alcotest.check_raises "bad cap"
+    (Invalid_argument "Longlived.make_config: probe_cap must be >= 0") (fun () ->
+      ignore (Longlived.make_config ~probe_cap:(-1) ~sessions:4 ()))
+
 let qcheck_longlived_exclusion =
   QCheck.Test.make ~count:25 ~name:"long-lived churn never violates exclusion"
     QCheck.(triple small_int (int_range 1 32) (int_range 1 6))
@@ -103,6 +156,9 @@ let tests =
         Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion_bound;
         Alcotest.test_case "probe costs" `Quick test_probe_costs_reasonable;
         Alcotest.test_case "under adversaries" `Quick test_under_adversaries;
+        Alcotest.test_case "probe-cap exhaustion recovers" `Quick test_probe_cap_exhaustion_recovers;
+        Alcotest.test_case "probe-cap abort graceful" `Quick test_probe_cap_abort_graceful;
+        Alcotest.test_case "probe-cap config" `Quick test_probe_cap_config;
         QCheck_alcotest.to_alcotest qcheck_longlived_exclusion;
       ] );
   ]

@@ -1,0 +1,484 @@
+(* Tests for the lease-based renaming service: the deterministic heap,
+   the lease table (fencing, expiry, reclamation), the admission queue,
+   session minting, the independent audit mirror, the service façade
+   under a hand-driven clock, and determinism of the churn simulation. *)
+
+module Heap = Renaming_service.Heap
+module Lease = Renaming_service.Lease
+module Admission = Renaming_service.Admission
+module Minter = Renaming_service.Minter
+module Audit = Renaming_service.Audit
+module Service = Renaming_service.Service
+module Churn = Renaming_service.Churn
+module Clock = Renaming_clock.Clock
+module Xoshiro = Renaming_rng.Xoshiro
+
+let check = Alcotest.check
+
+let manual_clock () =
+  let t = ref 0.0 in
+  (t, Clock.of_fn ~label:"test-manual" (fun () -> !t))
+
+(* ------------------------------------------------------------------ *)
+(* Heap: deterministic pop order, ties broken by insertion sequence.  *)
+
+let test_heap_deterministic_order () =
+  let h = Heap.create () in
+  List.iter (fun (time, v) -> Heap.push h ~time v)
+    [ (3.0, "late"); (1.0, "first"); (2.0, "mid"); (1.0, "second") ];
+  check Alcotest.int "size" 4 (Heap.size h);
+  check (Alcotest.option (Alcotest.float 1e-9)) "peek" (Some 1.0) (Heap.peek_time h);
+  let drain = ref [] in
+  let rec go () =
+    match Heap.pop h with
+    | Some (_, v) -> drain := v :: !drain; go ()
+    | None -> ()
+  in
+  go ();
+  check Alcotest.(list string) "FIFO within equal times"
+    [ "first"; "second"; "mid"; "late" ] (List.rev !drain);
+  check Alcotest.bool "empty after drain" true (Heap.is_empty h)
+
+(* ------------------------------------------------------------------ *)
+(* Lease table: capacity, fencing, release epoch bump.                *)
+
+let test_lease_capacity_and_release () =
+  let rng = Xoshiro.create 7L in
+  let lease = Lease.create (Lease.make_config ~capacity:2 ~ttl:10.0 ()) in
+  let grant session =
+    match Lease.acquire lease ~session ~now:0.0 ~rng with
+    | Ok g -> g.Lease.g_fence
+    | Error `At_capacity -> Alcotest.fail "unexpected At_capacity"
+  in
+  let f1 = grant 1 in
+  let f2 = grant 2 in
+  check Alcotest.int "held" 2 (Lease.held lease);
+  check Alcotest.bool "distinct names" true (f1.Lease.f_name <> f2.Lease.f_name);
+  (match Lease.acquire lease ~session:3 ~now:0.0 ~rng with
+  | Error `At_capacity -> ()
+  | Ok _ -> Alcotest.fail "third grant must hit capacity");
+  (match Lease.release lease ~fence:f1 ~now:4.0 with
+  | Ok dur -> check (Alcotest.float 1e-9) "held duration" 4.0 dur
+  | Error `Fenced -> Alcotest.fail "live release fenced");
+  (* The released fence is dead immediately: the epoch bumped. *)
+  (match Lease.validate lease ~fence:f1 with
+  | Error `Fenced -> ()
+  | Ok () -> Alcotest.fail "released fence validated");
+  (* Capacity is available again. *)
+  let f3 = grant 3 in
+  check Alcotest.bool "slot in range" true
+    (f3.Lease.f_name >= 0 && f3.Lease.f_name < Lease.slots lease);
+  check Alcotest.(option int) "holder tracked" (Some 3)
+    (Lease.holder lease ~name:f3.Lease.f_name)
+
+let test_lease_reclaim_skips_renewed () =
+  let rng = Xoshiro.create 8L in
+  let lease = Lease.create (Lease.make_config ~capacity:2 ~ttl:5.0 ()) in
+  let fence s =
+    match Lease.acquire lease ~session:s ~now:0.0 ~rng with
+    | Ok g -> g.Lease.g_fence
+    | Error `At_capacity -> Alcotest.fail "capacity"
+  in
+  let live = fence 1 in
+  let dead = fence 2 in
+  (* Renew the live one at t=4 (new expiry 9); leave the other to rot. *)
+  (match Lease.renew lease ~fence:live ~now:4.0 with
+  | Ok e -> check (Alcotest.float 1e-9) "renewed expiry" 9.0 e
+  | Error `Fenced -> Alcotest.fail "live renew fenced");
+  let reclaimed = Lease.reclaim_expired lease ~now:6.0 in
+  check Alcotest.int "one lease reclaimed" 1 (List.length reclaimed);
+  let r = List.hd reclaimed in
+  check Alcotest.int "the unrenewed one" dead.Lease.f_session
+    r.Lease.r_fence.Lease.f_session;
+  check (Alcotest.float 1e-9) "lateness = now - expiry" 1.0 r.Lease.r_lateness;
+  (match Lease.validate lease ~fence:live with
+  | Ok () -> ()
+  | Error `Fenced -> Alcotest.fail "renewed lease was revoked");
+  (match Lease.validate lease ~fence:dead with
+  | Error `Fenced -> ()
+  | Ok () -> Alcotest.fail "reclaimed fence still validates")
+
+(* ------------------------------------------------------------------ *)
+(* Admission: shedding, queue bound, deadline expiry.                 *)
+
+let test_admission_shed_and_expire () =
+  let adm =
+    Admission.create
+      (Admission.make_config ~queue_limit:2 ~request_timeout:1.0 ~high_water:0.9 ())
+  in
+  (match Admission.offer adm ~session:1 ~now:0.0 ~utilization:0.95 with
+  | Error Admission.High_water -> ()
+  | _ -> Alcotest.fail "high utilization must shed");
+  let t1 =
+    match Admission.offer adm ~session:1 ~now:0.0 ~utilization:0.1 with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "offer 1"
+  in
+  (match Admission.offer adm ~session:2 ~now:0.2 ~utilization:0.1 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "offer 2");
+  (match Admission.offer adm ~session:3 ~now:0.3 ~utilization:0.1 with
+  | Error Admission.Queue_full -> ()
+  | _ -> Alcotest.fail "bounded queue must refuse the third");
+  check Alcotest.int "depth" 2 (Admission.depth adm);
+  (* Take the head before it times out. *)
+  (match Admission.take adm ~now:0.5 with
+  | Some (ticket, session, waited) ->
+    check Alcotest.int "head ticket" t1 ticket;
+    check Alcotest.int "head session" 1 session;
+    check (Alcotest.float 1e-9) "waited" 0.5 waited
+  | None -> Alcotest.fail "take");
+  (* The second request (queued at 0.2, timeout 1.0) expires past 1.2. *)
+  let expired = Admission.expire adm ~now:2.0 in
+  check Alcotest.int "one expiry" 1 (List.length expired);
+  let x = List.hd expired in
+  check Alcotest.int "expired session" 2 x.Admission.x_session;
+  check (Alcotest.float 1e-9) "expired wait" 1.8 x.Admission.x_waited;
+  check
+    (Alcotest.option (Alcotest.triple Alcotest.int Alcotest.int (Alcotest.float 1e-9)))
+    "queue drained" None
+    (Admission.take adm ~now:2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Minter: global uniqueness across dispenser blocks.                 *)
+
+let test_minter_unique_across_blocks () =
+  let rng = Xoshiro.create 9L in
+  let m = Minter.create ~block_capacity:8 ~rng () in
+  let seen = Hashtbl.create 128 in
+  for _ = 1 to 100 do
+    let id = Minter.mint m in
+    check Alcotest.bool "session id fresh" false (Hashtbl.mem seen id);
+    Hashtbl.add seen id ()
+  done;
+  check Alcotest.int "minted" 100 (Minter.minted m);
+  check Alcotest.bool "chained blocks" true (Minter.blocks m > 1);
+  check Alcotest.bool "probes counted" true (Minter.probes m >= 100)
+
+(* ------------------------------------------------------------------ *)
+(* Audit mirror: each invariant fires on a contradicting stream.      *)
+
+let expect_violation ~kind f =
+  match f () with
+  | () -> Alcotest.fail (Printf.sprintf "expected %s violation" kind)
+  | exception Audit.Violation v ->
+    check Alcotest.string "violation kind" kind v.kind
+
+let fence ~name ~session ~epoch =
+  { Lease.f_name = name; f_session = session; f_epoch = epoch }
+
+let test_audit_catches_double_grant () =
+  let a = Audit.create ~capacity:4 ~slots:8 in
+  Audit.observe a ~now:0.0
+    (Audit.Granted { fence = fence ~name:0 ~session:1 ~epoch:1; expires = 10.0 });
+  expect_violation ~kind:"double-grant" (fun () ->
+      Audit.observe a ~now:1.0
+        (Audit.Granted { fence = fence ~name:0 ~session:2 ~epoch:2; expires = 11.0 }))
+
+let test_audit_catches_stale_accept () =
+  let a = Audit.create ~capacity:4 ~slots:8 in
+  let f = fence ~name:3 ~session:1 ~epoch:1 in
+  Audit.observe a ~now:0.0 (Audit.Granted { fence = f; expires = 2.0 });
+  Audit.observe a ~now:5.0 (Audit.Reclaimed { fence = f; expired_at = 2.0 });
+  expect_violation ~kind:"stale-accept" (fun () ->
+      Audit.observe a ~now:6.0 (Audit.Validated { fence = f; accepted = true }))
+
+let test_audit_catches_early_reclaim () =
+  let a = Audit.create ~capacity:4 ~slots:8 in
+  let f = fence ~name:2 ~session:1 ~epoch:1 in
+  Audit.observe a ~now:0.0 (Audit.Granted { fence = f; expires = 10.0 });
+  expect_violation ~kind:"early-reclaim" (fun () ->
+      Audit.observe a ~now:5.0 (Audit.Reclaimed { fence = f; expired_at = 10.0 }))
+
+let test_audit_catches_time_regression () =
+  let a = Audit.create ~capacity:4 ~slots:8 in
+  Audit.observe a ~now:5.0
+    (Audit.Granted { fence = fence ~name:0 ~session:1 ~epoch:1; expires = 15.0 });
+  expect_violation ~kind:"time-regression" (fun () ->
+      Audit.observe a ~now:4.0
+        (Audit.Granted { fence = fence ~name:1 ~session:2 ~epoch:1; expires = 14.0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Service façade under a hand-driven clock.                          *)
+
+let service ?(capacity = 2) ?(ttl = 10.0) ?(queue_limit = 4)
+    ?(request_timeout = 1.5) ?(high_water = 1.5) () =
+  let time, clock = manual_clock () in
+  let cfg =
+    Service.make_config
+      ~lease:(Lease.make_config ~capacity ~ttl ())
+      ~admission:
+        (Admission.make_config ~queue_limit ~request_timeout ~high_water ())
+      ()
+  in
+  (time, Service.create ~clock ~rng:(Xoshiro.create 21L) cfg)
+
+let test_service_queue_then_reclaim_grant () =
+  let time, svc = service ~ttl:5.0 () in
+  let g session =
+    match Service.acquire svc ~session with
+    | Service.Granted g -> g.Lease.g_fence
+    | _ -> Alcotest.fail "expected immediate grant"
+  in
+  let _f1 = g 1 in
+  let _f2 = g 2 in
+  let ticket =
+    match Service.acquire svc ~session:3 with
+    | Service.Queued t -> t
+    | _ -> Alcotest.fail "expected queueing at capacity"
+  in
+  check Alcotest.int "queue depth" 1 (Service.queue_depth svc);
+  check Alcotest.int "nothing to grant yet" 0 (List.length (Service.pump svc));
+  (* Neither holder releases; their leases expire at t=5 and the queued
+     request (timeout 1.5 — already overdue, but grants beat the check
+     only if capacity frees first; here it timed out long before). *)
+  time := 1.0;
+  (match Service.pump svc with
+  | [ Service.Timed_out _ ] -> Alcotest.fail "not yet overdue"
+  | [] -> ()
+  | _ -> Alcotest.fail "unexpected completions");
+  time := 6.0;
+  (match Service.pump svc with
+  | [ Service.Timed_out { ticket = t; session; _ } ] ->
+    check Alcotest.int "timed-out ticket" ticket t;
+    check Alcotest.int "timed-out session" 3 session
+  | _ -> Alcotest.fail "expected a request timeout");
+  (* The two original leases were reclaimed by the same pump. *)
+  check Alcotest.int "all reclaimed" 0 (Service.held svc);
+  let s = Service.stats svc in
+  check Alcotest.int "reclaims" 2 s.Service.reclaims;
+  check Alcotest.int "expired requests" 1 s.Service.expired_requests;
+  check Alcotest.int "audit live agrees" 0 (Service.audit_live svc)
+
+let test_service_queue_drain_done () =
+  let time, svc = service ~ttl:5.0 ~request_timeout:50.0 () in
+  (match Service.acquire svc ~session:1 with
+  | Service.Granted _ -> ()
+  | _ -> Alcotest.fail "grant 1");
+  (match Service.acquire svc ~session:2 with
+  | Service.Granted _ -> ()
+  | _ -> Alcotest.fail "grant 2");
+  let ticket =
+    match Service.acquire svc ~session:3 with
+    | Service.Queued t -> t
+    | _ -> Alcotest.fail "queue 3"
+  in
+  time := 6.0;
+  (match Service.pump svc with
+  | [ Service.Done { ticket = t; session; grant; waited } ] ->
+    check Alcotest.int "done ticket" ticket t;
+    check Alcotest.int "done session" 3 session;
+    check (Alcotest.float 1e-9) "waited" 6.0 waited;
+    check Alcotest.int "grant fence session" 3 grant.Lease.g_fence.Lease.f_session
+  | _ -> Alcotest.fail "expected queued request granted after reclaim");
+  check Alcotest.int "one live lease" 1 (Service.held svc)
+
+let test_service_high_water_shed () =
+  let _, svc = service ~capacity:4 ~high_water:0.5 () in
+  (match Service.acquire svc ~session:1 with
+  | Service.Granted _ -> ()
+  | _ -> Alcotest.fail "grant 1");
+  (match Service.acquire svc ~session:2 with
+  | Service.Granted _ -> ()
+  | _ -> Alcotest.fail "grant 2");
+  (* utilization = 0.5 = high water: shed, do not queue. *)
+  (match Service.acquire svc ~session:3 with
+  | Service.Shed Admission.High_water -> ()
+  | _ -> Alcotest.fail "expected high-water shed");
+  let s = Service.stats svc in
+  check Alcotest.int "shed counted" 1 s.Service.sheds_high_water;
+  check Alcotest.int "nothing queued" 0 (Service.queue_depth svc)
+
+let test_service_stale_fence_rejected () =
+  let time, svc = service ~ttl:2.0 () in
+  let f =
+    match Service.acquire svc ~session:1 with
+    | Service.Granted g -> g.Lease.g_fence
+    | _ -> Alcotest.fail "grant"
+  in
+  time := 10.0;
+  ignore (Service.pump svc);
+  check Alcotest.int "reclaimed" 0 (Service.held svc);
+  (match Service.use svc ~fence:f with
+  | Error `Fenced -> ()
+  | Ok () -> Alcotest.fail "stale use accepted");
+  (match Service.renew svc ~fence:f with
+  | Error `Fenced -> ()
+  | Ok _ -> Alcotest.fail "stale renew accepted");
+  (match Service.release svc ~fence:f with
+  | Error `Fenced -> ()
+  | Ok _ -> Alcotest.fail "stale release accepted");
+  let s = Service.stats svc in
+  check Alcotest.int "three fenced ops" 3 s.Service.fenced;
+  (* The slot is reusable and the new fence does not revive the old. *)
+  (match Service.acquire svc ~session:2 with
+  | Service.Granted _ -> ()
+  | _ -> Alcotest.fail "regrant after reclaim");
+  (match Service.use svc ~fence:f with
+  | Error `Fenced -> ()
+  | Ok () -> Alcotest.fail "old fence revived by regrant")
+
+(* ------------------------------------------------------------------ *)
+(* Churn simulation: deterministic, safe, and it actually reclaims.   *)
+
+let churn_config () =
+  Churn.make_config ~clients:24 ~sessions_target:400 ~capacity:12 ~ttl:6.0
+    ~renew_every:2.0 ~queue_limit:16 ~request_timeout:3.0 ~crash_rate:0.4
+    ~stale_wakeup:0.5 ~mean_hold:4.0 ~mean_think:2.0 ~restart_delay:5.0 ()
+
+let test_churn_safety_and_reclaim () =
+  let s = Churn.run (churn_config ()) ~seed:42L in
+  check Alcotest.(option (pair string string)) "no audit violation" None s.Churn.violation;
+  check Alcotest.bool "no livelock" false s.Churn.livelocked;
+  check Alcotest.bool "sessions ran" true (s.Churn.sessions >= 400);
+  check Alcotest.bool "crashes happened" true (s.Churn.crashes > 0);
+  check Alcotest.bool "names reclaimed" true (s.Churn.service.Service.reclaims > 0);
+  check Alcotest.int "every stale op fenced" s.Churn.stale_ops s.Churn.stale_rejected;
+  check Alcotest.bool "stale wakeups exercised" true (s.Churn.stale_ops > 0);
+  check Alcotest.int "no live-path fencing" 0 s.Churn.unexpected_fenced;
+  check Alcotest.bool "capacity respected" true (s.Churn.peak_held <= 12)
+
+let test_churn_deterministic () =
+  let a = Churn.run (churn_config ()) ~seed:11L in
+  let b = Churn.run (churn_config ()) ~seed:11L in
+  check Alcotest.int "sessions" a.Churn.sessions b.Churn.sessions;
+  check Alcotest.int "crashes" a.Churn.crashes b.Churn.crashes;
+  check Alcotest.int "restarts" a.Churn.restarts b.Churn.restarts;
+  check Alcotest.int "stale ops" a.Churn.stale_ops b.Churn.stale_ops;
+  check Alcotest.int "retries" a.Churn.retries b.Churn.retries;
+  check Alcotest.int "events" a.Churn.events b.Churn.events;
+  check (Alcotest.float 1e-9) "sim time" a.Churn.sim_time b.Churn.sim_time;
+  check Alcotest.int "grants" a.Churn.service.Service.grants
+    b.Churn.service.Service.grants;
+  check Alcotest.int "reclaims" a.Churn.service.Service.reclaims
+    b.Churn.service.Service.reclaims;
+  check Alcotest.int "sheds"
+    (a.Churn.service.Service.sheds_high_water + a.Churn.service.Service.sheds_queue_full)
+    (b.Churn.service.Service.sheds_high_water + b.Churn.service.Service.sheds_queue_full)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties (the ISSUE's S3 trio).                           *)
+
+let qcheck_expiry_monotone =
+  QCheck.Test.make ~count:60
+    ~name:"lease expiry is monotone under renewals on an advancing clock"
+    (QCheck.pair QCheck.small_int
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 30) (QCheck.int_range 0 400)))
+    (fun (seed, steps) ->
+      QCheck.assume (steps <> []);
+      let rng = Xoshiro.create (Int64.of_int (succ seed)) in
+      let ttl = 5.0 in
+      let lease = Lease.create (Lease.make_config ~capacity:4 ~ttl ()) in
+      match Lease.acquire lease ~session:1 ~now:0.0 ~rng with
+      | Error `At_capacity -> false
+      | Ok g ->
+        let fence = g.Lease.g_fence in
+        let now = ref 0.0 and last = ref ttl in
+        List.for_all
+          (fun centis ->
+            now := !now +. (float_of_int centis /. 100.);
+            (* Never reclaimed, so the lenient renew must accept even
+               past expiry, and each new expiry is >= the previous. *)
+            match Lease.renew lease ~fence ~now:!now with
+            | Error `Fenced -> false
+            | Ok expires ->
+              let ok = expires >= !last && expires = !now +. ttl in
+              last := expires;
+              ok)
+          steps)
+
+let qcheck_reclaim_never_revokes_renewed =
+  QCheck.Test.make ~count:60
+    ~name:"reclamation never revokes a lease that keeps renewing"
+    (QCheck.pair QCheck.small_int
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 25) (QCheck.int_range 1 99)))
+    (fun (seed, jitters) ->
+      QCheck.assume (jitters <> []);
+      let rng = Xoshiro.create (Int64.of_int (seed + 101)) in
+      let ttl = 2.0 in
+      let lease = Lease.create (Lease.make_config ~capacity:6 ~ttl ()) in
+      (* A victim that never renews keeps the reclaimer genuinely busy. *)
+      (match Lease.acquire lease ~session:99 ~now:0.0 ~rng with
+      | Ok _ -> ()
+      | Error `At_capacity -> assert false);
+      match Lease.acquire lease ~session:1 ~now:0.0 ~rng with
+      | Error `At_capacity -> false
+      | Ok g ->
+        let fence = g.Lease.g_fence in
+        let now = ref 0.0 in
+        List.for_all
+          (fun pct ->
+            (* Advance by strictly less than ttl, renew first, then let
+               the reclaimer sweep at the same instant. *)
+            now := !now +. (ttl *. float_of_int pct /. 100.);
+            match Lease.renew lease ~fence ~now:!now with
+            | Error `Fenced -> false
+            | Ok _ ->
+              let reclaimed = Lease.reclaim_expired lease ~now:!now in
+              List.for_all
+                (fun r -> r.Lease.r_fence.Lease.f_session <> 1)
+                reclaimed
+              && (match Lease.validate lease ~fence with
+                 | Ok () -> true
+                 | Error `Fenced -> false))
+          jitters
+        && Lease.holder lease ~name:fence.Lease.f_name = Some 1)
+
+let qcheck_stale_fence_never_writes =
+  QCheck.Test.make ~count:60
+    ~name:"a fenced stale client can never write after reclamation"
+    QCheck.(pair small_int (int_range 0 500))
+    (fun (seed, extra_centis) ->
+      let rng = Xoshiro.create (Int64.of_int (seed + 211)) in
+      let ttl = 1.0 in
+      let lease = Lease.create (Lease.make_config ~capacity:4 ~ttl ()) in
+      match Lease.acquire lease ~session:1 ~now:0.0 ~rng with
+      | Error `At_capacity -> false
+      | Ok g ->
+        let fence = g.Lease.g_fence in
+        let now = ttl +. (float_of_int extra_centis /. 100.) in
+        let reclaimed = Lease.reclaim_expired lease ~now in
+        List.exists (fun r -> r.Lease.r_fence = fence) reclaimed
+        && Lease.held lease = 0
+        (* Every path a stale client could write through is fenced. *)
+        && (match Lease.renew lease ~fence ~now with
+           | Error `Fenced -> true
+           | Ok _ -> false)
+        && (match Lease.validate lease ~fence with
+           | Error `Fenced -> true
+           | Ok () -> false)
+        && (match Lease.release lease ~fence ~now with
+           | Error `Fenced -> true
+           | Ok _ -> false)
+        (* ... and stays fenced even after the slot is regranted. *)
+        && (match Lease.acquire lease ~session:2 ~now ~rng with
+           | Error `At_capacity -> false
+           | Ok _ -> (
+             match Lease.validate lease ~fence with
+             | Error `Fenced -> true
+             | Ok () -> false)))
+
+let tests =
+  [
+    ( "service",
+      [
+        Alcotest.test_case "heap deterministic order" `Quick test_heap_deterministic_order;
+        Alcotest.test_case "lease capacity + release" `Quick test_lease_capacity_and_release;
+        Alcotest.test_case "reclaim skips renewed" `Quick test_lease_reclaim_skips_renewed;
+        Alcotest.test_case "admission shed + expire" `Quick test_admission_shed_and_expire;
+        Alcotest.test_case "minter uniqueness" `Quick test_minter_unique_across_blocks;
+        Alcotest.test_case "audit: double grant" `Quick test_audit_catches_double_grant;
+        Alcotest.test_case "audit: stale accept" `Quick test_audit_catches_stale_accept;
+        Alcotest.test_case "audit: early reclaim" `Quick test_audit_catches_early_reclaim;
+        Alcotest.test_case "audit: time regression" `Quick test_audit_catches_time_regression;
+        Alcotest.test_case "service: queue + reclaim" `Quick test_service_queue_then_reclaim_grant;
+        Alcotest.test_case "service: queue drains" `Quick test_service_queue_drain_done;
+        Alcotest.test_case "service: high-water shed" `Quick test_service_high_water_shed;
+        Alcotest.test_case "service: stale fence" `Quick test_service_stale_fence_rejected;
+        Alcotest.test_case "churn: safety + reclaim" `Quick test_churn_safety_and_reclaim;
+        Alcotest.test_case "churn: deterministic" `Quick test_churn_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_expiry_monotone;
+        QCheck_alcotest.to_alcotest qcheck_reclaim_never_revokes_renewed;
+        QCheck_alcotest.to_alcotest qcheck_stale_fence_never_writes;
+      ] );
+  ]
