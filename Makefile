@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full chaos chaos-service chaos-service-smoke mcheck mcheck-tier1 fuzz fuzz-smoke analyze examples clean loc
+.PHONY: all build test bench bench-full chaos chaos-service chaos-service-smoke chaos-sharded chaos-sharded-smoke mcheck mcheck-tier1 fuzz fuzz-smoke analyze examples clean loc
 
 all: build test
 
@@ -40,6 +40,20 @@ chaos-service:
 # Reduced-run CI configuration of the same campaign (~10^5 sessions).
 chaos-service-smoke:
 	dune exec bin/main.exe -- chaos --service --sessions 12500 --seeds 2 --out results/chaos-service-smoke.json
+
+# Partition chaos campaign over the sharded router: Zipf-skewed
+# rebalancing, correlated shard crashes, crash-during-handoff and stall
+# routing, with the cross-shard uniqueness audit attached.  Exits
+# nonzero on any audit violation, livelock, wrongly fenced live lease,
+# unfenced stale ghost, or if the campaign failed to exercise handoffs
+# (including mid-transit crashes), adoption or shard crashes; JSON lands
+# in results/chaos.json (schema renaming.chaos-sharded/1).
+chaos-sharded:
+	dune exec bin/main.exe -- chaos --sharded
+
+# Reduced-run CI configuration of the same campaign.
+chaos-sharded-smoke:
+	dune exec bin/main.exe -- chaos --sharded --sessions 15000 --seeds 2 --out results/chaos-sharded-smoke.json
 
 # Bounded model checking: exhaustively explore every schedule of the
 # small roster instances (preemption-bounded, sleep-set pruned) with the

@@ -111,6 +111,15 @@ let service_churn_cfg =
 
 let bench_t17 () = ignore (Renaming_service.Churn.run service_churn_cfg ~seed:17L)
 
+let sharded_churn_cfg =
+  Renaming_service.Shard_churn.make_config ~clients:32 ~sessions_target:1_000
+    ~crash_rate:0.15
+    ~handoff:{ Renaming_service.Shard_churn.h_every = 10.0; h_crash_src = 0.2; h_crash_dst = 0.1 }
+    ()
+
+let bench_t18 () =
+  ignore (Renaming_service.Shard_churn.run sharded_churn_cfg ~seed:18L)
+
 let micro_tests =
   Test.make_grouped ~name:"renaming"
     [
@@ -126,6 +135,7 @@ let micro_tests =
       Test.make ~name:"T9.adaptive-adversary.n256" (Staged.stage bench_t9);
       Test.make ~name:"T10.device.30cycles" (Staged.stage bench_t10);
       Test.make ~name:"T17.lease-service.2k-sessions" (Staged.stage bench_t17);
+      Test.make ~name:"T18.sharded-router.1k-sessions" (Staged.stage bench_t18);
       Test.make ~name:"F1.shape-fit" (Staged.stage bench_f1);
       Test.make ~name:"F2.round-decay.n4096" (Staged.stage bench_f2);
       Test.make ~name:"F3.tradeoff.n1024" (Staged.stage bench_f3);

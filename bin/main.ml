@@ -253,6 +253,85 @@ let run_service_chaos ~sessions ~seed_count ~out ~metrics =
     fail "chaos --service: campaign shed no requests (overload not exercised)\n";
     failed := true
   end;
+  let total_fenced =
+    List.fold_left
+      (fun acc r ->
+        acc + r.Scampaign.cr_summary.Renaming_service.Churn.service.Renaming_service.Service.fenced)
+      0 summary.Scampaign.results
+  in
+  Printf.printf
+    "chaos --service: %d sessions, %d reclaims, %d fenced ops, %d violations\n"
+    summary.Scampaign.total_sessions summary.Scampaign.total_reclaims total_fenced
+    summary.Scampaign.total_violations;
+  if !failed then exit 1
+
+(* `chaos --sharded`: the partition chaos campaign over the sharded
+   router.  Safety is global name uniqueness (cross-shard audit mirror)
+   plus graceful degradation: every operation against a dark or moving
+   slice resolves to a structured outcome, and nothing is fenced
+   without an injected cause.  The command also fails unless the
+   campaign actually exercised the machinery it exists to test:
+   handoffs (some crashed mid-transit), orphan adoption, redirects and
+   shard crashes. *)
+let run_sharded_chaos ~sessions ~seed_count ~out ~metrics =
+  let module Scampaign = Renaming_service.Shard_campaign in
+  let seeds = Renaming_harness.Seeds.take seed_count in
+  let spec = Scampaign.default_spec ~sessions_per_cell:sessions ~seeds () in
+  let progress ~done_ ~total =
+    Printf.eprintf "\rchaos --sharded: run %d/%d%!" done_ total;
+    if done_ = total then prerr_newline ()
+  in
+  let obs = obs_of_metrics metrics in
+  let summary = Scampaign.run ~progress ?obs spec in
+  Format.printf "%a@." Scampaign.pp summary;
+  write_file out (Scampaign.to_json summary ^ "\n");
+  Printf.printf "(json written to %s)\n" out;
+  write_metrics ~label:"chaos-sharded" obs metrics;
+  let fail fmt = Printf.eprintf fmt in
+  let failed = ref false in
+  if summary.Scampaign.total_violations > 0 then begin
+    fail "chaos --sharded: %d global-uniqueness/audit violation(s)\n"
+      summary.Scampaign.total_violations;
+    failed := true
+  end;
+  if summary.Scampaign.total_livelocks > 0 then begin
+    fail "chaos --sharded: %d livelocked run(s)\n" summary.Scampaign.total_livelocks;
+    failed := true
+  end;
+  if summary.Scampaign.total_unexpected_fenced > 0 then begin
+    fail "chaos --sharded: %d live operation(s) wrongly fenced\n"
+      summary.Scampaign.total_unexpected_fenced;
+    failed := true
+  end;
+  if summary.Scampaign.total_stale_ok > 0 then begin
+    fail "chaos --sharded: %d stale ghost operation(s) not fenced\n"
+      summary.Scampaign.total_stale_ok;
+    failed := true
+  end;
+  if summary.Scampaign.total_handoffs_started = 0 then begin
+    fail "chaos --sharded: no slice handoffs (rebalancing not exercised)\n";
+    failed := true
+  end;
+  if summary.Scampaign.total_handoffs_orphaned + summary.Scampaign.total_handoffs_aborted = 0
+  then begin
+    fail "chaos --sharded: no handoff was crashed mid-transit\n";
+    failed := true
+  end;
+  if summary.Scampaign.total_adoptions = 0 then begin
+    fail "chaos --sharded: no orphaned slice was adopted (degradation not exercised)\n";
+    failed := true
+  end;
+  if summary.Scampaign.total_shard_crashes = 0 then begin
+    fail "chaos --sharded: no shard crashes injected\n";
+    failed := true
+  end;
+  Printf.printf
+    "chaos --sharded: %d sessions, %d handoffs (%d crashed mid-transit), %d adoptions, \
+     %d redirects, %d violations\n"
+    summary.Scampaign.total_sessions summary.Scampaign.total_handoffs_started
+    (summary.Scampaign.total_handoffs_orphaned + summary.Scampaign.total_handoffs_aborted)
+    summary.Scampaign.total_adoptions summary.Scampaign.total_redirects
+    summary.Scampaign.total_violations;
   if !failed then exit 1
 
 let chaos_cmd =
@@ -271,20 +350,35 @@ let chaos_cmd =
     Arg.(value & flag & info [ "service" ]
            ~doc:"Run the lease-service churn campaign instead of the algorithm campaign.")
   in
-  let sessions =
-    Arg.(value & opt int 150_000 & info [ "sessions" ] ~docv:"N"
-           ~doc:"With $(b,--service): client sessions per campaign cell.")
+  let sharded =
+    Arg.(value & flag & info [ "sharded" ]
+           ~doc:"Run the sharded-router partition chaos campaign: Zipf-skewed rebalancing, \
+                 correlated shard crashes, crash-during-handoff and stall routing.")
   in
-  let run n seed_count max_ticks out metrics service sessions =
+  let sessions =
+    Arg.(value & opt (some int) None & info [ "sessions" ] ~docv:"N"
+           ~doc:"With $(b,--service) or $(b,--sharded): client sessions per campaign cell \
+                 (defaults: 150000 and 60000).")
+  in
+  let run n seed_count max_ticks out metrics service sharded sessions =
     if seed_count < 1 then begin
       Printf.eprintf "chaos: --seeds must be >= 1\n";
       exit 2
     end;
-    if service then begin
-      if sessions < 1 then begin
-        Printf.eprintf "chaos: --sessions must be >= 1\n";
-        exit 2
-      end;
+    if service && sharded then begin
+      Printf.eprintf "chaos: --service and --sharded are mutually exclusive\n";
+      exit 2
+    end;
+    (match sessions with
+    | Some s when s < 1 ->
+      Printf.eprintf "chaos: --sessions must be >= 1\n";
+      exit 2
+    | _ -> ());
+    if sharded then
+      let sessions = Option.value sessions ~default:60_000 in
+      run_sharded_chaos ~sessions ~seed_count ~out ~metrics
+    else if service then begin
+      let sessions = Option.value sessions ~default:150_000 in
       run_service_chaos ~sessions ~seed_count ~out ~metrics
     end
     else begin
@@ -316,8 +410,10 @@ let chaos_cmd =
        ~doc:
          "Run the deterministic chaos campaign: every algorithm under crash, crash-recovery and \
           transient-fault injection with the online safety monitor attached; with $(b,--service), \
-          the lease-service churn campaign (crash-restart clients, reclamation, admission control).")
-    Term.(const run $ n $ seeds $ max_ticks $ out $ metrics_arg $ service $ sessions)
+          the lease-service churn campaign (crash-restart clients, reclamation, admission control); \
+          with $(b,--sharded), the partition chaos campaign over the sharded router (fault-injected \
+          slice handoff, degraded-mode routing, cross-shard uniqueness audit).")
+    Term.(const run $ n $ seeds $ max_ticks $ out $ metrics_arg $ service $ sharded $ sessions)
 
 let mcheck_cmd =
   let module Mcheck = Renaming_mcheck.Mcheck in

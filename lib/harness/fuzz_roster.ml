@@ -160,6 +160,13 @@ let clean () =
     target ~name:"lease-handoff-n4" ~n:4 ~check_ownership:false ~allow_faults:true
       ~allow_crashes:true
       (fun ~seed -> Renaming_service.Handoff.instance ~n:4 ~seed);
+    (* Slice-handoff fencing (Renaming_service.Shard_handoff): the
+       router's slice-transfer core — every name of the old epoch is
+       fenced by a settle-lock TAS before the epoch bumps and the new
+       epoch regrants.  Property: global uniqueness across epochs. *)
+    target ~name:"shard-handoff-n4" ~n:4 ~check_ownership:false ~allow_faults:true
+      ~allow_crashes:true
+      (fun ~seed -> Renaming_service.Shard_handoff.instance ~n:4 ~seed);
     target ~name:"combined-geometric-n8" ~n:8 ~allow_faults:true ~allow_crashes:true
       (fun ~seed -> combined_geometric ~n:8 ~seed);
     target ~name:"uniform-probing-n3" ~n:3 ~allow_faults:true ~allow_crashes:true
@@ -185,6 +192,15 @@ let mutants () =
     target ~name:"mutant-lease-stale-write" ~n:3 ~check_ownership:false
       ~expect_violation:true
       (fun ~seed -> Renaming_service.Handoff.instance_stale_write ~n:3 ~seed);
+    (* Unfenced slice handoff: the taker hands the slice to the next
+       epoch after merely *reading* the old epoch's settle locks — the
+       slice moves without the coupled fence.  An owner parked in its
+       hold window still commits at the old epoch while the published
+       transfer-freedom flag lets the new epoch regrant the same name:
+       a cross-epoch double grant reachable at preemption depth 2. *)
+    target ~name:"mutant-shard-unfenced-handoff" ~n:3 ~check_ownership:false
+      ~expect_violation:true
+      (fun ~seed -> Renaming_service.Shard_handoff.instance_unfenced ~n:3 ~seed);
   ]
 
 let roster () = clean () @ mutants ()

@@ -85,6 +85,18 @@ let roster () =
     entry ~name:"lease-handoff-n4" ~n:4 ~check_ownership:false
       ~build:(fun ~seed -> Renaming_service.Handoff.instance ~n:4 ~seed)
       ~bounds:(bounds ~preemptions:2 ()) ();
+    (* The slice-handoff fencing protocol (Renaming_service.Shard_handoff):
+       the router's ownership-transfer core — a whole slice of names is
+       fenced name-by-name and re-granted under a bumped epoch.  Same
+       aux-register guard structure as lease-handoff, so ownership
+       checking is off; the property is global uniqueness of every
+       returned name across both epochs. *)
+    entry ~name:"shard-handoff-n3" ~n:3 ~check_ownership:false
+      ~build:(fun ~seed -> Renaming_service.Shard_handoff.instance ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:3 ()) ();
+    entry ~name:"shard-handoff-n4" ~n:4 ~check_ownership:false
+      ~build:(fun ~seed -> Renaming_service.Shard_handoff.instance ~n:4 ~seed)
+      ~bounds:(bounds ~preemptions:2 ()) ();
     (* Crash/recovery and transient-fault injection variants. *)
     entry ~name:"uniform-probing-n3-crash" ~n:3
       ~build:(fun ~seed -> uniform_probing ~n:3 ~seed)
@@ -101,13 +113,16 @@ let roster () =
     entry ~name:"lease-handoff-n3-fault" ~n:3 ~check_ownership:false
       ~build:(fun ~seed -> Renaming_service.Handoff.instance ~n:3 ~seed)
       ~bounds:(bounds ~preemptions:1 ~faults:1 ()) ();
+    entry ~name:"shard-handoff-n3-fault" ~n:3 ~check_ownership:false
+      ~build:(fun ~seed -> Renaming_service.Shard_handoff.instance ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:1 ~faults:1 ()) ();
   ]
 
 let tier1 () =
   let keep =
     [
       "uniform-probing-n3"; "linear-scan-n3"; "uniform-probing-n3-crash";
-      "lease-handoff-n3";
+      "lease-handoff-n3"; "shard-handoff-n3";
     ]
   in
   List.filter (fun e -> List.mem e.e_name keep) (roster ())
@@ -154,4 +169,6 @@ let check_ownership_of ~name =
      namespace (the grant lives in aux registers), so ownership checking
      would misfire; uniqueness is still checked. *)
   let prefixed p = String.length name >= String.length p && String.sub name 0 (String.length p) = p in
-  not (prefixed "lease-handoff" || prefixed "mutant-lease")
+  not
+    (prefixed "lease-handoff" || prefixed "mutant-lease" || prefixed "shard-handoff"
+   || prefixed "mutant-shard")

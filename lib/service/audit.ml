@@ -1,6 +1,11 @@
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
+
 exception Violation of { kind : string; message : string }
 
 type slot = { s_fence : Lease.fence; s_expires : float }
+
+type counters = { c_violations : Metrics.counter; c_near_misses : Metrics.counter }
 
 type t = {
   capacity : int;
@@ -8,17 +13,32 @@ type t = {
   mirror : slot option array;
   mutable n_live : int;
   mutable n_events : int;
+  mutable n_violations : int;
+  mutable n_near_misses : int;
   mutable last_now : float;
+  counters : counters option;
 }
 
-let create ~capacity ~slots =
+let create ?obs ~capacity ~slots () =
+  let counters =
+    Option.map
+      (fun o ->
+        {
+          c_violations = Obs.counter o "audit/violations";
+          c_near_misses = Obs.counter o "audit/near_misses";
+        })
+      obs
+  in
   {
     capacity;
     n_slots = slots;
     mirror = Array.make slots None;
     n_live = 0;
     n_events = 0;
+    n_violations = 0;
+    n_near_misses = 0;
     last_now = neg_infinity;
+    counters;
   }
 
 type event =
@@ -28,8 +48,21 @@ type event =
   | Released of { fence : Lease.fence; accepted : bool }
   | Reclaimed of { fence : Lease.fence; expired_at : float }
 
-let fail ~kind fmt =
-  Printf.ksprintf (fun message -> raise (Violation { kind; message })) fmt
+let fail t ~kind fmt =
+  Printf.ksprintf
+    (fun message ->
+      t.n_violations <- t.n_violations + 1;
+      (match t.counters with Some c -> Metrics.incr c.c_violations | None -> ());
+      raise (Violation { kind; message }))
+    fmt
+
+(* A near miss is the fence doing its job: a stale operation arrived and
+   was correctly rejected.  Zero violations with zero near misses means
+   fencing was never exercised — the counter makes that distinction
+   observable instead of silent. *)
+let near_miss t =
+  t.n_near_misses <- t.n_near_misses + 1;
+  match t.counters with Some c -> Metrics.incr c.c_near_misses | None -> ()
 
 let pp_fence (f : Lease.fence) =
   Printf.sprintf "name=%d session=%d epoch=%d" f.Lease.f_name f.Lease.f_session
@@ -50,62 +83,67 @@ let free_slot t (fence : Lease.fence) =
 let observe t ~now event =
   t.n_events <- t.n_events + 1;
   if now < t.last_now then
-    fail ~kind:"time-regression" "clock moved from %g back to %g" t.last_now now;
+    fail t ~kind:"time-regression" "clock moved from %g back to %g" t.last_now now;
   t.last_now <- now;
   match event with
   | Granted { fence; expires } ->
     if fence.Lease.f_name < 0 || fence.Lease.f_name >= t.n_slots then
-      fail ~kind:"slot-range" "grant outside namespace: %s (slots=%d)" (pp_fence fence)
+      fail t ~kind:"slot-range" "grant outside namespace: %s (slots=%d)" (pp_fence fence)
         t.n_slots;
     (match t.mirror.(fence.Lease.f_name) with
     | Some held ->
-      fail ~kind:"double-grant" "slot granted while held: new=%s held-by=%s"
+      fail t ~kind:"double-grant" "slot granted while held: new=%s held-by=%s"
         (pp_fence fence) (pp_fence held.s_fence)
     | None -> ());
     if t.n_live >= t.capacity then
-      fail ~kind:"capacity-exceeded" "grant %s would make %d live leases (capacity %d)"
+      fail t ~kind:"capacity-exceeded" "grant %s would make %d live leases (capacity %d)"
         (pp_fence fence) (t.n_live + 1) t.capacity;
     t.mirror.(fence.Lease.f_name) <- Some { s_fence = fence; s_expires = expires };
     t.n_live <- t.n_live + 1
   | Renewed { fence; expires; accepted } ->
     if accepted then begin
       if not (current t fence) then
-        fail ~kind:"stale-accept" "renew accepted for dead fence %s" (pp_fence fence);
+        fail t ~kind:"stale-accept" "renew accepted for dead fence %s" (pp_fence fence);
       let s = Option.get t.mirror.(fence.Lease.f_name) in
       if expires < s.s_expires then
-        fail ~kind:"expiry-regression" "renew moved expiry of %s from %g back to %g"
+        fail t ~kind:"expiry-regression" "renew moved expiry of %s from %g back to %g"
           (pp_fence fence) s.s_expires expires;
       t.mirror.(fence.Lease.f_name) <- Some { s with s_expires = expires }
     end
     else if current t fence then
-      fail ~kind:"fenced-live" "renew fenced for live fence %s" (pp_fence fence)
+      fail t ~kind:"fenced-live" "renew fenced for live fence %s" (pp_fence fence)
+    else near_miss t
   | Validated { fence; accepted } ->
     if accepted then begin
       if not (current t fence) then
-        fail ~kind:"stale-accept" "validate accepted for dead fence %s (crashed client wrote)"
+        fail t ~kind:"stale-accept" "validate accepted for dead fence %s (crashed client wrote)"
           (pp_fence fence)
     end
     else if current t fence then
-      fail ~kind:"fenced-live" "validate fenced for live fence %s" (pp_fence fence)
+      fail t ~kind:"fenced-live" "validate fenced for live fence %s" (pp_fence fence)
+    else near_miss t
   | Released { fence; accepted } ->
     if accepted then begin
       if not (current t fence) then
-        fail ~kind:"stale-accept" "release accepted for dead fence %s" (pp_fence fence);
+        fail t ~kind:"stale-accept" "release accepted for dead fence %s" (pp_fence fence);
       free_slot t fence
     end
     else if current t fence then
-      fail ~kind:"fenced-live" "release fenced for live fence %s" (pp_fence fence)
+      fail t ~kind:"fenced-live" "release fenced for live fence %s" (pp_fence fence)
+    else near_miss t
   | Reclaimed { fence; expired_at } ->
     if not (current t fence) then
-      fail ~kind:"stale-accept" "reclaim of a slot not held by %s" (pp_fence fence);
+      fail t ~kind:"stale-accept" "reclaim of a slot not held by %s" (pp_fence fence);
     let s = Option.get t.mirror.(fence.Lease.f_name) in
     if now < s.s_expires then
-      fail ~kind:"early-reclaim" "reclaim of %s at %g before expiry %g" (pp_fence fence)
+      fail t ~kind:"early-reclaim" "reclaim of %s at %g before expiry %g" (pp_fence fence)
         now s.s_expires;
     if expired_at > now then
-      fail ~kind:"early-reclaim" "reclaim of %s reports future expiry %g at %g"
+      fail t ~kind:"early-reclaim" "reclaim of %s reports future expiry %g at %g"
         (pp_fence fence) expired_at now;
     free_slot t fence
 
 let live t = t.n_live
 let events t = t.n_events
+let violations t = t.n_violations
+let near_misses t = t.n_near_misses

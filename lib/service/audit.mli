@@ -23,7 +23,10 @@ exception Violation of { kind : string; message : string }
 
 type t
 
-val create : capacity:int -> slots:int -> t
+val create : ?obs:Renaming_obs.Obs.t -> capacity:int -> slots:int -> unit -> t
+(** With [?obs], registers [audit/violations] and [audit/near_misses]
+    counters in the metrics registry so `renaming metrics` and the chaos
+    reports surface them uniformly (previously only visible on raise). *)
 
 type event =
   | Granted of { fence : Lease.fence; expires : float }
@@ -40,3 +43,11 @@ val live : t -> int
 
 val events : t -> int
 (** Total events observed. *)
+
+val violations : t -> int
+(** Violations detected (each also raised {!Violation}). *)
+
+val near_misses : t -> int
+(** Stale operations that arrived and were {e correctly} fenced off —
+    the fence doing its job.  Zero violations with zero near misses
+    means fencing was never exercised at all. *)

@@ -59,6 +59,7 @@ type summary = {
   total_violations : int;
   total_livelocks : int;
   total_unexpected_fenced : int;
+  total_audit_near_misses : int;
 }
 
 let summarize results =
@@ -81,6 +82,7 @@ let summarize results =
       add (fun s -> match s.Churn.violation with Some _ -> 1 | None -> 0);
     total_livelocks = add (fun s -> if s.Churn.livelocked then 1 else 0);
     total_unexpected_fenced = add (fun s -> s.Churn.unexpected_fenced);
+    total_audit_near_misses = add (fun s -> s.Churn.audit_near_misses);
   }
 
 let run ?progress ?obs spec =
@@ -140,6 +142,8 @@ let result_json r =
       ("stale_ops", Json.Int s.Churn.stale_ops);
       ("stale_rejected", Json.Int s.Churn.stale_rejected);
       ("unexpected_fenced", Json.Int s.Churn.unexpected_fenced);
+      ("audit_near_misses", Json.Int s.Churn.audit_near_misses);
+      ("audit_violations", Json.Int s.Churn.audit_violations);
       ("peak_held", Json.Int s.Churn.peak_held);
       ("final_held", Json.Int s.Churn.final_held);
       ("livelocked", Json.Bool s.Churn.livelocked);
@@ -171,6 +175,7 @@ let to_json summary =
          ("total_violations", Json.Int summary.total_violations);
          ("total_livelocks", Json.Int summary.total_livelocks);
          ("total_unexpected_fenced", Json.Int summary.total_unexpected_fenced);
+         ("total_audit_near_misses", Json.Int summary.total_audit_near_misses);
          ("runs", Json.List (List.map result_json summary.results));
        ])
 

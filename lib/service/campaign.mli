@@ -36,6 +36,7 @@ type summary = {
   total_violations : int;  (** audit violations across runs — must be 0 *)
   total_livelocks : int;  (** runs cut off by the event guard — must be 0 *)
   total_unexpected_fenced : int;
+  total_audit_near_misses : int;  (** stale ops the audit mirrors saw correctly fenced *)
 }
 
 val run :

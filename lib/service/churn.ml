@@ -112,6 +112,8 @@ type summary = {
   final_held : int;
   livelocked : bool;
   violation : (string * string) option;
+  audit_near_misses : int;
+  audit_violations : int;
   service : Service.stats;
   h_probes : Hist.t;
   h_reclaim : Hist.t;
@@ -434,6 +436,8 @@ let run ?obs cfg ~seed =
     final_held = Service.held svc;
     livelocked = !livelocked;
     violation = !violation;
+    audit_near_misses = Service.audit_near_misses svc;
+    audit_violations = Service.audit_violations svc;
     service = Service.stats svc;
     h_probes = Service.probes_hist svc;
     h_reclaim = Service.reclaim_lateness_hist svc;

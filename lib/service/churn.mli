@@ -86,6 +86,8 @@ type summary = {
   final_held : int;
   livelocked : bool;
   violation : (string * string) option;  (** audit (kind, message), if any *)
+  audit_near_misses : int;  (** stale operations the audit saw correctly fenced *)
+  audit_violations : int;  (** audit violations detected (0 unless [violation]) *)
   service : Service.stats;
   h_probes : Renaming_obs.Hist.t;
   h_reclaim : Renaming_obs.Hist.t;

@@ -67,3 +67,26 @@ let peek_time t = if t.size = 0 then None else Some t.data.(0).e_time
 let size t = t.size
 
 let is_empty t = t.size = 0
+
+let compact t ~live =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e = t.data.(i) in
+    if live ~time:e.e_time e.e_value then begin
+      t.data.(!j) <- e;
+      incr j
+    end
+  done;
+  t.size <- !j;
+  (* Floyd heapify: surviving entries keep their (time, seq) keys, so
+     their relative pop order is unchanged. *)
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  (* Release the dead tail so week-long churn stays bounded. *)
+  let cap = Array.length t.data in
+  if cap > 16 && t.size * 4 < cap then begin
+    let ncap = max 16 (2 * t.size) in
+    let data = Array.sub t.data 0 ncap in
+    t.data <- data
+  end

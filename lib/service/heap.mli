@@ -19,3 +19,11 @@ val peek_time : 'a t -> float option
 val size : 'a t -> int
 
 val is_empty : 'a t -> bool
+
+val compact : 'a t -> live:(time:float -> 'a -> bool) -> unit
+(** Drop every entry for which [live] is false and re-heapify in place.
+    Surviving entries keep their [(time, seq)] keys, so their relative
+    pop order is exactly what it would have been without compaction.
+    Owners using lazy deletion (the lease table) call this when dead
+    entries dominate, bounding heap memory under long churn; the
+    backing array is shrunk when mostly empty. *)

@@ -23,6 +23,7 @@ type t = {
   grant_times : float array;
   expiry_queue : (int * int) Heap.t;  (* (name, epoch) — lazy deletion *)
   mutable n_held : int;
+  mutable compactions : int;
 }
 
 let create cfg =
@@ -36,6 +37,7 @@ let create cfg =
     grant_times = Array.make n_slots 0.;
     expiry_queue = Heap.create ();
     n_held = 0;
+    compactions = 0;
   }
 
 let slots t = t.n_slots
@@ -84,12 +86,26 @@ let acquire t ~session ~now ~rng =
         }
   end
 
+(* A heap entry is live iff it is the slot's *current* expiry under the
+   current epoch: renewed, released and reclaimed leases all leave dead
+   entries behind (lazy deletion), which compaction discards. *)
+let entry_live t ~time (name, epoch) =
+  t.epochs.(name) = epoch && t.holders.(name) >= 0 && t.expiries.(name) = time
+
+let maybe_compact t =
+  let sz = Heap.size t.expiry_queue in
+  if sz > 32 && sz > 2 * t.n_held then begin
+    Heap.compact t.expiry_queue ~live:(fun ~time v -> entry_live t ~time v);
+    t.compactions <- t.compactions + 1
+  end
+
 let renew t ~fence ~now =
   if not (fence_matches t fence) then Error `Fenced
   else begin
     let expiry = now +. t.cfg.ttl in
     t.expiries.(fence.f_name) <- expiry;
     Heap.push t.expiry_queue ~time:expiry (fence.f_name, fence.f_epoch);
+    maybe_compact t;
     Ok expiry
   end
 
@@ -135,9 +151,14 @@ let reclaim_expired t ~now =
         end)
     | _ -> List.rev acc
   in
-  drain []
+  let reclaimed = drain [] in
+  maybe_compact t;
+  reclaimed
 
 let holder t ~name =
   if name < 0 || name >= t.n_slots then None
   else if t.holders.(name) < 0 then None
   else Some t.holders.(name)
+
+let pending_expiries t = Heap.size t.expiry_queue
+let compactions t = t.compactions

@@ -71,3 +71,11 @@ val reclaim_expired : t -> now:float -> reclaimed list
 
 val holder : t -> name:int -> int option
 (** Session currently holding [name], if any (for auditing). *)
+
+val pending_expiries : t -> int
+(** Current expiry-heap size, dead entries included — the quantity the
+    compaction policy bounds at [max 32 (2 · held)]. *)
+
+val compactions : t -> int
+(** How many times the expiry heap has been compacted (dead lazy-deletion
+    entries exceeded half the heap), for tests and telemetry. *)

@@ -1,0 +1,538 @@
+module Clock = Renaming_clock.Clock
+module Stream = Renaming_rng.Stream
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
+module Longlived = Renaming_longlived.Longlived
+
+type config = {
+  shards : int;
+  slices : int;
+  slice_capacity : int;
+  epsilon : float;
+  ttl : float;
+  queue_limit : int;
+  request_timeout : float;
+  high_water : float;
+  grace : float;
+  hot_util : float;
+  cold_util : float;
+  auto_rebalance : bool;
+}
+
+let make_config ?(shards = 4) ?(slices = 8) ?(slice_capacity = 16) ?(epsilon = 0.5)
+    ?(ttl = 10.0) ?(queue_limit = 16) ?(request_timeout = 5.0) ?(high_water = 0.9)
+    ?grace ?(hot_util = 0.7) ?(cold_util = 0.55) ?(auto_rebalance = true) () =
+  if shards < 2 then invalid_arg "Router.make_config: shards must be >= 2";
+  if slices < shards then invalid_arg "Router.make_config: slices must be >= shards";
+  if slice_capacity < 1 then invalid_arg "Router.make_config: slice_capacity must be >= 1";
+  if ttl <= 0. then invalid_arg "Router.make_config: ttl must be positive";
+  let grace = match grace with Some g -> g | None -> 1.5 *. ttl in
+  (* Absorbing a dead shard's slice before every lease it could have
+     issued has expired would regrant live names: the grace period is
+     the safety argument, so it is a hard config invariant. *)
+  if grace < ttl then invalid_arg "Router.make_config: grace must be >= ttl";
+  {
+    shards;
+    slices;
+    slice_capacity;
+    epsilon;
+    ttl;
+    queue_limit;
+    request_timeout;
+    high_water;
+    grace;
+    hot_util;
+    cold_util;
+    auto_rebalance;
+  }
+
+(* The slice-ownership directory entry: the single source of truth for
+   who serves a slice.  Epochs are bumped on *every* ownership
+   transition (handoff completion, abort, adoption), so a body whose
+   recorded epoch does not match the directory is stale and unreachable. *)
+type entry =
+  | Owned of { shard : int; epoch : int }
+  | In_transit of { from_ : int; to_ : int; epoch : int; since : float }
+  | Orphaned of { last : int; epoch : int; since : float }
+
+(* Cross-shard mirror of global name ownership, fed by every slice
+   service's audit tap.  Independent of the lease tables and of the
+   per-slice auditors: it is the only component that can see two shards
+   both granting the same global name. *)
+module Gaudit = struct
+  type t = {
+    width : int;
+    grace : float;
+    holders : int array;  (* global slot -> session, -1 when free *)
+    mutable violations : int;
+    mutable absorbs : int;
+  }
+
+  let create ~slices ~width ~grace =
+    { width; grace; holders = Array.make (slices * width) (-1); violations = 0; absorbs = 0 }
+
+  let fail g ~kind fmt =
+    Printf.ksprintf
+      (fun message ->
+        g.violations <- g.violations + 1;
+        raise (Audit.Violation { kind; message }))
+      fmt
+
+  let on_event g ~slice (ev : Audit.event) =
+    let idx (f : Lease.fence) = (slice * g.width) + f.Lease.f_name in
+    match ev with
+    | Audit.Granted { fence; _ } ->
+      let i = idx fence in
+      if g.holders.(i) >= 0 then
+        fail g ~kind:"global-double-grant"
+          "slice %d name %d granted to session %d while session %d holds it globally"
+          slice fence.Lease.f_name fence.Lease.f_session g.holders.(i)
+      else g.holders.(i) <- fence.Lease.f_session
+    | Audit.Released { fence; accepted = true } ->
+      g.holders.(idx fence) <- -1
+    | Audit.Reclaimed { fence; _ } -> g.holders.(idx fence) <- -1
+    | Audit.Renewed _ | Audit.Validated _ | Audit.Released { accepted = false; _ } -> ()
+
+  (* Clearing a slice's global slots is only sound once every lease the
+     lost body could have issued has expired — the absorb-after-expiry
+     rule, enforced here so a too-eager router is itself a violation. *)
+  let absorb g ~slice ~now ~since =
+    if now -. since < g.grace then
+      fail g ~kind:"early-absorb"
+        "slice %d absorbed %.3f after orphaning; grace is %.3f" slice (now -. since)
+        g.grace;
+    for k = slice * g.width to ((slice + 1) * g.width) - 1 do
+      g.holders.(k) <- -1
+    done;
+    g.absorbs <- g.absorbs + 1
+
+  let live g =
+    Array.fold_left (fun acc h -> if h >= 0 then acc + 1 else acc) 0 g.holders
+end
+
+type stats = {
+  mutable handoffs_started : int;
+  mutable handoffs_completed : int;
+  mutable handoffs_aborted : int;
+  mutable handoffs_orphaned : int;
+  mutable adoptions : int;
+  mutable redirects : int;
+  mutable shard_downs : int;
+  mutable in_handoff_busy : int;
+  mutable fenced_ops : int;
+}
+
+type counters = {
+  c_redirects : Metrics.counter;
+  c_shard_down : Metrics.counter;
+  c_handoffs : Metrics.counter;
+  c_adoptions : Metrics.counter;
+}
+
+type t = {
+  cfg : config;
+  clock : Clock.t;
+  stream : Stream.t;
+  shards : Shard.t array;
+  dir : entry array;
+  gaudit : Gaudit.t;
+  slice_width : int;
+  st : stats;
+  obs : Obs.t option;
+  counters : counters option;
+}
+
+let bump t f = match t.counters with Some c -> Metrics.incr (f c) | None -> ()
+
+let slice_service t ~slice ~epoch =
+  let rng =
+    Stream.fork_named t.stream ~name:(Printf.sprintf "slice-%d-epoch-%d" slice epoch)
+  in
+  let lease =
+    Lease.make_config ~epsilon:t.cfg.epsilon ~ttl:t.cfg.ttl ~capacity:t.cfg.slice_capacity
+      ()
+  in
+  let admission =
+    Admission.make_config ~queue_limit:t.cfg.queue_limit
+      ~request_timeout:t.cfg.request_timeout ~high_water:t.cfg.high_water ()
+  in
+  Service.create ?obs:t.obs
+    ~tap:(fun ~now:_ ev -> Gaudit.on_event t.gaudit ~slice ev)
+    ~clock:t.clock ~rng
+    { Service.lease; admission }
+
+let create ?obs ~clock ~seed cfg =
+  let slice_width = Longlived.namespace_for ~sessions:cfg.slice_capacity ~epsilon:cfg.epsilon in
+  let counters =
+    Option.map
+      (fun o ->
+        {
+          c_redirects = Obs.counter o "router/redirects";
+          c_shard_down = Obs.counter o "router/shard_down";
+          c_handoffs = Obs.counter o "router/handoffs";
+          c_adoptions = Obs.counter o "router/adoptions";
+        })
+      obs
+  in
+  let t =
+    {
+      cfg;
+      clock;
+      stream = Stream.create seed;
+      shards = Array.init cfg.shards (fun id -> Shard.create ~id);
+      dir = Array.make cfg.slices (Owned { shard = 0; epoch = 0 });
+      gaudit = Gaudit.create ~slices:cfg.slices ~width:slice_width ~grace:cfg.grace;
+      slice_width;
+      st =
+        {
+          handoffs_started = 0;
+          handoffs_completed = 0;
+          handoffs_aborted = 0;
+          handoffs_orphaned = 0;
+          adoptions = 0;
+          redirects = 0;
+          shard_downs = 0;
+          in_handoff_busy = 0;
+          fenced_ops = 0;
+        };
+      obs;
+      counters;
+    }
+  in
+  (* Initial placement: contiguous slice ranges per shard, so a Zipf-hot
+     key range lands on one shard and rebalancing has work to do. *)
+  for slice = 0 to cfg.slices - 1 do
+    let shard = slice * cfg.shards / cfg.slices in
+    t.dir.(slice) <- Owned { shard; epoch = 0 };
+    Shard.attach t.shards.(shard)
+      { Shard.sl_id = slice; sl_epoch = 0; sl_svc = slice_service t ~slice ~epoch:0 }
+  done;
+  t
+
+let slices t = t.cfg.slices
+let slice_width t = t.slice_width
+let stats t = t.st
+let shard t ~id = t.shards.(id)
+
+let slice_of_key t ~key =
+  let m = key mod t.cfg.slices in
+  if m < 0 then m + t.cfg.slices else m
+
+let owner t ~slice =
+  match t.dir.(slice) with Owned { shard; _ } -> Some shard | _ -> None
+
+let slice_epoch t ~slice =
+  match t.dir.(slice) with
+  | Owned { epoch; _ } | In_transit { epoch; _ } | Orphaned { epoch; _ } -> epoch
+
+let in_transit t =
+  let acc = ref [] in
+  Array.iteri
+    (fun slice entry ->
+      match entry with
+      | In_transit { from_; to_; _ } -> acc := (slice, from_, to_) :: !acc
+      | _ -> ())
+    t.dir;
+  List.rev !acc
+
+let alive_shards t ~now =
+  Array.fold_left (fun acc sh -> if Shard.alive sh ~now then acc + 1 else acc) 0 t.shards
+
+let total_held t = Array.fold_left (fun acc sh -> acc + Shard.held sh) 0 t.shards
+
+let audit_near_misses t =
+  Array.fold_left
+    (fun acc sh ->
+      List.fold_left
+        (fun acc (sl : Shard.slice) -> acc + Service.audit_near_misses sl.Shard.sl_svc)
+        acc (Shard.slices sh))
+    0 t.shards
+
+let gaudit_violations t = t.gaudit.Gaudit.violations
+let gaudit_live t = Gaudit.live t.gaudit
+
+(* {2 Routing} *)
+
+type busy =
+  | Shard_down of { shard : int }
+  | In_handoff of { slice : int }
+  | Redirected of { shard : int }
+
+type sgrant = { sg_slice : int; sg_shard : int; sg_epoch : int; sg_grant : Lease.grant }
+
+type gfence = { gf_slice : int; gf_fence : Lease.fence }
+
+let fence_of_grant g = { gf_slice = g.sg_slice; gf_fence = g.sg_grant.Lease.g_fence }
+
+type outcome =
+  | Granted of sgrant
+  | Queued of { slice : int; shard : int; ticket : int }
+  | Shed of Admission.shed_reason
+  | Busy of busy
+
+let resolve t ~slice ~now =
+  match t.dir.(slice) with
+  | In_transit _ -> Error (In_handoff { slice })
+  | Orphaned { last; _ } -> Error (Shard_down { shard = last })
+  | Owned { shard; epoch } -> (
+    let sh = t.shards.(shard) in
+    if not (Shard.alive sh ~now) then Error (Shard_down { shard })
+    else
+      match Shard.find_slice sh ~slice with
+      | Some sl when sl.Shard.sl_epoch = epoch -> Ok (shard, epoch, sl)
+      | _ -> Error (Shard_down { shard }))
+
+let count_busy t busy =
+  (match busy with
+  | Shard_down _ ->
+    t.st.shard_downs <- t.st.shard_downs + 1;
+    bump t (fun c -> c.c_shard_down)
+  | In_handoff _ -> t.st.in_handoff_busy <- t.st.in_handoff_busy + 1
+  | Redirected _ ->
+    t.st.redirects <- t.st.redirects + 1;
+    bump t (fun c -> c.c_redirects));
+  busy
+
+let acquire ?hint t ~session ~key =
+  let now = Clock.now t.clock in
+  let slice = slice_of_key t ~key in
+  match t.dir.(slice) with
+  | Owned { shard; _ } when (match hint with Some h -> h <> shard | None -> false) ->
+    Busy (count_busy t (Redirected { shard }))
+  | _ -> (
+    match resolve t ~slice ~now with
+    | Error busy -> Busy (count_busy t busy)
+    | Ok (shard, epoch, sl) -> (
+      match Service.acquire sl.Shard.sl_svc ~session with
+      | Service.Granted grant ->
+        Granted { sg_slice = slice; sg_shard = shard; sg_epoch = epoch; sg_grant = grant }
+      | Service.Queued ticket -> Queued { slice; shard; ticket }
+      | Service.Shed reason -> Shed reason))
+
+let fenced_op t ~fence f =
+  let now = Clock.now t.clock in
+  match resolve t ~slice:fence.gf_slice ~now with
+  | Error busy -> Error (`Busy (count_busy t busy))
+  | Ok (_, _, sl) -> (
+    match f sl.Shard.sl_svc ~fence:fence.gf_fence with
+    | Ok v -> Ok v
+    | Error `Fenced ->
+      t.st.fenced_ops <- t.st.fenced_ops + 1;
+      Error `Fenced)
+
+let renew t ~fence = fenced_op t ~fence Service.renew
+let use t ~fence = fenced_op t ~fence Service.use
+let release t ~fence = fenced_op t ~fence Service.release
+
+(* {2 Fault injection} *)
+
+let orphan_entry t ~slice ~last ~epoch ~since =
+  t.dir.(slice) <- Orphaned { last; epoch; since }
+
+let crash_shard t ~id =
+  let now = Clock.now t.clock in
+  Shard.crash t.shards.(id) ~now;
+  Array.iteri
+    (fun slice entry ->
+      match entry with
+      | Owned { shard; epoch } when shard = id ->
+        orphan_entry t ~slice ~last:id ~epoch ~since:now
+      | _ -> ())
+    t.dir
+
+let restart_shard t ~id = Shard.restart t.shards.(id)
+
+let stall_shard t ~id ~until =
+  let now = Clock.now t.clock in
+  Shard.stall t.shards.(id) ~now ~until
+
+(* {2 Ownership handoff} *)
+
+let begin_handoff t ~slice ~to_ =
+  let now = Clock.now t.clock in
+  match t.dir.(slice) with
+  | Owned { shard = from_; epoch }
+    when from_ <> to_
+         && Shard.alive t.shards.(from_) ~now
+         && Shard.alive t.shards.(to_) ~now
+         && Shard.find_slice t.shards.(from_) ~slice <> None ->
+    t.dir.(slice) <- In_transit { from_; to_; epoch; since = now };
+    t.st.handoffs_started <- t.st.handoffs_started + 1;
+    bump t (fun c -> c.c_handoffs);
+    Ok ()
+  | _ -> Error `Unavailable
+
+let shard_util t sh =
+  Shard.utilization sh ~slice_capacity:t.cfg.slice_capacity
+
+(* Least-loaded alive shard, lowest id on ties; [except] excludes a
+   shard (the handoff source). *)
+let coldest_alive t ~now ?except () =
+  let best = ref None in
+  Array.iter
+    (fun sh ->
+      if Shard.alive sh ~now && (match except with Some e -> Shard.id sh <> e | None -> true)
+      then
+        let u = shard_util t sh in
+        match !best with
+        | Some (bu, _) when bu <= u -> ()
+        | _ -> best := Some (u, Shard.id sh))
+    t.shards;
+  !best
+
+let maybe_rebalance t ~now =
+  if t.cfg.auto_rebalance && in_transit t = [] then begin
+    let hot = ref None in
+    Array.iter
+      (fun sh ->
+        if Shard.alive sh ~now && Shard.slices sh <> [] then
+          let u = shard_util t sh in
+          match !hot with
+          | Some (hu, _) when hu >= u -> ()
+          | _ -> hot := Some (u, Shard.id sh))
+      t.shards;
+    match !hot with
+    | Some (hu, hot_id) when hu >= t.cfg.hot_util -> (
+      match coldest_alive t ~now ~except:hot_id () with
+      | Some (cu, cold_id) when cu <= t.cfg.cold_util ->
+        (* Move the hot shard's most-held slice: load follows the slice. *)
+        let busiest =
+          List.fold_left
+            (fun acc (sl : Shard.slice) ->
+              let h = Service.held sl.Shard.sl_svc in
+              match acc with Some (bh, _) when bh >= h -> acc | _ -> Some (h, sl.Shard.sl_id))
+            None
+            (Shard.slices t.shards.(hot_id))
+        in
+        (match busiest with
+        | Some (_, slice) -> ignore (begin_handoff t ~slice ~to_:cold_id)
+        | None -> ())
+      | _ -> ())
+    | _ -> ()
+  end
+
+(* {2 The maintenance + grant pump} *)
+
+type completion = { c_slice : int; c_shard : int; c_done : Service.completion }
+
+let validate_bodies t ~now =
+  Array.iter
+    (fun sh ->
+      if Shard.alive sh ~now then
+        List.iter
+          (fun (sl : Shard.slice) ->
+            let stale =
+              match t.dir.(sl.Shard.sl_id) with
+              | Owned { shard; epoch } ->
+                shard <> Shard.id sh || epoch <> sl.Shard.sl_epoch
+              | In_transit { from_; epoch; _ } ->
+                from_ <> Shard.id sh || epoch <> sl.Shard.sl_epoch
+              | Orphaned _ -> true
+            in
+            if stale then Shard.drop sh ~slice:sl.Shard.sl_id)
+          (Shard.slices sh))
+    t.shards
+
+let step_transits t ~now =
+  Array.iteri
+    (fun slice entry ->
+      match entry with
+      | In_transit { from_; to_; epoch; since } -> (
+        let src = t.shards.(from_) and dst = t.shards.(to_) in
+        match (Shard.status src ~now, Shard.status dst ~now) with
+        | Shard.Crashed { since = c }, _ ->
+          (* Source died mid-handoff, taking the body with it.  The
+             slice is orphaned from the *earlier* of the two events so
+             the grace clock never restarts in the slice's favour. *)
+          orphan_entry t ~slice ~last:from_ ~epoch ~since:(min since c);
+          t.st.handoffs_orphaned <- t.st.handoffs_orphaned + 1
+        | _, Shard.Crashed _ -> (
+          (* Destination died before taking ownership: the source keeps
+             the body under a bumped epoch, fencing anything the dead
+             destination might have observed about the transfer. *)
+          match Shard.find_slice src ~slice with
+          | Some sl ->
+            sl.Shard.sl_epoch <- epoch + 1;
+            t.dir.(slice) <- Owned { shard = from_; epoch = epoch + 1 };
+            t.st.handoffs_aborted <- t.st.handoffs_aborted + 1
+          | None ->
+            orphan_entry t ~slice ~last:from_ ~epoch ~since;
+            t.st.handoffs_orphaned <- t.st.handoffs_orphaned + 1)
+        | Shard.Stalled { since = s; _ }, _ when now -. s >= t.cfg.grace ->
+          orphan_entry t ~slice ~last:from_ ~epoch ~since:s;
+          t.st.handoffs_orphaned <- t.st.handoffs_orphaned + 1
+        | Shard.Alive, Shard.Alive when now > since -> (
+          match Shard.detach src ~slice with
+          | Some sl ->
+            sl.Shard.sl_epoch <- epoch + 1;
+            Shard.attach dst sl;
+            t.dir.(slice) <- Owned { shard = to_; epoch = epoch + 1 };
+            t.st.handoffs_completed <- t.st.handoffs_completed + 1
+          | None ->
+            orphan_entry t ~slice ~last:from_ ~epoch ~since;
+            t.st.handoffs_orphaned <- t.st.handoffs_orphaned + 1)
+        | _ -> ())
+      | _ -> ())
+    t.dir
+
+let orphan_stalled t ~now =
+  Array.iter
+    (fun sh ->
+      match Shard.status sh ~now with
+      | Shard.Stalled { since; _ } when now -. since >= t.cfg.grace ->
+        Array.iteri
+          (fun slice entry ->
+            match entry with
+            | Owned { shard; epoch } when shard = Shard.id sh ->
+              (* Orphan from the stall start: leases could last have
+                 been renewed then, so the grace clock must too. *)
+              orphan_entry t ~slice ~last:shard ~epoch ~since
+            | _ -> ())
+          t.dir
+      | _ -> ())
+    t.shards
+
+let adopt_orphans t ~now =
+  Array.iteri
+    (fun slice entry ->
+      match entry with
+      | Orphaned { last = _; epoch; since } when now -. since >= t.cfg.grace -> (
+        match coldest_alive t ~now () with
+        | None -> ()  (* nobody left: the slice stays dark, never unsafe *)
+        | Some (_, adopter) ->
+          Gaudit.absorb t.gaudit ~slice ~now ~since;
+          let sl =
+            {
+              Shard.sl_id = slice;
+              sl_epoch = epoch + 1;
+              sl_svc = slice_service t ~slice ~epoch:(epoch + 1);
+            }
+          in
+          Shard.attach t.shards.(adopter) sl;
+          t.dir.(slice) <- Owned { shard = adopter; epoch = epoch + 1 };
+          t.st.adoptions <- t.st.adoptions + 1;
+          bump t (fun c -> c.c_adoptions))
+      | _ -> ())
+    t.dir
+
+let pump t =
+  let now = Clock.now t.clock in
+  orphan_stalled t ~now;
+  step_transits t ~now;
+  validate_bodies t ~now;
+  adopt_orphans t ~now;
+  maybe_rebalance t ~now;
+  let completions = ref [] in
+  Array.iteri
+    (fun slice entry ->
+      match entry with
+      | Owned { shard; epoch } when Shard.alive t.shards.(shard) ~now -> (
+        match Shard.find_slice t.shards.(shard) ~slice with
+        | Some sl when sl.Shard.sl_epoch = epoch ->
+          List.iter
+            (fun d -> completions := { c_slice = slice; c_shard = shard; c_done = d } :: !completions)
+            (Service.pump sl.Shard.sl_svc)
+        | _ -> ())
+      | _ -> ())
+    t.dir;
+  List.rev !completions

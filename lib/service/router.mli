@@ -1,0 +1,174 @@
+(** Client-facing router over the sharded lease service.
+
+    The namespace is partitioned into [slices] contiguous slices, each
+    an independent {!Service} stack ({!Shard.slice}) resident on one of
+    [shards] failure domains.  The router owns the {e slice-ownership
+    directory} — the single source of truth mapping every slice to its
+    serving shard and the slice's current {e epoch} — and resolves every
+    client operation through it, so a stalled shard holding a stale body
+    is simply unreachable.
+
+    {b Epoch-fenced slice handoff.}  Rebalancing moves a whole slice
+    between shards through an explicit in-transit state:
+    [Owned (from, e)] → [In_transit (from, to, e)] → [Owned (to, e+1)].
+    The epoch bump is coupled to the transfer commit, and every
+    resolution checks the body's recorded epoch against the directory,
+    so a crash at any point of the handoff can only lose availability:
+    - source crashes mid-transit: the body (and its leases) die with it;
+      the slice is orphaned and adopted fresh after [grace] — it can
+      never be served twice;
+    - destination crashes mid-transit: the source keeps the body under a
+      bumped epoch ([e+1]) and service resumes — no name is stranded;
+    - a clean handoff moves the body {e intact}: live leases survive,
+      clients are redirected, nobody is fenced.
+
+    {b Degraded-mode routing.}  Operations against a crashed, stalled or
+    in-transit slice resolve to structured {!busy} outcomes — never
+    hang, never unsafe.  A dead shard's slices are {e absorbed} by the
+    least-loaded survivor only after [grace ≥ ttl] has elapsed since
+    orphaning, by which point every lease the lost body issued has
+    provably expired; in between the slice is dark (partial
+    availability).  Stale clients of the old body are fenced by the
+    fresh lease table.
+
+    {b Cross-shard audit.}  Every slice service's audit stream is tapped
+    into a global mirror asserting that no global name is ever backed by
+    two live leases — the only observer that can see two shards granting
+    the same name — and that no absorb fires before its grace. *)
+
+type config = {
+  shards : int;
+  slices : int;  (** total slices ([>= shards]) *)
+  slice_capacity : int;  (** lease capacity per slice *)
+  epsilon : float;
+  ttl : float;
+  queue_limit : int;
+  request_timeout : float;
+  high_water : float;
+  grace : float;  (** orphan age before absorption; must be [>= ttl] *)
+  hot_util : float;  (** shard utilization that triggers rebalancing *)
+  cold_util : float;  (** max utilization of a rebalance destination *)
+  auto_rebalance : bool;
+}
+
+val make_config :
+  ?shards:int ->
+  ?slices:int ->
+  ?slice_capacity:int ->
+  ?epsilon:float ->
+  ?ttl:float ->
+  ?queue_limit:int ->
+  ?request_timeout:float ->
+  ?high_water:float ->
+  ?grace:float ->
+  ?hot_util:float ->
+  ?cold_util:float ->
+  ?auto_rebalance:bool ->
+  unit ->
+  config
+(** Defaults: 4 shards × 8 slices × 16 capacity, [grace = 1.5·ttl].
+    Raises if [grace < ttl] — absorbing before expiry would regrant
+    live names. *)
+
+type t
+
+val create : ?obs:Renaming_obs.Obs.t -> clock:Renaming_clock.Clock.t -> seed:int64 -> config -> t
+(** Slices are placed in contiguous ranges ([slice · shards / slices]),
+    so a Zipf-hot key range concentrates on one shard.  All randomness
+    derives from [seed] via named streams — runs are replayable. *)
+
+(** {2 Routing} *)
+
+type busy =
+  | Shard_down of { shard : int }  (** owner crashed/stalled/orphaned — retry later *)
+  | In_handoff of { slice : int }  (** ownership in transit — retry later *)
+  | Redirected of { shard : int }  (** stale shard hint — retry at [shard] now *)
+
+type sgrant = { sg_slice : int; sg_shard : int; sg_epoch : int; sg_grant : Lease.grant }
+
+type gfence = { gf_slice : int; gf_fence : Lease.fence }
+(** The client's capability: the slice plus the in-slice lease fence.
+    Validity is decided by the lease fence at whichever shard currently
+    owns the slice — a clean handoff keeps it alive, an absorb kills it. *)
+
+val fence_of_grant : sgrant -> gfence
+
+type outcome =
+  | Granted of sgrant
+  | Queued of { slice : int; shard : int; ticket : int }
+  | Shed of Admission.shed_reason
+  | Busy of busy
+
+val acquire : ?hint:int -> t -> session:int -> key:int -> outcome
+(** [key] is the placement key ([slice = key mod slices]).  When [hint]
+    (the client's cached owner for the slice) no longer matches the
+    directory, the outcome is [Busy (Redirected ...)] with the current
+    owner and no side effect. *)
+
+val renew : t -> fence:gfence -> (float, [ `Fenced | `Busy of busy ]) result
+val use : t -> fence:gfence -> (unit, [ `Fenced | `Busy of busy ]) result
+val release : t -> fence:gfence -> (float, [ `Fenced | `Busy of busy ]) result
+
+type completion = { c_slice : int; c_shard : int; c_done : Service.completion }
+
+val pump : t -> completion list
+(** Router maintenance, then the per-slice service pumps: heal elapsed
+    stalls and drop fenced bodies, progress/abort in-transit handoffs,
+    orphan the slices of shards stalled past [grace], absorb orphans
+    past [grace] into the least-loaded survivor, trigger auto
+    rebalancing, then reclaim/expire/grant on every reachable slice. *)
+
+(** {2 Fault injection} *)
+
+val crash_shard : t -> id:int -> unit
+(** Lose every resident slice body; its slices become orphaned now. *)
+
+val restart_shard : t -> id:int -> unit
+(** The shard returns empty and becomes eligible to adopt slices. *)
+
+val stall_shard : t -> id:int -> until:float -> unit
+(** The shard stops serving until [until] on the injected clock.  If the
+    stall outlives [grace], its slices are reassigned and the woken
+    shard drops its stale bodies. *)
+
+(** {2 Handoff} *)
+
+val begin_handoff : t -> slice:int -> to_:int -> (unit, [ `Unavailable ]) result
+(** Start moving [slice] to shard [to_]; completes (or aborts) on a
+    strictly later {!pump}, leaving a window for crash injection.
+    [`Unavailable] if the slice is not currently owned by a live shard,
+    the destination is down, or [to_] already owns it. *)
+
+(** {2 Introspection} *)
+
+type stats = {
+  mutable handoffs_started : int;
+  mutable handoffs_completed : int;
+  mutable handoffs_aborted : int;  (** destination died; source kept the slice (epoch bumped) *)
+  mutable handoffs_orphaned : int;  (** source died mid-transit; slice went dark *)
+  mutable adoptions : int;  (** orphaned slices absorbed after grace *)
+  mutable redirects : int;
+  mutable shard_downs : int;
+  mutable in_handoff_busy : int;
+  mutable fenced_ops : int;
+}
+
+val stats : t -> stats
+val slices : t -> int
+val slice_width : t -> int
+val slice_of_key : t -> key:int -> int
+val owner : t -> slice:int -> int option
+val slice_epoch : t -> slice:int -> int
+val in_transit : t -> (int * int * int) list
+(** [(slice, from_, to_)] currently in transit. *)
+
+val shard : t -> id:int -> Shard.t
+val alive_shards : t -> now:float -> int
+val total_held : t -> int
+
+val audit_near_misses : t -> int
+(** Sum of the resident slice auditors' near-miss counters. *)
+
+val gaudit_violations : t -> int
+val gaudit_live : t -> int
+(** Names the cross-shard mirror believes are live, over all slices. *)

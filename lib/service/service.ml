@@ -40,6 +40,7 @@ type t = {
   lease : Lease.t;
   admission : Admission.t;
   audit : Audit.t;
+  tap : (now:float -> Audit.event -> unit) option;
   st : stats;
   counters : counters option;
   h_probes : Hist.t;
@@ -50,7 +51,7 @@ type t = {
 
 let centiticks x = if x <= 0. then 0 else int_of_float ((x *. 100.) +. 0.5)
 
-let create ?obs ~clock ~rng (cfg : config) =
+let create ?obs ?tap ~clock ~rng (cfg : config) =
   let lease = Lease.create cfg.lease in
   let hist name = match obs with Some o -> Obs.histogram o name | None -> Hist.create () in
   let counters =
@@ -73,7 +74,8 @@ let create ?obs ~clock ~rng (cfg : config) =
     rng;
     lease;
     admission = Admission.create cfg.admission;
-    audit = Audit.create ~capacity:cfg.lease.Lease.capacity ~slots:(Lease.slots lease);
+    audit = Audit.create ?obs ~capacity:cfg.lease.Lease.capacity ~slots:(Lease.slots lease) ();
+    tap;
     st =
       {
         grants = 0;
@@ -96,6 +98,13 @@ let create ?obs ~clock ~rng (cfg : config) =
 
 let bump t f = match t.counters with Some c -> Metrics.incr (f c) | None -> ()
 
+(* The audit mirror sees every event first (it may raise); the optional
+   tap then hears the same stream — the sharded router uses this to feed
+   its cross-shard global-uniqueness mirror. *)
+let observe t ~now event =
+  Audit.observe t.audit ~now event;
+  match t.tap with Some f -> f ~now event | None -> ()
+
 let capacity t = t.cfg.lease.Lease.capacity
 let ttl t = t.cfg.lease.Lease.ttl
 
@@ -106,7 +115,7 @@ let ttl t = t.cfg.lease.Lease.ttl
 let reclaim t ~now =
   List.iter
     (fun (r : Lease.reclaimed) ->
-      Audit.observe t.audit ~now
+      observe t ~now
         (Audit.Reclaimed { fence = r.Lease.r_fence; expired_at = r.Lease.r_expired_at });
       t.st.reclaims <- t.st.reclaims + 1;
       bump t (fun c -> c.c_reclaims);
@@ -119,7 +128,7 @@ let do_grant t ~session ~now =
   match Lease.acquire t.lease ~session ~now ~rng:t.rng with
   | Error `At_capacity -> invalid_arg "Service.do_grant: called at capacity"
   | Ok grant ->
-    Audit.observe t.audit ~now
+    observe t ~now
       (Audit.Granted { fence = grant.Lease.g_fence; expires = now +. ttl t });
     t.st.grants <- t.st.grants + 1;
     bump t (fun c -> c.c_grants);
@@ -158,7 +167,7 @@ let renew t ~fence =
   let result = Lease.renew t.lease ~fence ~now in
   let accepted = Result.is_ok result in
   let expires = match result with Ok e -> e | Error `Fenced -> 0. in
-  Audit.observe t.audit ~now (Audit.Renewed { fence; expires; accepted });
+  observe t ~now (Audit.Renewed { fence; expires; accepted });
   if accepted then begin
     t.st.renews <- t.st.renews + 1;
     bump t (fun c -> c.c_renews)
@@ -174,7 +183,7 @@ let use t ~fence =
   reclaim t ~now;
   let result = Lease.validate t.lease ~fence in
   let accepted = Result.is_ok result in
-  Audit.observe t.audit ~now (Audit.Validated { fence; accepted });
+  observe t ~now (Audit.Validated { fence; accepted });
   t.st.validates <- t.st.validates + 1;
   if not accepted then begin
     t.st.fenced <- t.st.fenced + 1;
@@ -187,7 +196,7 @@ let release t ~fence =
   reclaim t ~now;
   let result = Lease.release t.lease ~fence ~now in
   let accepted = Result.is_ok result in
-  Audit.observe t.audit ~now (Audit.Released { fence; accepted });
+  observe t ~now (Audit.Released { fence; accepted });
   (match result with
   | Ok held_for ->
     t.st.releases <- t.st.releases + 1;
@@ -237,6 +246,8 @@ let utilization t = Lease.utilization t.lease
 let slots t = Lease.slots t.lease
 let queue_depth t = Admission.depth t.admission
 let audit_live t = Audit.live t.audit
+let audit_near_misses t = Audit.near_misses t.audit
+let audit_violations t = Audit.violations t.audit
 let probes_hist t = t.h_probes
 let reclaim_lateness_hist t = t.h_reclaim
 let queue_wait_hist t = t.h_wait

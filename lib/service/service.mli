@@ -22,10 +22,14 @@ type t
 
 val create :
   ?obs:Renaming_obs.Obs.t ->
+  ?tap:(now:float -> Audit.event -> unit) ->
   clock:Renaming_clock.Clock.t ->
   rng:Renaming_rng.Xoshiro.t ->
   config ->
   t
+(** [?tap] hears every audit event after the mirror has accepted it —
+    the sharded router uses it to feed a cross-shard global-uniqueness
+    mirror without the service knowing about shards. *)
 
 (** {2 Client operations} *)
 
@@ -77,6 +81,12 @@ val utilization : t -> float
 val slots : t -> int
 val queue_depth : t -> int
 val audit_live : t -> int
+
+val audit_near_misses : t -> int
+(** Stale operations the audit mirror saw correctly fenced. *)
+
+val audit_violations : t -> int
+(** Violations the audit mirror detected (each also raised). *)
 
 val probes_hist : t -> Renaming_obs.Hist.t
 (** Probes per grant. *)

@@ -1,0 +1,63 @@
+(** One shard of the sharded renaming service: a failure domain that
+    hosts {e slice bodies}.
+
+    A {e slice} is an independent {!Service} stack (lease table,
+    admission queue, audit mirror) owning a contiguous range of the
+    global namespace; a shard is the process-like unit that slices live
+    on and that the fault injector targets.  Ownership — which shard
+    serves which slice — is {e not} recorded here: the {!Router}'s
+    directory is the single source of truth, so a stalled shard holding
+    a stale body cannot be reached once the directory has moved on.
+
+    Failure modes:
+    - {b crash}: every resident slice body is lost (state gone); the
+      names its leases covered come back only by lease expiry at the
+      adopting shard;
+    - {b stall}: the shard stops serving until [until] (injectable-clock
+      pause); bodies are retained and serve again on wake — unless the
+      router has reassigned them in the meantime, in which case the
+      bodies are dropped as fenced. *)
+
+type status =
+  | Alive
+  | Stalled of { since : float; until : float }
+  | Crashed of { since : float }
+
+type slice = { sl_id : int; mutable sl_epoch : int; mutable sl_svc : Service.t }
+(** A slice body: its id, its {e slice epoch} (bumped on every ownership
+    transfer) and the service stack holding its leases. *)
+
+type stats = {
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable stalls : int;
+  mutable dropped_slices : int;  (** stale bodies discarded after losing ownership *)
+}
+
+type t
+
+val create : id:int -> t
+val id : t -> int
+val stats : t -> stats
+val slices : t -> slice list
+
+val status : t -> now:float -> status
+(** Effective status at [now]; an elapsed stall heals in place. *)
+
+val alive : t -> now:float -> bool
+
+val find_slice : t -> slice:int -> slice option
+val attach : t -> slice -> unit
+val detach : t -> slice:int -> slice option
+val drop : t -> slice:int -> unit
+(** [detach] + count as a fenced stale body. *)
+
+val crash : t -> now:float -> unit
+val restart : t -> unit
+val stall : t -> now:float -> until:float -> unit
+
+val held : t -> int
+val capacity : t -> int
+val utilization : t -> slice_capacity:int -> float
+(** Held leases over nominal capacity of the resident slices; 1.0 when
+    the shard owns nothing (so rebalancing never targets it as cold). *)

@@ -1,0 +1,250 @@
+module Json = Renaming_obs.Json
+
+type cell = { cell_name : string; cell_cfg : Shard_churn.config }
+
+type spec = { cells : cell list; seeds : int64 array }
+
+let default_spec ?(sessions_per_cell = 60_000) ?(seeds = [| 0x5EED_2015L; 0xC0FFEEL |])
+    () =
+  let base = Shard_churn.make_config ~sessions_target:sessions_per_cell in
+  let router = Router.make_config in
+  {
+    seeds;
+    cells =
+      [
+        (* Zipf skew concentrates the hot slices on shard 0; the
+           auto-rebalancer must move slices off it, and every clean
+           handoff must keep live leases alive (unexpected_fenced = 0). *)
+        {
+          cell_name = "hot-rebalance";
+          cell_cfg =
+            base ~zipf_s:1.4 ~mean_think:1.5 ~crash_rate:0.1
+              ~router:(router ~auto_rebalance:true ~hot_util:0.55 ~cold_util:0.45 ())
+              ();
+        };
+        (* Correlated shard crashes: half the fleet dies inside a short
+           window; survivors absorb the orphaned slices after grace and
+           the doomed leases come back only as expected fences.  Holds
+           longer than the grace keep victims renewing through the dark
+           period so they actually observe the (expected) fence after
+           adoption instead of giving up first. *)
+        {
+          cell_name = "shard-crash";
+          cell_cfg =
+            base ~crash_rate:0.15 ~mean_hold:20.0
+              ~shard_burst:{ Shard_churn.b_at = 120; b_width = 8; b_failures = 2 }
+              ~shard_restart_delay:40.0 ();
+        };
+        (* Crash-during-handoff: forced slice transfers where source or
+           destination dies in the in-transit window.  The epoch fence
+           must turn every such crash into an orphan or an abort — never
+           a double-served slice. *)
+        {
+          cell_name = "handoff-crash";
+          cell_cfg =
+            base ~crash_rate:0.1
+              ~handoff:{ Shard_churn.h_every = 12.0; h_crash_src = 0.3; h_crash_dst = 0.2 }
+              ~shard_restart_delay:35.0 ();
+        };
+        (* Stall routing: shards pause in rotation, some stalls shorter
+           than the grace (the shard serves again on wake), one cadence
+           longer (the router reassigns under it and the woken shard
+           must drop its stale bodies). *)
+        {
+          cell_name = "stall-routing";
+          cell_cfg =
+            base ~crash_rate:0.1
+              ~stall:{ Shard_churn.st_every = 25.0; st_duration = 18.0 }
+              ();
+        };
+      ];
+  }
+
+type cell_result = { cr_name : string; cr_seed : int64; cr_summary : Shard_churn.summary }
+
+type summary = {
+  results : cell_result list;
+  total_sessions : int;
+  total_handoffs_started : int;
+  total_handoffs_completed : int;
+  total_handoffs_aborted : int;
+  total_handoffs_orphaned : int;
+  total_adoptions : int;
+  total_redirects : int;
+  total_shard_down_busy : int;
+  total_in_handoff_busy : int;
+  total_shard_crashes : int;
+  total_shard_stalls : int;
+  total_expected_fenced : int;
+  total_unexpected_fenced : int;
+  total_lost_tickets : int;
+  total_stale_ops : int;
+  total_stale_ok : int;
+  total_audit_near_misses : int;
+  total_violations : int;
+  total_livelocks : int;
+}
+
+let summarize results =
+  let add f = List.fold_left (fun acc r -> acc + f r.cr_summary) 0 results in
+  {
+    results;
+    total_sessions = add (fun s -> s.Shard_churn.sessions);
+    total_handoffs_started =
+      add (fun s -> s.Shard_churn.router.Router.handoffs_started);
+    total_handoffs_completed =
+      add (fun s -> s.Shard_churn.router.Router.handoffs_completed);
+    total_handoffs_aborted =
+      add (fun s -> s.Shard_churn.router.Router.handoffs_aborted);
+    total_handoffs_orphaned =
+      add (fun s -> s.Shard_churn.router.Router.handoffs_orphaned);
+    total_adoptions = add (fun s -> s.Shard_churn.router.Router.adoptions);
+    total_redirects = add (fun s -> s.Shard_churn.redirects);
+    total_shard_down_busy = add (fun s -> s.Shard_churn.shard_down_busy);
+    total_in_handoff_busy = add (fun s -> s.Shard_churn.in_handoff_busy);
+    total_shard_crashes = add (fun s -> s.Shard_churn.shard_crashes);
+    total_shard_stalls = add (fun s -> s.Shard_churn.shard_stalls);
+    total_expected_fenced = add (fun s -> s.Shard_churn.expected_fenced);
+    total_unexpected_fenced = add (fun s -> s.Shard_churn.unexpected_fenced);
+    total_lost_tickets = add (fun s -> s.Shard_churn.lost_tickets);
+    total_stale_ops = add (fun s -> s.Shard_churn.stale_ops);
+    total_stale_ok = add (fun s -> s.Shard_churn.stale_ok);
+    total_audit_near_misses = add (fun s -> s.Shard_churn.audit_near_misses);
+    total_violations =
+      add (fun s ->
+          s.Shard_churn.gaudit_violations
+          + (match s.Shard_churn.violation with Some _ -> 1 | None -> 0));
+    total_livelocks = add (fun s -> if s.Shard_churn.livelocked then 1 else 0);
+  }
+
+let run ?progress ?obs spec =
+  let total = List.length spec.cells * Array.length spec.seeds in
+  let done_ = ref 0 in
+  let results =
+    List.concat_map
+      (fun cell ->
+        Array.to_list
+          (Array.map
+             (fun seed ->
+               let summary = Shard_churn.run ?obs cell.cell_cfg ~seed in
+               incr done_;
+               (match progress with Some f -> f ~done_:!done_ ~total | None -> ());
+               { cr_name = cell.cell_name; cr_seed = seed; cr_summary = summary })
+             spec.seeds))
+      spec.cells
+  in
+  let summary = summarize results in
+  (match obs with
+  | Some o ->
+    let record name v =
+      Renaming_obs.Metrics.add (Renaming_obs.Obs.counter o name) v
+    in
+    record "chaos_sharded/runs" (List.length results);
+    record "chaos_sharded/sessions" summary.total_sessions;
+    record "chaos_sharded/handoffs" summary.total_handoffs_started;
+    record "chaos_sharded/adoptions" summary.total_adoptions;
+    record "chaos_sharded/violations" summary.total_violations;
+    record "chaos_sharded/livelocks" summary.total_livelocks
+  | None -> ());
+  summary
+
+let result_json r =
+  let s = r.cr_summary in
+  let rt = s.Shard_churn.router in
+  Json.Obj
+    [
+      ("cell", Json.String r.cr_name);
+      ("seed", Json.String (Printf.sprintf "0x%Lx" r.cr_seed));
+      ("sessions", Json.Int s.Shard_churn.sessions);
+      ("events", Json.Int s.Shard_churn.events);
+      ("sim_time", Json.Float s.Shard_churn.sim_time);
+      ("handoffs_started", Json.Int rt.Router.handoffs_started);
+      ("handoffs_completed", Json.Int rt.Router.handoffs_completed);
+      ("handoffs_aborted", Json.Int rt.Router.handoffs_aborted);
+      ("handoffs_orphaned", Json.Int rt.Router.handoffs_orphaned);
+      ("adoptions", Json.Int rt.Router.adoptions);
+      ("fenced_ops", Json.Int rt.Router.fenced_ops);
+      ("shard_crashes", Json.Int s.Shard_churn.shard_crashes);
+      ("shard_restarts", Json.Int s.Shard_churn.shard_restarts);
+      ("shard_stalls", Json.Int s.Shard_churn.shard_stalls);
+      ("client_crashes", Json.Int s.Shard_churn.client_crashes);
+      ("redirects", Json.Int s.Shard_churn.redirects);
+      ("shard_down_busy", Json.Int s.Shard_churn.shard_down_busy);
+      ("in_handoff_busy", Json.Int s.Shard_churn.in_handoff_busy);
+      ("retries", Json.Int s.Shard_churn.retries);
+      ("abandoned", Json.Int s.Shard_churn.abandoned);
+      ("expected_fenced", Json.Int s.Shard_churn.expected_fenced);
+      ("unexpected_fenced", Json.Int s.Shard_churn.unexpected_fenced);
+      ("releases_dropped", Json.Int s.Shard_churn.releases_dropped);
+      ("lost_tickets", Json.Int s.Shard_churn.lost_tickets);
+      ("stale_ops", Json.Int s.Shard_churn.stale_ops);
+      ("stale_rejected", Json.Int s.Shard_churn.stale_rejected);
+      ("stale_ok", Json.Int s.Shard_churn.stale_ok);
+      ("audit_near_misses", Json.Int s.Shard_churn.audit_near_misses);
+      ("gaudit_violations", Json.Int s.Shard_churn.gaudit_violations);
+      ("gaudit_live", Json.Int s.Shard_churn.gaudit_live);
+      ("peak_held", Json.Int s.Shard_churn.peak_held);
+      ("final_held", Json.Int s.Shard_churn.final_held);
+      ("livelocked", Json.Bool s.Shard_churn.livelocked);
+      ( "violation",
+        match s.Shard_churn.violation with
+        | None -> Json.Null
+        | Some (kind, message) ->
+          Json.Obj [ ("kind", Json.String kind); ("message", Json.String message) ] );
+    ]
+
+let to_json summary =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.String "renaming.chaos-sharded/1");
+         ("total_sessions", Json.Int summary.total_sessions);
+         ("total_handoffs_started", Json.Int summary.total_handoffs_started);
+         ("total_handoffs_completed", Json.Int summary.total_handoffs_completed);
+         ("total_handoffs_aborted", Json.Int summary.total_handoffs_aborted);
+         ("total_handoffs_orphaned", Json.Int summary.total_handoffs_orphaned);
+         ("total_adoptions", Json.Int summary.total_adoptions);
+         ("total_redirects", Json.Int summary.total_redirects);
+         ("total_shard_down_busy", Json.Int summary.total_shard_down_busy);
+         ("total_in_handoff_busy", Json.Int summary.total_in_handoff_busy);
+         ("total_shard_crashes", Json.Int summary.total_shard_crashes);
+         ("total_shard_stalls", Json.Int summary.total_shard_stalls);
+         ("total_expected_fenced", Json.Int summary.total_expected_fenced);
+         ("total_unexpected_fenced", Json.Int summary.total_unexpected_fenced);
+         ("total_lost_tickets", Json.Int summary.total_lost_tickets);
+         ("total_stale_ops", Json.Int summary.total_stale_ops);
+         ("total_stale_ok", Json.Int summary.total_stale_ok);
+         ("total_audit_near_misses", Json.Int summary.total_audit_near_misses);
+         ("total_violations", Json.Int summary.total_violations);
+         ("total_livelocks", Json.Int summary.total_livelocks);
+         ("runs", Json.List (List.map result_json summary.results));
+       ])
+
+let pp fmt summary =
+  Format.fprintf fmt
+    "sharded chaos: %d runs, %d sessions, handoffs %d (%d done, %d aborted, %d \
+     orphaned), %d adoptions, %d shard crashes, %d stalls, fenced %d expected / %d \
+     unexpected, %d violations, %d livelocks@."
+    (List.length summary.results)
+    summary.total_sessions summary.total_handoffs_started
+    summary.total_handoffs_completed summary.total_handoffs_aborted
+    summary.total_handoffs_orphaned summary.total_adoptions summary.total_shard_crashes
+    summary.total_shard_stalls summary.total_expected_fenced
+    summary.total_unexpected_fenced summary.total_violations summary.total_livelocks;
+  List.iter
+    (fun r ->
+      let s = r.cr_summary in
+      let rt = s.Shard_churn.router in
+      Format.fprintf fmt
+        "  %-14s seed=0x%Lx sessions=%d handoffs=%d/%d/%d/%d adoptions=%d \
+         redirects=%d down=%d fenced=%d/%d peak=%d%s%s@."
+        r.cr_name r.cr_seed s.Shard_churn.sessions rt.Router.handoffs_started
+        rt.Router.handoffs_completed rt.Router.handoffs_aborted
+        rt.Router.handoffs_orphaned rt.Router.adoptions s.Shard_churn.redirects
+        s.Shard_churn.shard_down_busy s.Shard_churn.expected_fenced
+        s.Shard_churn.unexpected_fenced s.Shard_churn.peak_held
+        (if s.Shard_churn.livelocked then " LIVELOCK" else "")
+        (match s.Shard_churn.violation with
+        | Some (kind, _) -> " VIOLATION:" ^ kind
+        | None -> ""))
+    summary.results

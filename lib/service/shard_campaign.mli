@@ -1,0 +1,49 @@
+(** Partition chaos campaign for the sharded renaming service: a grid
+    of {!Shard_churn} cells × seeds exercising rebalancing under Zipf
+    skew, correlated shard crashes, crash-during-handoff, and stall
+    routing, with machine-readable results
+    (schema ["renaming.chaos-sharded/1"]). *)
+
+type cell = { cell_name : string; cell_cfg : Shard_churn.config }
+
+type spec = { cells : cell list; seeds : int64 array }
+
+val default_spec : ?sessions_per_cell:int -> ?seeds:int64 array -> unit -> spec
+(** Four cells: [hot-rebalance] (Zipf skew forcing the auto-rebalancer),
+    [shard-crash] (correlated burst, absorb after grace),
+    [handoff-crash] (forced transfers crashed mid-transit) and
+    [stall-routing] (rotating stalls straddling the grace). *)
+
+type cell_result = { cr_name : string; cr_seed : int64; cr_summary : Shard_churn.summary }
+
+type summary = {
+  results : cell_result list;
+  total_sessions : int;
+  total_handoffs_started : int;
+  total_handoffs_completed : int;
+  total_handoffs_aborted : int;
+  total_handoffs_orphaned : int;
+  total_adoptions : int;
+  total_redirects : int;
+  total_shard_down_busy : int;
+  total_in_handoff_busy : int;
+  total_shard_crashes : int;
+  total_shard_stalls : int;
+  total_expected_fenced : int;
+  total_unexpected_fenced : int;  (** must be 0: clean handoffs never fence *)
+  total_lost_tickets : int;
+  total_stale_ops : int;
+  total_stale_ok : int;  (** must be 0: no fencing holes *)
+  total_audit_near_misses : int;
+  total_violations : int;  (** must be 0: per-slice and cross-shard audits *)
+  total_livelocks : int;
+}
+
+val run :
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?obs:Renaming_obs.Obs.t ->
+  spec ->
+  summary
+
+val to_json : summary -> string
+val pp : Format.formatter -> summary -> unit

@@ -10,8 +10,13 @@ module Minter = Renaming_service.Minter
 module Audit = Renaming_service.Audit
 module Service = Renaming_service.Service
 module Churn = Renaming_service.Churn
+module Router = Renaming_service.Router
+module Shard = Renaming_service.Shard
+module Shard_churn = Renaming_service.Shard_churn
 module Clock = Renaming_clock.Clock
 module Xoshiro = Renaming_rng.Xoshiro
+module Obs = Renaming_obs.Obs
+module Metrics = Renaming_obs.Metrics
 
 let check = Alcotest.check
 
@@ -168,7 +173,7 @@ let fence ~name ~session ~epoch =
   { Lease.f_name = name; f_session = session; f_epoch = epoch }
 
 let test_audit_catches_double_grant () =
-  let a = Audit.create ~capacity:4 ~slots:8 in
+  let a = Audit.create ~capacity:4 ~slots:8 () in
   Audit.observe a ~now:0.0
     (Audit.Granted { fence = fence ~name:0 ~session:1 ~epoch:1; expires = 10.0 });
   expect_violation ~kind:"double-grant" (fun () ->
@@ -176,7 +181,7 @@ let test_audit_catches_double_grant () =
         (Audit.Granted { fence = fence ~name:0 ~session:2 ~epoch:2; expires = 11.0 }))
 
 let test_audit_catches_stale_accept () =
-  let a = Audit.create ~capacity:4 ~slots:8 in
+  let a = Audit.create ~capacity:4 ~slots:8 () in
   let f = fence ~name:3 ~session:1 ~epoch:1 in
   Audit.observe a ~now:0.0 (Audit.Granted { fence = f; expires = 2.0 });
   Audit.observe a ~now:5.0 (Audit.Reclaimed { fence = f; expired_at = 2.0 });
@@ -184,14 +189,14 @@ let test_audit_catches_stale_accept () =
       Audit.observe a ~now:6.0 (Audit.Validated { fence = f; accepted = true }))
 
 let test_audit_catches_early_reclaim () =
-  let a = Audit.create ~capacity:4 ~slots:8 in
+  let a = Audit.create ~capacity:4 ~slots:8 () in
   let f = fence ~name:2 ~session:1 ~epoch:1 in
   Audit.observe a ~now:0.0 (Audit.Granted { fence = f; expires = 10.0 });
   expect_violation ~kind:"early-reclaim" (fun () ->
       Audit.observe a ~now:5.0 (Audit.Reclaimed { fence = f; expired_at = 10.0 }))
 
 let test_audit_catches_time_regression () =
-  let a = Audit.create ~capacity:4 ~slots:8 in
+  let a = Audit.create ~capacity:4 ~slots:8 () in
   Audit.observe a ~now:5.0
     (Audit.Granted { fence = fence ~name:0 ~session:1 ~epoch:1; expires = 15.0 });
   expect_violation ~kind:"time-regression" (fun () ->
@@ -458,6 +463,278 @@ let qcheck_stale_fence_never_writes =
              | Error `Fenced -> true
              | Ok () -> false)))
 
+(* ------------------------------------------------------------------ *)
+(* Heap compaction: dead entries dropped, survivors keep their keys.   *)
+
+let test_heap_compact_preserves_order () =
+  let h = Heap.create () in
+  List.iter (fun (t, v) -> Heap.push h ~time:t v)
+    [ (3.0, 0); (1.0, 1); (2.0, 2); (1.0, 3); (2.0, 4); (5.0, 5) ];
+  (* Keep the odd values; note 1 and 3 tie on time and must stay in
+     insertion order after compaction. *)
+  Heap.compact h ~live:(fun ~time:_ v -> v mod 2 = 1);
+  check Alcotest.int "compacted size" 3 (Heap.size h);
+  let drain = ref [] in
+  let rec go () =
+    match Heap.pop h with Some (_, v) -> drain := v :: !drain; go () | None -> ()
+  in
+  go ();
+  check Alcotest.(list int) "pop order of survivors" [ 1; 3; 5 ] (List.rev !drain)
+
+let qcheck_compact_preserves_pop_order =
+  QCheck.Test.make ~count:300 ~name:"heap compaction preserves pop order"
+    QCheck.(small_list (pair (int_range 0 12) bool))
+    (fun entries ->
+      (* Two heaps with identical push sequences; one is compacted to
+         its live subset.  Popping both must agree on the live entries,
+         ties and all — compaction may not disturb (time, seq) keys. *)
+      let reference = Heap.create () in
+      let compacted = Heap.create () in
+      List.iteri
+        (fun i (t, alive) ->
+          let time = float_of_int t in
+          Heap.push reference ~time (i, alive);
+          Heap.push compacted ~time (i, alive))
+        entries;
+      Heap.compact compacted ~live:(fun ~time:_ (_, alive) -> alive);
+      let drain h =
+        let out = ref [] in
+        let rec go () =
+          match Heap.pop h with Some (t, v) -> out := (t, v) :: !out; go () | None -> ()
+        in
+        go ();
+        List.rev !out
+      in
+      let live_reference =
+        List.filter (fun (_, (_, alive)) -> alive) (drain reference)
+      in
+      drain compacted = live_reference)
+
+let test_lease_heap_compaction () =
+  let rng = Xoshiro.create 11L in
+  let lease = Lease.create (Lease.make_config ~capacity:4 ~ttl:10.0 ()) in
+  let fence =
+    match Lease.acquire lease ~session:1 ~now:0.0 ~rng with
+    | Ok g -> g.Lease.g_fence
+    | Error `At_capacity -> Alcotest.fail "capacity"
+  in
+  (* Every renew lazily abandons its previous heap entry; long-lived
+     renewing leases are exactly the workload that bloats the heap. *)
+  for i = 1 to 120 do
+    match Lease.renew lease ~fence ~now:(0.05 *. float_of_int i) with
+    | Ok _ -> ()
+    | Error `Fenced -> Alcotest.fail "live renew fenced"
+  done;
+  check Alcotest.bool "compaction triggered" true (Lease.compactions lease >= 1);
+  check Alcotest.bool "heap bounded"
+    true
+    (Lease.pending_expiries lease <= 33);
+  (* Compaction must not have disturbed the lease itself. *)
+  (match Lease.validate lease ~fence with
+  | Ok () -> ()
+  | Error `Fenced -> Alcotest.fail "compaction killed a live lease");
+  check Alcotest.int "nothing reclaimable before expiry" 0
+    (List.length (Lease.reclaim_expired lease ~now:10.0));
+  let reclaimed = Lease.reclaim_expired lease ~now:16.1 in
+  check Alcotest.int "reclaimed after expiry" 1 (List.length reclaimed)
+
+(* ------------------------------------------------------------------ *)
+(* Audit counters surface through the metrics registry.               *)
+
+let test_audit_metrics_counters () =
+  let obs = Obs.create () in
+  let _t, clock = manual_clock () in
+  let rng = Xoshiro.create 13L in
+  let svc =
+    Service.create ~obs ~clock ~rng
+      {
+        Service.lease = Lease.make_config ~capacity:4 ~ttl:10.0 ();
+        admission = Admission.make_config ();
+      }
+  in
+  let fence =
+    match Service.acquire svc ~session:1 with
+    | Service.Granted g -> g.Lease.g_fence
+    | _ -> Alcotest.fail "grant"
+  in
+  (match Service.release svc ~fence with
+  | Ok _ -> ()
+  | Error `Fenced -> Alcotest.fail "live release fenced");
+  (* The replayed fence is stale: rejected, and a near miss the audit
+     mirror confirms was correctly rejected. *)
+  (match Service.release svc ~fence with
+  | Error `Fenced -> ()
+  | Ok _ -> Alcotest.fail "stale release accepted");
+  let near = Service.audit_near_misses svc in
+  check Alcotest.bool "near miss recorded" true (near >= 1);
+  check Alcotest.int "audit/near_misses counter mirrors accessor" near
+    (Option.value ~default:(-1)
+       (Metrics.find_counter (Obs.metrics obs) "audit/near_misses"));
+  check Alcotest.(option int) "audit/violations counter present and zero" (Some 0)
+    (Metrics.find_counter (Obs.metrics obs) "audit/violations");
+  check Alcotest.int "no violation" 0 (Service.audit_violations svc)
+
+(* ------------------------------------------------------------------ *)
+(* Router: epoch-fenced slice handoff and degraded-mode routing.      *)
+
+let router_cfg () =
+  Router.make_config ~shards:4 ~slices:8 ~slice_capacity:4 ~ttl:10.0 ~grace:12.0
+    ~auto_rebalance:false ()
+
+let router_fixture () =
+  let t, clock = manual_clock () in
+  (t, Router.create ~clock ~seed:42L (router_cfg ()))
+
+let grant_on r ~session ~key =
+  match Router.acquire r ~session ~key with
+  | Router.Granted g -> g
+  | _ -> Alcotest.fail "expected a grant"
+
+let test_router_clean_handoff_keeps_leases () =
+  let t, r = router_fixture () in
+  let g = grant_on r ~session:1 ~key:0 in
+  check Alcotest.int "initial owner is shard 0" 0 g.Router.sg_shard;
+  let fence = Router.fence_of_grant g in
+  (match Router.begin_handoff r ~slice:0 ~to_:1 with
+  | Ok () -> ()
+  | Error `Unavailable -> Alcotest.fail "handoff refused");
+  (* A same-instant pump leaves the transit pending (the crash-injection
+     window); mid-transit operations are structured busies, not hangs. *)
+  ignore (Router.pump r);
+  check Alcotest.bool "still in transit" true (Router.in_transit r <> []);
+  (match Router.renew r ~fence with
+  | Error (`Busy (Router.In_handoff { slice = 0 })) -> ()
+  | _ -> Alcotest.fail "mid-transit renew must be In_handoff");
+  (match Router.acquire r ~session:2 ~key:0 with
+  | Router.Busy (Router.In_handoff _) -> ()
+  | _ -> Alcotest.fail "mid-transit acquire must be In_handoff");
+  t := 1.0;
+  ignore (Router.pump r);
+  check Alcotest.(option int) "ownership moved" (Some 1) (Router.owner r ~slice:0);
+  check Alcotest.int "epoch bumped with the transfer" 1 (Router.slice_epoch r ~slice:0);
+  (* The body moved intact: the pre-handoff lease renews at the new
+     shard without ever being fenced. *)
+  (match Router.renew r ~fence with
+  | Ok _ -> ()
+  | _ -> Alcotest.fail "clean handoff broke a live lease");
+  let st = Router.stats r in
+  check Alcotest.int "one completed handoff" 1 st.Router.handoffs_completed;
+  (* A client holding the stale owner hint is redirected, with the
+     fresh owner in the payload. *)
+  (match Router.acquire ~hint:0 r ~session:3 ~key:0 with
+  | Router.Busy (Router.Redirected { shard = 1 }) -> ()
+  | _ -> Alcotest.fail "stale hint must redirect");
+  match Router.acquire ~hint:1 r ~session:3 ~key:0 with
+  | Router.Granted g' -> check Alcotest.int "granted at new owner" 1 g'.Router.sg_shard
+  | _ -> Alcotest.fail "fresh hint must grant"
+
+let test_router_src_crash_orphans_then_adopts () =
+  let t, r = router_fixture () in
+  let g = grant_on r ~session:1 ~key:0 in
+  let fence = Router.fence_of_grant g in
+  (match Router.begin_handoff r ~slice:0 ~to_:1 with
+  | Ok () -> ()
+  | Error `Unavailable -> Alcotest.fail "handoff refused");
+  Router.crash_shard r ~id:0;
+  ignore (Router.pump r);
+  (* The body died with its shard: the slice is dark, every operation
+     resolves to a structured outcome. *)
+  (match Router.acquire r ~session:2 ~key:0 with
+  | Router.Busy (Router.Shard_down _) -> ()
+  | _ -> Alcotest.fail "orphaned acquire must be Shard_down");
+  (match Router.renew r ~fence with
+  | Error (`Busy (Router.Shard_down _)) -> ()
+  | _ -> Alcotest.fail "orphaned renew must be Shard_down");
+  check Alcotest.int "orphaned mid-transit" 1 (Router.stats r).Router.handoffs_orphaned;
+  (* Before the grace nothing may be absorbed (the lost body's leases
+     could still be live); after it, a survivor adopts a fresh table. *)
+  t := 5.0;
+  ignore (Router.pump r);
+  check Alcotest.int "no early adoption" 0 (Router.stats r).Router.adoptions;
+  t := 12.5;
+  ignore (Router.pump r);
+  (* Shard 0 owned two slices (8 slices over 4 shards): the in-transit
+     one and a sibling, both orphaned by the crash, both adopted. *)
+  check Alcotest.int "adopted after grace" 2 (Router.stats r).Router.adoptions;
+  (match Router.owner r ~slice:0 with
+  | Some s -> check Alcotest.bool "adopted by a survivor" true (s <> 0)
+  | None -> Alcotest.fail "slice still dark after grace");
+  (* The old incarnation's fence is dead at the fresh body... *)
+  (match Router.renew r ~fence with
+  | Error `Fenced -> ()
+  | _ -> Alcotest.fail "pre-crash fence must be fenced after adoption");
+  (* ...and the slice serves again. *)
+  match Router.acquire r ~session:3 ~key:0 with
+  | Router.Granted _ -> ()
+  | _ -> Alcotest.fail "adopted slice must serve"
+
+let test_router_dst_crash_aborts_handoff () =
+  let t, r = router_fixture () in
+  let g = grant_on r ~session:1 ~key:0 in
+  let fence = Router.fence_of_grant g in
+  (match Router.begin_handoff r ~slice:0 ~to_:1 with
+  | Ok () -> ()
+  | Error `Unavailable -> Alcotest.fail "handoff refused");
+  Router.crash_shard r ~id:1;
+  t := 1.0;
+  ignore (Router.pump r);
+  (* The destination died: the source keeps the slice under a bumped
+     epoch and nothing is stranded or fenced. *)
+  check Alcotest.(option int) "source kept the slice" (Some 0) (Router.owner r ~slice:0);
+  check Alcotest.int "epoch bumped on abort" 1 (Router.slice_epoch r ~slice:0);
+  check Alcotest.int "aborted" 1 (Router.stats r).Router.handoffs_aborted;
+  match Router.renew r ~fence with
+  | Ok _ -> ()
+  | _ -> Alcotest.fail "aborted handoff broke a live lease"
+
+let test_router_stall_heals () =
+  let t, r = router_fixture () in
+  let _g = grant_on r ~session:1 ~key:0 in
+  Router.stall_shard r ~id:0 ~until:2.0;
+  (match Router.acquire r ~session:2 ~key:0 with
+  | Router.Busy (Router.Shard_down { shard = 0 }) -> ()
+  | _ -> Alcotest.fail "stalled acquire must be Shard_down");
+  t := 2.5;
+  ignore (Router.pump r);
+  (* The stall was shorter than the grace: the shard serves again with
+     its bodies (and their leases) intact. *)
+  match Router.acquire r ~session:2 ~key:0 with
+  | Router.Granted g -> check Alcotest.int "same owner after wake" 0 g.Router.sg_shard
+  | _ -> Alcotest.fail "healed shard must serve"
+
+(* ------------------------------------------------------------------ *)
+(* Sharded churn: safety under shard faults, and determinism.         *)
+
+let shard_churn_cfg () =
+  Shard_churn.make_config ~clients:32 ~sessions_target:600 ~crash_rate:0.2
+    ~handoff:{ Shard_churn.h_every = 8.0; h_crash_src = 0.3; h_crash_dst = 0.2 }
+    ~shard_burst:{ Shard_churn.b_at = 40; b_width = 5; b_failures = 2 }
+    ~shard_restart_delay:30.0 ()
+
+let test_shard_churn_safety () =
+  let s = Shard_churn.run (shard_churn_cfg ()) ~seed:0xD15EA5EL in
+  check Alcotest.int "all sessions ran" 600 s.Shard_churn.sessions;
+  check Alcotest.bool "no livelock" false s.Shard_churn.livelocked;
+  (match s.Shard_churn.violation with
+  | None -> ()
+  | Some (kind, msg) -> Alcotest.fail (Printf.sprintf "audit violation %s: %s" kind msg));
+  check Alcotest.int "no cross-shard uniqueness breach" 0 s.Shard_churn.gaudit_violations;
+  check Alcotest.int "no unexpected fences" 0 s.Shard_churn.unexpected_fenced;
+  check Alcotest.int "no fencing holes for ghosts" 0 s.Shard_churn.stale_ok;
+  check Alcotest.bool "faults actually injected" true
+    (s.Shard_churn.shard_crashes >= 2
+    && s.Shard_churn.router.Router.handoffs_started >= 1)
+
+let test_shard_churn_deterministic () =
+  let run () = Shard_churn.run (shard_churn_cfg ()) ~seed:0xFACEL in
+  let a = run () and b = run () in
+  check Alcotest.bool "same seed, same summary" true (a = b);
+  let c = Shard_churn.run (shard_churn_cfg ()) ~seed:0xFACE2L in
+  check Alcotest.bool "different seed, different trajectory" true
+    (c.Shard_churn.events <> a.Shard_churn.events
+    || c.Shard_churn.retries <> a.Shard_churn.retries
+    || c.Shard_churn.client_crashes <> a.Shard_churn.client_crashes)
+
 let tests =
   [
     ( "service",
@@ -477,6 +754,16 @@ let tests =
         Alcotest.test_case "service: stale fence" `Quick test_service_stale_fence_rejected;
         Alcotest.test_case "churn: safety + reclaim" `Quick test_churn_safety_and_reclaim;
         Alcotest.test_case "churn: deterministic" `Quick test_churn_deterministic;
+        Alcotest.test_case "heap: compaction order" `Quick test_heap_compact_preserves_order;
+        Alcotest.test_case "lease: heap compaction" `Quick test_lease_heap_compaction;
+        Alcotest.test_case "audit: metrics counters" `Quick test_audit_metrics_counters;
+        Alcotest.test_case "router: clean handoff" `Quick test_router_clean_handoff_keeps_leases;
+        Alcotest.test_case "router: src crash -> adopt" `Quick test_router_src_crash_orphans_then_adopts;
+        Alcotest.test_case "router: dst crash -> abort" `Quick test_router_dst_crash_aborts_handoff;
+        Alcotest.test_case "router: stall heals" `Quick test_router_stall_heals;
+        Alcotest.test_case "shard churn: safety" `Quick test_shard_churn_safety;
+        Alcotest.test_case "shard churn: deterministic" `Quick test_shard_churn_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_compact_preserves_pop_order;
         QCheck_alcotest.to_alcotest qcheck_expiry_monotone;
         QCheck_alcotest.to_alcotest qcheck_reclaim_never_revokes_renewed;
         QCheck_alcotest.to_alcotest qcheck_stale_fence_never_writes;

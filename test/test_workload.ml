@@ -1,7 +1,9 @@
-(* Tests for arrival patterns and crash patterns. *)
+(* Tests for arrival patterns, crash patterns, and Zipf skew. *)
 
 module Arrival = Renaming_workload.Arrival
 module Crash_pattern = Renaming_workload.Crash_pattern
+module Zipf = Renaming_workload.Zipf
+module Xoshiro = Renaming_rng.Xoshiro
 
 let check = Alcotest.check
 
@@ -126,6 +128,82 @@ let test_crash_validation () =
 let test_crash_empty () =
   check Alcotest.(list (pair int int)) "no failures" [] (Crash_pattern.spread ~n:10 ~failures:0 ~horizon:5)
 
+(* --- Zipf skew edge cases --- *)
+
+let close ?(eps = 1e-9) msg expected actual =
+  check Alcotest.bool msg true (Float.abs (expected -. actual) < eps)
+
+let test_zipf_single () =
+  (* n = 1 is the degenerate distribution: every draw is rank 0 with
+     probability exactly 1, and the hottest rank is also the coldest. *)
+  let z = Zipf.create ~s:1.2 ~n:1 () in
+  check Alcotest.int "n" 1 (Zipf.n z);
+  close "weight 0" 1.0 (Zipf.weight z 0);
+  close "pressure 0" 1.0 (Zipf.relative_pressure z 0);
+  let rng = Xoshiro.create 77L in
+  for _ = 1 to 50 do
+    check Alcotest.int "draw" 0 (Zipf.draw z ~rng)
+  done
+
+let test_zipf_uniform () =
+  (* s = 0 degenerates to uniform: every rank weighs 1/n and no rank is
+     hotter than the coldest. *)
+  let n = 10 in
+  let z = Zipf.create ~s:0.0 ~n () in
+  for k = 0 to n - 1 do
+    close (Printf.sprintf "weight %d" k) (1.0 /. float_of_int n) (Zipf.weight z k);
+    close (Printf.sprintf "pressure %d" k) 1.0 (Zipf.relative_pressure z k)
+  done
+
+let test_zipf_high_skew () =
+  (* Very high skew: nearly all mass on rank 0, weights still strictly
+     decreasing and the hot/cold pressure ratio finite but huge. *)
+  let n = 16 in
+  let z = Zipf.create ~s:8.0 ~n () in
+  check Alcotest.bool "rank 0 dominates" true (Zipf.weight z 0 > 0.99);
+  for k = 1 to n - 1 do
+    check Alcotest.bool
+      (Printf.sprintf "decreasing at %d" k)
+      true
+      (Zipf.weight z k < Zipf.weight z (k - 1))
+  done;
+  let p = Zipf.relative_pressure z 0 in
+  check Alcotest.bool "pressure finite" true (Float.is_finite p);
+  check Alcotest.bool "pressure huge" true (p > 1e9);
+  (* Sampling agrees: the head rank swallows nearly every draw. *)
+  let rng = Xoshiro.create 123L in
+  let hits = ref 0 in
+  for _ = 1 to 1000 do
+    if Zipf.draw z ~rng = 0 then incr hits
+  done;
+  check Alcotest.bool "draws concentrate" true (!hits > 950)
+
+let qcheck_zipf_cdf_and_draws =
+  QCheck.Test.make ~name:"zipf: CDF monotone, sums to 1, draws in range" ~count:200
+    QCheck.(triple (int_range 1 64) (float_range 0.0 4.0) (int_range 1 10_000))
+    (fun (n, s, seed) ->
+      let z = Zipf.create ~s ~n () in
+      (* Cumulative weights are a proper CDF: monotone nondecreasing,
+         positive steps, ending at 1. *)
+      let cum = ref 0.0 in
+      for k = 0 to n - 1 do
+        let w = Zipf.weight z k in
+        if w <= 0.0 || w > 1.0 +. 1e-9 then
+          QCheck.Test.fail_reportf "weight %d out of (0,1]: %g" k w;
+        let prev = !cum in
+        cum := !cum +. w;
+        if !cum < prev then QCheck.Test.fail_reportf "CDF decreased at %d" k
+      done;
+      if Float.abs (!cum -. 1.0) > 1e-6 then
+        QCheck.Test.fail_reportf "CDF ends at %g, not 1" !cum;
+      (* Draws always land in [0, n). *)
+      let rng = Xoshiro.create (Int64.of_int seed) in
+      for _ = 1 to 100 do
+        let k = Zipf.draw z ~rng in
+        if k < 0 || k >= n then QCheck.Test.fail_reportf "draw %d out of [0,%d)" k n
+      done;
+      true)
+
 let tests =
   [
     ( "workload",
@@ -144,5 +222,9 @@ let tests =
         Alcotest.test_case "crash bounds all patterns" `Quick test_crash_bounds_all_patterns;
         Alcotest.test_case "crash validation" `Quick test_crash_validation;
         Alcotest.test_case "crash empty" `Quick test_crash_empty;
+        Alcotest.test_case "zipf single rank" `Quick test_zipf_single;
+        Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform;
+        Alcotest.test_case "zipf high skew" `Quick test_zipf_high_skew;
+        QCheck_alcotest.to_alcotest qcheck_zipf_cdf_and_draws;
       ] );
   ]
