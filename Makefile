@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full chaos chaos-service chaos-service-smoke chaos-sharded chaos-sharded-smoke mcheck mcheck-tier1 fuzz fuzz-smoke analyze examples clean loc
+.PHONY: all build test bench bench-full chaos chaos-service chaos-service-smoke chaos-sharded chaos-sharded-smoke mcheck mcheck-tier1 mcheck-dpor-tier1 fuzz fuzz-smoke analyze examples clean loc
 
 all: build test
 
@@ -56,16 +56,24 @@ chaos-sharded-smoke:
 	dune exec bin/main.exe -- chaos --sharded --sessions 15000 --seeds 2 --out results/chaos-sharded-smoke.json
 
 # Bounded model checking: exhaustively explore every schedule of the
-# small roster instances (preemption-bounded, sleep-set pruned) with the
-# safety monitor on every interleaving.  Violations are auto-shrunk to
-# minimal repros under results/repros/; exits nonzero on any violation;
-# JSON lands in results/mcheck.json.
+# small roster instances with source-DPOR (wakeup trees over the audited
+# independence relation, preemption-bounded) and the safety monitor on
+# every interleaving.  Violations are auto-shrunk to minimal repros
+# under results/repros/; exits nonzero on any violation; JSON lands in
+# results/mcheck.json (schema renaming.mcheck/2).  `--legacy-dfs`
+# switches back to the pre-DPOR sleep-set engine for differential runs.
 mcheck:
 	dune exec bin/main.exe -- mcheck
 
 # The fast subset that also runs inside `dune runtest`.
 mcheck-tier1:
 	dune exec bin/main.exe -- mcheck --tier1
+
+# The CI step: the enlarged tier-1 roster (n4 handoff entries plus
+# shard-handoff-n5) checked exhaustively under DPOR, with a wall-clock
+# budget assertion so reduction regressions fail loudly.
+mcheck-dpor-tier1:
+	dune exec bin/main.exe -- mcheck --tier1 --budget-seconds 60
 
 # Coverage-guided schedule fuzzing: PCT adversaries plus mutation of an
 # interleaving-coverage corpus over the fuzz roster (clean algorithms
@@ -81,8 +89,9 @@ fuzz-smoke:
 	dune exec bin/main.exe -- fuzz --mutants-only --seed 1 --iterations 200 --out results/fuzz-smoke.json
 
 # Static analysis: the commutation-audited independence oracle (the
-# footprint table mcheck's sleep sets prune with, machine-checked
-# against Memory.apply) plus the source-level concurrency lint over
+# footprint table mcheck's DPOR race detection prunes with,
+# machine-checked against Memory.apply, plus a soundness audit of the
+# race relation itself) and the source-level concurrency lint over
 # lib/.  Exits nonzero on any failure; JSON lands in results/analyze.json.
 analyze:
 	dune exec bin/main.exe -- analyze

@@ -430,7 +430,17 @@ let mcheck_cmd =
     Arg.(value & opt_all string [] & info [ "only" ] ~docv:"NAME"
            ~doc:"Check only the named roster entries (repeatable).")
   in
-  let run tier1 out only metrics =
+  let legacy_dfs =
+    Arg.(value & flag & info [ "legacy-dfs" ]
+           ~doc:"Escape hatch for differential runs: explore with the pre-DPOR sleep-set DFS \
+                 engine instead of source-DPOR.")
+  in
+  let budget_seconds =
+    Arg.(value & opt (some Arg.float) None & info [ "budget-seconds" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget assertion: exit nonzero if the whole run (exploration plus \
+                 shrinking) takes longer than $(docv).  Used by the mcheck-dpor-tier1 CI step.")
+  in
+  let run tier1 out only legacy_dfs budget_seconds metrics =
     let entries = if tier1 then Roster.tier1 () else Roster.roster () in
     let entries =
       if only = [] then entries
@@ -440,11 +450,13 @@ let mcheck_cmd =
       Printf.eprintf "mcheck: no roster entries selected\n";
       exit 2
     end;
+    let engine = if legacy_dfs then `Legacy_dfs else `Dpor in
+    let t0 = Unix.gettimeofday () in
     let obs = obs_of_metrics metrics in
     let all =
       List.map
         (fun e ->
-          let stats = Roster.run_entry ?obs e in
+          let stats = Roster.run_entry ~engine ?obs e in
           Format.printf "%a@." Mcheck.pp_stats stats;
           write_repros ~dir:(Filename.concat (Filename.dirname out) "repros")
             (List.filter_map (Roster.repro_of_case e) stats.Mcheck.s_cases);
@@ -457,18 +469,26 @@ let mcheck_cmd =
     let violations =
       List.fold_left (fun acc s -> acc + s.Mcheck.s_violations) 0 all
     in
+    let elapsed = Unix.gettimeofday () -. t0 in
     if violations > 0 then begin
       Printf.eprintf "mcheck: %d violating schedule(s) found\n" violations;
       exit 1
-    end
+    end;
+    match budget_seconds with
+    | Some budget when elapsed > budget ->
+      Printf.eprintf "mcheck: wall-clock budget exceeded: %.2fs > %.2fs\n" elapsed budget;
+      exit 1
+    | Some budget -> Printf.printf "(%.2fs elapsed, within the %.2fs budget)\n" elapsed budget
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "mcheck"
        ~doc:
          "Exhaustively model-check small instances: every schedule (plus bounded crash, recovery \
-          and transient-fault injections) under the online safety monitor, with preemption \
-          bounding and sleep-set pruning.")
-    Term.(const run $ tier1 $ out $ only $ metrics_arg)
+          and transient-fault injections) under the online safety monitor, explored with \
+          source-DPOR over the audited independence relation (wakeup trees, preemption bounding; \
+          $(b,--legacy-dfs) for the pre-DPOR sleep-set engine).")
+    Term.(const run $ tier1 $ out $ only $ legacy_dfs $ budget_seconds $ metrics_arg)
 
 let analyze_cmd =
   let module Analyze = Renaming_analysis.Analyze in
@@ -502,7 +522,9 @@ let analyze_cmd =
         (Roster.roster ())
     in
     let result =
-      Analyze.run ?table ~lint_root:(if skip_lint then None else Some lint_root) ~roster ()
+      Analyze.run ?table ~dependent:Renaming_mcheck.Races.dependent
+        ~lint_root:(if skip_lint then None else Some lint_root)
+        ~roster ()
     in
     Format.printf "%a@." Analyze.pp result;
     write_file out (Analyze.to_json result ^ "\n");
@@ -516,9 +538,10 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Run the static-analysis layer: the commutation-audited independence oracle (pairwise \
-          execution of every representative operation pair in both orders, plus dynamic \
-          access-set coverage of the model-checking roster) and the source-level concurrency \
-          lint over the library tree.")
+          execution of every representative operation pair in both orders, dynamic access-set \
+          coverage of the model-checking roster, and a soundness audit of the DPOR race \
+          relation against the executable oracle) and the source-level concurrency lint over \
+          the library tree.")
     Term.(const run $ lint_root $ skip_lint $ out $ inject)
 
 let shrink_cmd =

@@ -1,21 +1,26 @@
 type t = {
   pairs : Commute.audit;
   coverage : Commute.audit;
+  dependence : Commute.audit option;
   lint_files : int;
   lint : Lint.finding list;
 }
 
-let run ?table ?(lint_root = Some "lib") ~roster () =
+let run ?table ?dependent ?(lint_root = Some "lib") ~roster () =
   let pairs = Commute.audit_pairs ?table () in
   let coverage = Commute.audit_coverage ?table roster in
+  let dependence =
+    Option.map (fun dependent -> Commute.audit_dependence ?table ~dependent ()) dependent
+  in
   let lint_files, lint =
     match lint_root with None -> (0, []) | Some root -> Lint.lint_dir root
   in
-  { pairs; coverage; lint_files; lint }
+  { pairs; coverage; dependence; lint_files; lint }
 
 let ok t =
   t.pairs.Commute.a_failures = []
   && t.coverage.Commute.a_failures = []
+  && (match t.dependence with None -> true | Some a -> a.Commute.a_failures = [])
   && Lint.active t.lint = []
 
 let pp fmt t =
@@ -27,6 +32,9 @@ let pp fmt t =
   Format.fprintf fmt "@[<v>";
   audit_line "pairwise commutation" t.pairs;
   audit_line "footprint coverage" t.coverage;
+  (match t.dependence with
+  | Some a -> audit_line "dpor dependence" a
+  | None -> Format.fprintf fmt "%-22s %8s skipped@ " "dpor dependence" "");
   Format.fprintf fmt "%-22s %8d files   %3d findings (%d waived)@ " "source lint" t.lint_files
     (List.length t.lint)
     (List.length t.lint - List.length (Lint.active t.lint));
@@ -63,8 +71,10 @@ let finding_json (f : Lint.finding) =
 
 let to_json t =
   Printf.sprintf
-    "{\"ok\":%b,\"footprint\":{\"pairs\":%s,\"coverage\":%s},\"lint\":{\"files\":%d,\"active\":%d,\"waived\":%d,\"findings\":[%s]}}"
-    (ok t) (audit_json t.pairs) (audit_json t.coverage) t.lint_files
+    "{\"ok\":%b,\"footprint\":{\"pairs\":%s,\"coverage\":%s,\"dependence\":%s},\"lint\":{\"files\":%d,\"active\":%d,\"waived\":%d,\"findings\":[%s]}}"
+    (ok t) (audit_json t.pairs) (audit_json t.coverage)
+    (match t.dependence with None -> "null" | Some a -> audit_json a)
+    t.lint_files
     (List.length (Lint.active t.lint))
     (List.length t.lint - List.length (Lint.active t.lint))
     (String.concat "," (List.map finding_json t.lint))

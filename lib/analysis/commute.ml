@@ -132,6 +132,64 @@ let audit_pairs ?(table = Footprint.of_op) () =
     ops_a;
   { a_checked = !checked; a_failures = List.rev !failures }
 
+(* --- dependence-relation audit (the DPOR race relation) --- *)
+
+(* The model checker's race detection takes an opaque [dependent]
+   predicate (in practice [Renaming_mcheck.Races.dependent], injected
+   here by bin/ and the tests — lib/analysis sits below lib/mcheck in
+   the build).  DPOR only stays sound if every pair that predicate
+   declares independent really commutes, so the audit holds it against
+   both the static table and the executable oracle: symmetry, exact
+   agreement with [Footprint.independent_under], and both-orders
+   execution from every representative pre-state for each pair it would
+   let the checker reorder. *)
+let audit_dependence ?(table = Footprint.of_op) ~dependent () =
+  let failures = ref [] in
+  let checked = ref 0 in
+  let fail check detail = failures := { f_check = check; f_detail = detail } :: !failures in
+  let ops_a = Op.representatives ~idx:0 ~value:17 in
+  let ops_b = Op.representatives ~idx:0 ~value:29 @ Op.representatives ~idx:1 ~value:29 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if dependent a b <> dependent b a then
+            fail "dependence-symmetry"
+              (Printf.sprintf "dependence of %s / %s is asymmetric" (string_of_op a)
+                 (string_of_op b));
+          if dependent a b = Footprint.independent_under ~table a b then
+            fail "table-agreement"
+              (Printf.sprintf
+                 "race relation calls %s / %s %s but the audited footprint table says otherwise"
+                 (string_of_op a) (string_of_op b)
+                 (if dependent a b then "dependent" else "independent"));
+          if not (dependent a b) then
+            if is_device a || is_device b then
+              fail "device-dependence"
+                (Printf.sprintf
+                   "%s / %s: τ-register operations are position-sensitive; the race relation \
+                    must treat them as dependent"
+                   (string_of_op a) (string_of_op b))
+            else
+              List.iter
+                (fun (state, prepare) ->
+                  incr checked;
+                  let ra1, rb1, fp1 = run_order ~prepare ~first:(0, a) ~second:(1, b) in
+                  let rb2, ra2, fp2 = run_order ~prepare ~first:(1, b) ~second:(0, a) in
+                  if ra1 <> ra2 || rb1 <> rb2 || fp1 <> fp2 then
+                    fail "race-soundness"
+                      (Printf.sprintf
+                         "%s (pid 0) / %s (pid 1): the race relation would let DPOR reorder \
+                          these, but orders differ from state %s: responses %s,%s vs %s,%s; \
+                          state %S vs %S"
+                         (string_of_op a) (string_of_op b) state (string_of_response ra1)
+                         (string_of_response rb1) (string_of_response ra2)
+                         (string_of_response rb2) fp1 fp2))
+                prestates)
+        ops_b)
+    ops_a;
+  { a_checked = !checked; a_failures = List.rev !failures }
+
 (* --- dynamic coverage audit --- *)
 
 let coverage_logger ~table ~label ~count ~failures () ~pid op accesses =

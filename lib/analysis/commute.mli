@@ -1,8 +1,8 @@
 (** The commutation oracle: machine-checks the {!Footprint} table the
     model checker prunes with, instead of trusting it.
 
-    Two legs, both parameterised by the table under audit so tests can
-    verify that a misdeclaration is actually caught:
+    Three legs, all parameterised by the relation under audit so tests
+    can verify that a misdeclaration is actually caught:
 
     - {!audit_pairs} executes every ordered pair of representative
       operations (one per [Op.t] constructor, shared and disjoint
@@ -12,7 +12,9 @@
     - {!audit_coverage} replays instrumented instances (the
       model-checking roster) under a {!Renaming_sched.Memory} access
       logger and fails if any executed operation performs a concrete
-      access its static footprint does not cover. *)
+      access its static footprint does not cover;
+    - {!audit_dependence} holds the model checker's race-detection
+      predicate against both the table and the executable oracle. *)
 
 type failure = { f_check : string; f_detail : string }
 
@@ -29,6 +31,19 @@ val audit_pairs : ?table:(Renaming_sched.Op.t -> Footprint.t) -> unit -> audit
     cover every constructor, that independence is symmetric, and that
     no table ever declares τ-register device operations independent of
     anything. *)
+
+val audit_dependence :
+  ?table:(Renaming_sched.Op.t -> Footprint.t) ->
+  dependent:(Renaming_sched.Op.t -> Renaming_sched.Op.t -> bool) ->
+  unit ->
+  audit
+(** Soundness audit of the DPOR race relation ([dependent] — in
+    practice [Renaming_mcheck.Races.dependent], injected by callers
+    above lib/mcheck in the build graph): symmetry, exact agreement
+    with [Footprint.independent_under ~table], and, for every pair the
+    relation would let the checker reorder, both-orders execution from
+    every representative pre-state (device operations must always be
+    dependent). *)
 
 val audit_coverage :
   ?table:(Renaming_sched.Op.t -> Footprint.t) ->

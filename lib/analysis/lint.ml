@@ -21,6 +21,9 @@ let rules =
       "Random.* uses hidden global state (and Random.self_init wall-clock entropy); use \
        Renaming_rng streams" );
     ("wall-clock", "wall-clock reads (Unix.gettimeofday / Sys.time ...) in library code");
+    ( "blocking-sleep",
+      "Unix.sleep/Unix.sleepf blocks the whole domain and stalls every process the scheduler \
+       multiplexes onto it; poll cooperatively or drive timing through the executor" );
     ( "unstable-hash",
       "Hashtbl.hash is not stable across OCaml versions; derive keys with a pinned hash" );
     ( "stdout-print",
@@ -89,6 +92,7 @@ let ident_rule ~whitelisted ~print_whitelisted lid =
   | [ "Unix"; ("gettimeofday" | "time" | "localtime" | "gmtime" | "mktime") ] | [ "Sys"; "time" ]
     ->
     Some ("wall-clock", "wall-clock read")
+  | [ "Unix"; ("sleep" | "sleepf") ] -> Some ("blocking-sleep", "blocking sleep")
   | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] ->
     Some ("unstable-hash", "version-unstable Hashtbl.hash")
   | "Atomic" :: _ when not whitelisted -> Some ("atomic-outside-shm", "use of Atomic")

@@ -210,6 +210,9 @@ let execute ?obs ?domains ?(clock = Clock.none) ?deadline ~n ~namespace ~schedul
             (Stalled { deadline; elapsed; per_domain_steps; finished_domains; domains })
         end
         else begin
+          (* Wall-clock watchdog on its own domain: every worker runs on
+             a spawned domain, so nothing the scheduler multiplexes is
+             behind this sleep.  lint: allow blocking-sleep *)
           Unix.sleepf 0.0005;
           watch ()
         end

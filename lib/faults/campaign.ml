@@ -178,6 +178,7 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
                rp_max_ticks = max_ticks;
                rp_tau_cadence = 1;
                rp_kind = r.Shrink.r_failure.Shrink.f_kind;
+               rp_trace_format = Shrink.Condensed;
                rp_choices = r.Shrink.r_choices;
              }
              :: !repros

@@ -61,6 +61,12 @@ val shrink : ?max_replays:int -> input -> result option
     runs out the result is still a valid counterexample, just not
     necessarily 1-minimal. *)
 
+type trace_format =
+  | Choices  (** one {!Renaming_sched.Directed.choice_to_string} line per choice *)
+  | Condensed
+      (** a single dejafu-style {!Renaming_sched.Directed.condensed}
+          line, e.g. [S0x2--P1--S2] *)
+
 type repro = {
   rp_algorithm : string;
   rp_n : int;
@@ -69,16 +75,18 @@ type repro = {
   rp_max_ticks : int;
   rp_tau_cadence : int;
   rp_kind : string;
+  rp_trace_format : trace_format;  (** how the [trace:] body is rendered *)
   rp_choices : Renaming_sched.Directed.choice list;
 }
 
 val repro_to_string : repro -> string
 (** Plain-text artifact: [key: value] headers ([algorithm], [n], [seed],
-    [check-ownership], [max-ticks], [tau-cadence], [kind]) followed by a
-    [trace:] section with one
-    {!Renaming_sched.Directed.choice_to_string} line per choice. *)
+    [check-ownership], [max-ticks], [tau-cadence], [kind],
+    [trace-format]) followed by a [trace:] section rendered per
+    [rp_trace_format].  [rp_choices] is the single source of truth —
+    the condensed body is derived from it on the way out. *)
 
 val repro_of_string : string -> (repro, string) Stdlib.result
-(** Inverse of {!repro_to_string}.  The [tau-cadence] header is optional
-    (defaults to [1]) so artifacts written before it existed still
-    parse. *)
+(** Inverse of {!repro_to_string}.  The [tau-cadence] and [trace-format]
+    headers are optional ([1] and [Choices] respectively) so artifacts
+    written before they existed still parse. *)

@@ -134,6 +134,7 @@ let shrink_violation target ~tseed ~prefix =
         rp_max_ticks = target.fz_max_ticks;
         rp_tau_cadence = target.fz_tau_cadence;
         rp_kind = r.Shrink.r_failure.Shrink.f_kind;
+        rp_trace_format = Shrink.Condensed;
         rp_choices = r.Shrink.r_choices;
       }
 

@@ -15,20 +15,32 @@ type entry = {
   e_check_ownership : bool;
   e_build : seed:int64 -> Renaming_sched.Executor.instance;
   e_bounds : Renaming_mcheck.Mcheck.bounds;
+  e_baseline : int option;
+      (** frozen sleep-set ([`Legacy_dfs]) schedule count — the
+          denominator of the DPOR reduction ratio; [None] for entries
+          that were infeasible before DPOR (the n5 configurations) *)
 }
 
 val roster : unit -> entry list
 (** Every entry: schedule-only exploration of loose-geometric (n=4),
-    uniform-probing (n=3), linear-scan (n=3) and tight (n=8, its
-    minimum), plus crash/recovery and transient-fault variants with one
-    injection each. *)
+    uniform-probing (n=3), linear-scan (n=3/4), tight (n=8, its
+    minimum) and the lease/shard handoff protocols up to n=5, plus
+    crash/recovery and transient-fault variants with one injection
+    each. *)
 
 val tier1 : unit -> entry list
-(** The fast subset exercised on every [dune runtest]. *)
+(** The fast subset exercised on every [dune runtest] — since the DPOR
+    engine it includes the n4 handoff entries and [shard-handoff-n5]. *)
 
 val target : entry -> Renaming_mcheck.Mcheck.target
 
-val run_entry : ?obs:Renaming_obs.Obs.t -> entry -> Renaming_mcheck.Mcheck.stats
+val run_entry :
+  ?engine:Renaming_mcheck.Mcheck.engine ->
+  ?obs:Renaming_obs.Obs.t ->
+  entry ->
+  Renaming_mcheck.Mcheck.stats
+(** [engine] defaults to [`Dpor]; the entry's frozen [e_baseline] is
+    threaded into the stats for reduction-ratio reporting. *)
 
 val repro_of_case :
   entry -> Renaming_mcheck.Mcheck.case -> Renaming_faults.Shrink.repro option

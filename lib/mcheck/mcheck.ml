@@ -13,6 +13,10 @@ type target = {
   t_check_ownership : bool;
 }
 
+type engine = [ `Dpor | `Legacy_dfs ]
+
+let engine_name = function `Dpor -> "dpor" | `Legacy_dfs -> "legacy-dfs"
+
 type bounds = {
   b_preemptions : int;
   b_crashes : int;
@@ -21,6 +25,7 @@ type bounds = {
   b_max_ticks : int;
   b_max_schedules : int;
   b_sleep : bool;
+  b_yield_rotate : int option;
 }
 
 let default_bounds =
@@ -32,63 +37,72 @@ let default_bounds =
     b_max_ticks = 50_000;
     b_max_schedules = 200_000;
     b_sleep = true;
+    b_yield_rotate = Some 32;
   }
 
 type case = {
   v_kind : string;
   v_message : string;
   v_prefix : Directed.choice list;
+  v_condensed : string;
   v_shrunk : Shrink.result option;
 }
 
 type stats = {
   s_target : string;
+  s_engine : string;
   s_schedules : int;
   s_points : int;
-  s_slept : int;
+  s_races : int;
+  s_wakeups : int;
+  s_pruned : int;
+  s_budget_skipped : int;
   s_livelocks : int;
   s_violations : int;
   s_capped : bool;
+  s_baseline : int option;
   s_cases : case list;
 }
 
 (* Static independence of operations lives in the audited
-   Renaming_analysis.Footprint table: the sleep sets below are only
-   sound if that table never claims independence for a non-commuting
-   pair, and `renaming analyze` machine-checks exactly that (pairwise
-   commutation + dynamic access-set coverage). *)
+   Renaming_analysis.Footprint table: both engines below are only sound
+   if that table never claims independence for a non-commuting pair,
+   and `renaming analyze` machine-checks exactly that (pairwise
+   commutation + dynamic access-set coverage + agreement with the
+   {!Races.dependent} relation DPOR reverses races over). *)
 let independent = Renaming_analysis.Footprint.independent
 
 exception Capped
 
-let check ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8) ?obs target =
-  let schedules = ref 0 in
-  let points = ref 0 in
-  let slept = ref 0 in
-  let livelocks = ref 0 in
-  let violations = ref 0 in
-  let cases = ref [] in
+(* Mutable accumulators shared by both engines. *)
+type acc = {
+  a_schedules : int ref;
+  a_points : int ref;
+  a_races : int ref;
+  a_wakeups : int ref;
+  a_pruned : int ref;
+  a_budget_skipped : int ref;
+  a_livelocks : int ref;
+  a_violations : int ref;
+  a_cases : case list ref;
+  a_register : kind:string -> message:string -> Directed.result -> unit;
+  a_on_schedule : (Directed.choice array -> unit) option;
+}
+
+let notify acc (run : Directed.result) =
+  match acc.a_on_schedule with None -> () | Some f -> f run.Directed.taken
+
+(* ------------------------------------------------------------------ *)
+(* Legacy engine: CHESS-style DFS with sleep sets.  Kept verbatim as
+   the [--legacy-dfs] escape hatch for differential runs against the
+   DPOR engine; its schedule enumeration must stay byte-identical. *)
+
+let check_legacy ~bounds ~acc target =
+  let schedules = acc.a_schedules in
+  let points = acc.a_points in
+  let slept = acc.a_pruned in
+  let livelocks = acc.a_livelocks in
   let capped = ref false in
-  let register ~kind ~message (run : Directed.result) =
-    incr violations;
-    if List.length !cases < max_cases then begin
-      let prefix = Array.to_list run.Directed.taken in
-      let shrunk =
-        if not shrink then None
-        else
-          Shrink.shrink
-            {
-              Shrink.label = target.t_name;
-              build = target.t_build;
-              check_ownership = target.t_check_ownership;
-              choices = prefix;
-              max_ticks = bounds.b_max_ticks;
-              tau_cadence = 1;
-            }
-      in
-      cases := { v_kind = kind; v_message = message; v_prefix = prefix; v_shrunk = shrunk } :: !cases
-    end
-  in
   (* One stateless exploration step: execute [prefix] (plus the
      non-preemptive default tail), check it, then branch on every
      alternative at every decision point past the prefix.  Each complete
@@ -106,17 +120,20 @@ let check ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8) ?obs targ
       Directed.run ~max_ticks:bounds.b_max_ticks ~record_from:(List.length prefix)
         ~on_event:(Monitor.hook monitor) ~prefix inst
     in
+    notify acc run;
     (match run.Directed.outcome with
     | Directed.Raised (Monitor.Violation v) ->
-      register ~kind:v.Monitor.kind ~message:v.Monitor.message run
+      acc.a_register ~kind:v.Monitor.kind ~message:v.Monitor.message run
     | Directed.Raised e ->
-      register ~kind:("exception:" ^ Printexc.exn_slot_name e) ~message:(Printexc.to_string e)
-        run
+      acc.a_register
+        ~kind:("exception:" ^ Printexc.exn_slot_name e)
+        ~message:(Printexc.to_string e) run
     | Directed.Finished report ->
       if Report.is_livelock report then incr livelocks
       else (
         try Monitor.finalize monitor report
-        with Monitor.Violation v -> register ~kind:v.Monitor.kind ~message:v.Monitor.message run));
+        with Monitor.Violation v ->
+          acc.a_register ~kind:v.Monitor.kind ~message:v.Monitor.message run));
     let cur_sleep = ref sleep in
     Array.iter
       (fun (pt : Directed.point) ->
@@ -210,15 +227,390 @@ let check ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8) ?obs targ
      explore [] ~sleep:[] ~preemptions:bounds.b_preemptions ~crashes:bounds.b_crashes
        ~recoveries:bounds.b_recoveries ~faults:bounds.b_faults
    with Capped -> capped := true);
+  !capped
+
+(* ------------------------------------------------------------------ *)
+(* Source-DPOR engine with wakeup trees.
+
+   The exploration is still stateless CHESS-style re-execution, but the
+   alternatives at a decision point are no longer "every other enabled
+   process": they come exclusively from *reversible races* detected on
+   completed executions (plus the exhaustively enumerated fault /
+   crash / recovery injections).  After each run, every race (i, j) —
+   two dependent steps of different pids with no happens-before path
+   between them — yields a reordering witness that is inserted into the
+   wakeup tree of node [i] unless an already-explored branch (sleep
+   set), a pending branch (tree cover) or the preemption budget rules
+   it out.  Sleep sets record fully-explored branches per node, so a
+   committed branch is never re-inserted: no explored schedule is ever
+   revisited. *)
+
+type nd = {
+  nd_point : Directed.point;
+  nd_preempt : int;
+  nd_crashes : int;
+  nd_recoveries : int;
+  nd_faults : int;
+  mutable nd_chosen : Directed.choice;
+  mutable nd_event : Races.event;
+  mutable nd_sleep : (int * Op.t) list;
+  nd_w : Wakeup.t;  (* pending race-reversal branches, exploration order *)
+  mutable nd_inj : Directed.choice list;  (* pending injection branches *)
+  mutable nd_next : Wakeup.t;  (* continuation subtree for the child under [nd_chosen] *)
+}
+
+let op_at (pt : Directed.point) pid =
+  let r = ref None in
+  Array.iteri (fun k q -> if q = pid then r := Some pt.Directed.ops.(k)) pt.Directed.runnable;
+  match !r with
+  | Some o -> o
+  | None -> invalid_arg (Printf.sprintf "Mcheck.op_at: pid %d not runnable" pid)
+
+let prev_runnable (pt : Directed.point) =
+  pt.Directed.prev >= 0 && Array.exists (fun q -> q = pt.Directed.prev) pt.Directed.runnable
+
+(* Switching away from a still-runnable process costs one preemption —
+   the exact cost model of the legacy engine, so both engines bound the
+   same schedule universe (the differential tests rely on this). *)
+let switch_cost (pt : Directed.point) pid =
+  if prev_runnable pt && pt.Directed.prev <> pid then 1
+  else 0
+
+let event_of_choice (pt : Directed.point) = function
+  | Directed.Step pid -> Races.step ~pid (op_at pt pid)
+  | Directed.Fault pid | Directed.Crash pid | Directed.Recover pid -> Races.barrier ~pid
+
+exception Budget_exceeded
+
+let check_dpor ~bounds ~acc target =
+  let path_rev = ref [] in
+  (* path head = deepest node *)
+  let depth = ref 0 in
+  let push nd =
+    path_rev := nd :: !path_rev;
+    incr depth
+  in
+  let pop_node () =
+    match !path_rev with
+    | [] -> ()
+    | _ :: rest ->
+      path_rev := rest;
+      decr depth
+  in
+  let mk_node ~parent (pt : Directed.point) =
+    let preempt, crashes, recoveries, faults, sleep, w, next =
+      match parent with
+      | None ->
+        ( bounds.b_preemptions,
+          bounds.b_crashes,
+          bounds.b_recoveries,
+          bounds.b_faults,
+          [],
+          Wakeup.create (),
+          Wakeup.create () )
+      | Some p ->
+        let pre = ref p.nd_preempt in
+        let cr = ref p.nd_crashes in
+        let re = ref p.nd_recoveries in
+        let fa = ref p.nd_faults in
+        let sleep =
+          match (p.nd_chosen, p.nd_event.Races.ev_op) with
+          | Directed.Step q, Some o ->
+            pre := !pre - switch_cost p.nd_point q;
+            List.filter (fun (r, opr) -> r <> q && not (Races.dependent opr o)) p.nd_sleep
+          | Directed.Fault q, _ ->
+            pre := !pre - switch_cost p.nd_point q;
+            decr fa;
+            []
+          | Directed.Crash _, _ ->
+            decr cr;
+            []
+          | Directed.Recover _, _ ->
+            decr re;
+            []
+          | Directed.Step _, None -> assert false
+        in
+        if !pre < 0 then raise Budget_exceeded;
+        (* Thread the wakeup continuation: the prefix is descending the
+           leftmost chain of the branch taken at the parent, so the
+           child inherits the branch's remaining siblings as pending. *)
+        let w, next =
+          if Wakeup.is_empty p.nd_next then (Wakeup.create (), Wakeup.create ())
+          else begin
+            match Wakeup.pop p.nd_next with
+            | None -> assert false
+            | Some b ->
+              (match pt.Directed.taken with
+              | Directed.Step q when q = b.Wakeup.b_pid -> ()
+              | _ -> assert false);
+              let w = p.nd_next in
+              p.nd_next <- Wakeup.create ();
+              (w, b.Wakeup.b_sub)
+          end
+        in
+        (!pre, !cr, !re, !fa, sleep, w, next)
+    in
+    (* Injection alternatives at this point, enumerated exhaustively
+       (budget-gated), exactly as the legacy engine does. *)
+    let inj = ref [] in
+    if recoveries > 0 then Array.iter (fun q -> inj := Directed.Recover q :: !inj) pt.Directed.crashed;
+    if crashes > 0 then Array.iter (fun q -> inj := Directed.Crash q :: !inj) pt.Directed.runnable;
+    if faults > 0 then
+      Array.iteri
+        (fun k q ->
+          if Op.faultable pt.Directed.ops.(k) && switch_cost pt q <= preempt then
+            inj := Directed.Fault q :: !inj)
+        pt.Directed.runnable;
+    {
+      nd_point = pt;
+      nd_preempt = preempt;
+      nd_crashes = crashes;
+      nd_recoveries = recoveries;
+      nd_faults = faults;
+      nd_chosen = pt.Directed.taken;
+      nd_event = event_of_choice pt pt.Directed.taken;
+      nd_sleep = sleep;
+      nd_w = w;
+      nd_inj = !inj;
+      nd_next = next;
+    }
+  in
+  let rec leftmost t =
+    match Wakeup.branches t with
+    | [] -> []
+    | b :: _ -> Directed.Step b.Wakeup.b_pid :: leftmost b.Wakeup.b_sub
+  in
+  let capped = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    if !(acc.a_schedules) >= bounds.b_max_schedules then begin
+      capped := true;
+      continue_ := false
+    end
+    else begin
+      (* Events at indices >= [from] are new in this execution (the
+         re-chosen backtrack node and everything after it). *)
+      let from = if !depth = 0 then 0 else !depth - 1 in
+      let prefix =
+        List.rev_map (fun nd -> nd.nd_chosen) !path_rev
+        @ (match !path_rev with [] -> [] | nd :: _ -> leftmost nd.nd_next)
+      in
+      let inst = target.t_build () in
+      let monitor =
+        Monitor.create ~check_ownership:target.t_check_ownership ~memory:inst.Executor.memory
+          ~processes:(Array.length inst.Executor.programs) ()
+      in
+      let run =
+        Directed.run ~max_ticks:bounds.b_max_ticks ~record_from:0
+          ?yield_rotate:bounds.b_yield_rotate ~on_event:(Monitor.hook monitor) ~prefix inst
+      in
+      let livelocked =
+        match run.Directed.outcome with
+        | Directed.Finished report -> Report.is_livelock report
+        | Directed.Raised _ -> false
+      in
+      let depth0 = !depth in
+      let ok =
+        if run.Directed.dropped > 0 then false
+        else if livelocked then true
+          (* a livelocked tail can be tens of thousands of points long:
+             count it, but do not expand nodes or detect races on it *)
+        else
+          try
+            Array.iteri
+              (fun k pt ->
+                if k >= depth0 then
+                  push (mk_node ~parent:(match !path_rev with [] -> None | p :: _ -> Some p) pt))
+              run.Directed.points;
+            true
+          with Budget_exceeded ->
+            while !depth > depth0 do
+              pop_node ()
+            done;
+            false
+      in
+      if not ok then incr acc.a_budget_skipped
+      else begin
+        incr acc.a_schedules;
+        notify acc run;
+        (match run.Directed.outcome with
+        | Directed.Raised (Monitor.Violation v) ->
+          acc.a_register ~kind:v.Monitor.kind ~message:v.Monitor.message run
+        | Directed.Raised e ->
+          acc.a_register
+            ~kind:("exception:" ^ Printexc.exn_slot_name e)
+            ~message:(Printexc.to_string e) run
+        | Directed.Finished report ->
+          if Report.is_livelock report then incr acc.a_livelocks
+          else (
+            try Monitor.finalize monitor report
+            with Monitor.Violation v ->
+              acc.a_register ~kind:v.Monitor.kind ~message:v.Monitor.message run));
+        if not livelocked then begin
+          acc.a_points := !(acc.a_points) + (!depth - depth0);
+          (* Race detection on the completed execution, and witness
+             insertion at each race's first node. *)
+          let nodes = Array.of_list (List.rev !path_rev) in
+          let events = Array.map (fun nd -> nd.nd_event) nodes in
+          let pids = Array.length inst.Executor.programs in
+          let clocks, races = Races.races ~pids ~from events in
+          let try_insert nd v =
+            if
+              List.exists (fun (q, oq) -> Wakeup.weak_initial_mem v ~pid:q ~op:oq) nd.nd_sleep
+            then incr acc.a_pruned
+            else
+              match Wakeup.insert nd.nd_w v with
+              | Wakeup.Inserted -> incr acc.a_wakeups
+              | Wakeup.Covered -> incr acc.a_pruned
+          in
+          List.iter
+            (fun r ->
+              incr acc.a_races;
+              let v =
+                List.map
+                  (fun k ->
+                    match events.(k) with
+                    | { Races.ev_pid; ev_op = Some o } -> (ev_pid, o)
+                    | { Races.ev_op = None; _ } -> assert false)
+                  (Races.witness ~clocks events r)
+              in
+              let nd = nodes.(r.Races.r_first) in
+              let p0, _ = List.hd v in
+              if switch_cost nd.nd_point p0 <= nd.nd_preempt then try_insert nd v
+              else begin
+                (* Bounded-DPOR conservative backtrack point: the
+                   reversal needs a preemption the budget no longer
+                   allows.  Dropping it outright would lose even the
+                   free reorderings a bounded run can reach (at budget 0
+                   the legacy engine still explores every
+                   run-to-completion order), so fall back to the one
+                   switch that is always free — scheduling the racing
+                   process first, at the root.  Deliberately lazy:
+                   reversals needing a mid-trace preemption the budget
+                   cannot pay stay skipped, mirroring the legacy
+                   engine's budget gating. *)
+                let nd0 = nodes.(0) in
+                if
+                  Array.exists (fun q -> q = p0) nd0.nd_point.Directed.runnable
+                  && switch_cost nd0.nd_point p0 = 0
+                then
+                  match nd0.nd_chosen with
+                  | Directed.Step q when q = p0 ->
+                    (* the subtree below the root already schedules
+                       [p0] first — inserting it again would duplicate
+                       that whole subtree *)
+                    incr acc.a_pruned
+                  | _ -> try_insert nd0 [ (p0, op_at nd0.nd_point p0) ]
+                else incr acc.a_budget_skipped
+              end)
+            races
+        end
+      end;
+      (* Backtrack to the deepest node with a pending alternative; the
+         branch just finished joins that node's sleep set. *)
+      let rec backtrack () =
+        match !path_rev with
+        | [] -> continue_ := false
+        | nd :: _ -> (
+          (match (nd.nd_chosen, nd.nd_event.Races.ev_op) with
+          | Directed.Step p, Some o -> nd.nd_sleep <- (p, o) :: nd.nd_sleep
+          | _ -> ());
+          match Wakeup.pop nd.nd_w with
+          | Some b ->
+            nd.nd_chosen <- Directed.Step b.Wakeup.b_pid;
+            nd.nd_event <- Races.step ~pid:b.Wakeup.b_pid b.Wakeup.b_op;
+            nd.nd_next <- b.Wakeup.b_sub
+          | None -> (
+            match nd.nd_inj with
+            | c :: tl ->
+              nd.nd_inj <- tl;
+              nd.nd_chosen <- c;
+              nd.nd_event <- event_of_choice nd.nd_point c;
+              nd.nd_next <- Wakeup.create ()
+            | [] ->
+              pop_node ();
+              backtrack ()))
+      in
+      backtrack ()
+    end
+  done;
+  !capped
+
+(* ------------------------------------------------------------------ *)
+
+let check ?(engine = `Dpor) ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8)
+    ?baseline ?on_schedule ?obs target =
+  let schedules = ref 0 in
+  let points = ref 0 in
+  let races = ref 0 in
+  let wakeups = ref 0 in
+  let pruned = ref 0 in
+  let budget_skipped = ref 0 in
+  let livelocks = ref 0 in
+  let violations = ref 0 in
+  let cases = ref [] in
+  let register ~kind ~message (run : Directed.result) =
+    incr violations;
+    if List.length !cases < max_cases then begin
+      let prefix = Array.to_list run.Directed.taken in
+      let shrunk =
+        if not shrink then None
+        else
+          Shrink.shrink
+            {
+              Shrink.label = target.t_name;
+              build = target.t_build;
+              check_ownership = target.t_check_ownership;
+              choices = prefix;
+              max_ticks = bounds.b_max_ticks;
+              tau_cadence = 1;
+            }
+      in
+      cases :=
+        {
+          v_kind = kind;
+          v_message = message;
+          v_prefix = prefix;
+          v_condensed = Directed.condensed ~points:run.Directed.points run.Directed.taken;
+          v_shrunk = shrunk;
+        }
+        :: !cases
+    end
+  in
+  let acc =
+    {
+      a_schedules = schedules;
+      a_points = points;
+      a_races = races;
+      a_wakeups = wakeups;
+      a_pruned = pruned;
+      a_budget_skipped = budget_skipped;
+      a_livelocks = livelocks;
+      a_violations = violations;
+      a_cases = cases;
+      a_register = register;
+      a_on_schedule = on_schedule;
+    }
+  in
+  let capped =
+    match engine with
+    | `Legacy_dfs -> check_legacy ~bounds ~acc target
+    | `Dpor -> check_dpor ~bounds ~acc target
+  in
   let stats =
     {
       s_target = target.t_name;
+      s_engine = engine_name engine;
       s_schedules = !schedules;
       s_points = !points;
-      s_slept = !slept;
+      s_races = !races;
+      s_wakeups = !wakeups;
+      s_pruned = !pruned;
+      s_budget_skipped = !budget_skipped;
       s_livelocks = !livelocks;
       s_violations = !violations;
-      s_capped = !capped;
+      s_capped = capped;
+      s_baseline = baseline;
       s_cases = List.rev !cases;
     }
   in
@@ -228,18 +620,30 @@ let check ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8) ?obs targ
     Metrics.add (Obs.counter o "mcheck/targets") 1;
     Metrics.add (Obs.counter o "mcheck/schedules") stats.s_schedules;
     Metrics.add (Obs.counter o "mcheck/points") stats.s_points;
-    Metrics.add (Obs.counter o "mcheck/slept") stats.s_slept;
+    Metrics.add (Obs.counter o "mcheck/races") stats.s_races;
+    Metrics.add (Obs.counter o "mcheck/wakeups") stats.s_wakeups;
+    Metrics.add (Obs.counter o "mcheck/pruned") stats.s_pruned;
     Metrics.add (Obs.counter o "mcheck/violations") stats.s_violations;
     Metrics.add (Obs.counter o "mcheck/livelocks") stats.s_livelocks);
   stats
 
+let reduction s =
+  match s.s_baseline with
+  | Some b when b > 0 -> Some (float_of_int s.s_schedules /. float_of_int b)
+  | _ -> None
+
 let pp_stats fmt s =
-  Format.fprintf fmt "@[<v>%-28s %8d schedules %8d points %6d slept %3d livelocks %3d violations%s@ "
-    s.s_target s.s_schedules s.s_points s.s_slept s.s_livelocks s.s_violations
+  Format.fprintf fmt
+    "@[<v>%-28s %8d schedules %8d points %6d pruned %4d wakeups %3d livelocks %3d violations%s%s@ "
+    s.s_target s.s_schedules s.s_points s.s_pruned s.s_wakeups s.s_livelocks s.s_violations
+    (match reduction s with
+    | Some r -> Printf.sprintf "  [%.0f%% of %d-schedule baseline]" (100. *. r) (Option.get s.s_baseline)
+    | None -> "")
     (if s.s_capped then " (CAPPED)" else "");
   List.iter
     (fun c ->
-      Format.fprintf fmt "  violation [%s]: prefix %d choices" c.v_kind (List.length c.v_prefix);
+      Format.fprintf fmt "  violation [%s]: prefix %d choices (%s)" c.v_kind
+        (List.length c.v_prefix) c.v_condensed;
       (match c.v_shrunk with
       | Some r ->
         Format.fprintf fmt " -> shrunk to %d (%d replays): %s"
@@ -270,8 +674,10 @@ let choices_json cs =
     (List.map (fun c -> "\"" ^ json_escape (Directed.choice_to_string c) ^ "\"") cs)
 
 let case_to_json c =
-  Printf.sprintf "{\"kind\":\"%s\",\"prefix_length\":%d,\"shrunk\":%s}" (json_escape c.v_kind)
+  Printf.sprintf "{\"kind\":\"%s\",\"prefix_length\":%d,\"condensed\":\"%s\",\"shrunk\":%s}"
+    (json_escape c.v_kind)
     (List.length c.v_prefix)
+    (json_escape c.v_condensed)
     (match c.v_shrunk with
     | None -> "null"
     | Some r ->
@@ -282,15 +688,17 @@ let case_to_json c =
 
 let stats_to_json s =
   Printf.sprintf
-    "{\"target\":\"%s\",\"schedules\":%d,\"points\":%d,\"slept\":%d,\"livelocks\":%d,\"violations\":%d,\"capped\":%b,\"cases\":[%s]}"
-    (json_escape s.s_target) s.s_schedules s.s_points s.s_slept s.s_livelocks s.s_violations
-    s.s_capped
+    "{\"target\":\"%s\",\"engine\":\"%s\",\"schedules\":%d,\"points\":%d,\"races\":%d,\"wakeups\":%d,\"pruned\":%d,\"budget_skipped\":%d,\"livelocks\":%d,\"violations\":%d,\"capped\":%b,\"baseline\":%s,\"reduction\":%s,\"cases\":[%s]}"
+    (json_escape s.s_target) (json_escape s.s_engine) s.s_schedules s.s_points s.s_races
+    s.s_wakeups s.s_pruned s.s_budget_skipped s.s_livelocks s.s_violations s.s_capped
+    (match s.s_baseline with None -> "null" | Some b -> string_of_int b)
+    (match reduction s with None -> "null" | Some r -> Printf.sprintf "%.4f" r)
     (String.concat "," (List.map case_to_json s.s_cases))
 
 let to_json all =
   let total field = List.fold_left (fun acc s -> acc + field s) 0 all in
   Printf.sprintf
-    "{\"instances\":%d,\"schedules\":%d,\"violations\":%d,\"livelocks\":%d,\"targets\":[\n%s\n]}"
+    "{\"schema\":\"renaming.mcheck/2\",\"instances\":%d,\"schedules\":%d,\"violations\":%d,\"livelocks\":%d,\"targets\":[\n%s\n]}"
     (List.length all)
     (total (fun s -> s.s_schedules))
     (total (fun s -> s.s_violations))

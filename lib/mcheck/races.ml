@@ -1,0 +1,100 @@
+module Op = Renaming_sched.Op
+module Footprint = Renaming_analysis.Footprint
+
+(* The dependence relation source-DPOR reverses races over: exactly the
+   negation of the commutation-audited independence table.  Keeping the
+   definition here (and nowhere else) lets `renaming analyze` audit the
+   checker's actual race relation against the executable commutation
+   oracle rather than a copy of it. *)
+let dependent a b = not (Footprint.independent a b)
+
+(* One executed scheduling decision.  [ev_op = None] marks a scheduling
+   barrier — crash, recovery or transient-fault injection — which is
+   conservatively dependent on everything: races are never detected
+   across an injection, and injection subtrees are enumerated
+   exhaustively by the explorer instead. *)
+type event = { ev_pid : int; ev_op : Op.t option }
+
+let step ~pid op = { ev_pid = pid; ev_op = Some op }
+let barrier ~pid = { ev_pid = pid; ev_op = None }
+
+type race = { r_first : int; r_second : int }
+
+let direct ~dependent a b =
+  a.ev_pid = b.ev_pid
+  ||
+  match (a.ev_op, b.ev_op) with
+  | None, _ | _, None -> true
+  | Some oa, Some ob -> dependent oa ob
+
+(* Vector clocks over pids: [clocks.(j).(p)] is the largest index of a
+   pid-[p] event that happens-before event [j] (inclusive of [j]
+   itself), or [-1].  [i] happens-before [j] iff
+   [clocks.(j).(ev_pid i) >= i]: joining the clock of *every* direct
+   predecessor gives the full transitive closure because predecessors
+   are processed in execution order. *)
+let clocks ?(dependent = dependent) ~pids (events : event array) =
+  let len = Array.length events in
+  let clocks = Array.make len [||] in
+  for j = 0 to len - 1 do
+    let c = Array.make pids (-1) in
+    for i = 0 to j - 1 do
+      if direct ~dependent events.(i) events.(j) then
+        Array.iteri (fun p v -> if v > c.(p) then c.(p) <- v) clocks.(i)
+    done;
+    c.(events.(j).ev_pid) <- j;
+    clocks.(j) <- c
+  done;
+  clocks
+
+let happens_before ~clocks (events : event array) i j =
+  i = j || (i < j && clocks.(j).(events.(i).ev_pid) >= i)
+
+(* A *reversible* race (i, j): two dependent steps of different pids
+   with no intervening event on a happens-before path between them —
+   executing [j]'s reordering witness from the state before [i] puts
+   the two in the opposite order without disturbing anything either
+   depends on. *)
+let races ?(dependent = dependent) ?(from = 0) ~pids (events : event array) =
+  let len = Array.length events in
+  let clocks = clocks ~dependent ~pids events in
+  let hb = happens_before ~clocks events in
+  let out = ref [] in
+  for j = len - 1 downto max 1 from do
+    match events.(j).ev_op with
+    | None -> ()
+    | Some opj ->
+      (* Per other pid, only the *last* dependent step before [j] can be
+         a reversible race: any earlier one reaches [j] through it. *)
+      let seen = Array.make pids false in
+      for i = j - 1 downto 0 do
+        let e = events.(i) in
+        if e.ev_pid <> events.(j).ev_pid && not seen.(e.ev_pid) then
+          match e.ev_op with
+          | None -> seen.(e.ev_pid) <- true (* a barrier blocks everything behind it *)
+          | Some opi ->
+            if dependent opi opj then begin
+              seen.(e.ev_pid) <- true;
+              let blocked = ref false in
+              for k = i + 1 to j - 1 do
+                if (not !blocked) && hb i k && hb k j then blocked := true
+              done;
+              if not !blocked then out := { r_first = i; r_second = j } :: !out
+            end
+      done
+  done;
+  (clocks, List.rev !out)
+
+(* The reordering witness of race (i, j): the events strictly between
+   them that do not happen-after [i], then [j] itself — an execution of
+   these from the state before [i] reaches an equivalent state with the
+   race reversed ([j]'s operation executes before [i]'s).  Returned as
+   event indices; program order of every pid is preserved by
+   construction. *)
+let witness ~clocks (events : event array) { r_first = i; r_second = j } =
+  let hb = happens_before ~clocks events in
+  let out = ref [ j ] in
+  for k = j - 1 downto i + 1 do
+    if not (hb i k) then out := k :: !out
+  done;
+  !out

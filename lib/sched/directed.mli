@@ -60,6 +60,7 @@ val run :
   ?tau_cadence:int ->
   ?strict:bool ->
   ?record_from:int ->
+  ?yield_rotate:int ->
   ?on_event:(Executor.event -> unit) ->
   prefix:choice list ->
   Executor.instance ->
@@ -85,4 +86,31 @@ val run :
     [outcome] so the caller still gets the partial record.
     [max_ticks] defaults to [100_000] — directed runs are small by
     design and the guard turns accidental livelock into a structured
-    {!Report.Livelock} outcome. *)
+    {!Report.Livelock} outcome.
+
+    [yield_rotate] (default: off) is the *fairness/yield bound* of the
+    default tail: once one pid has run that many consecutive steps, the
+    default policy hands the processor to the cyclically next runnable
+    pid at the spinning pid's next [Yield] (deliberate backoff) point
+    instead of spinning the waiter against the livelock guard.
+    Retry/backoff loops ([Renaming_faults.Retry], the service handoff
+    protocols) yield while waiting for another process's progress; an
+    unfair tail would burn the whole [max_ticks] budget there.  The
+    bound only redirects the deterministic *default* policy — explicit
+    prefix choices are never overridden — so directed replays stay
+    deterministic. *)
+
+val condensed : ?points:point array -> choice array -> string
+(** Dejafu-style condensed rendering of a schedule, e.g. [S0x2--P1--S2]:
+    [S] starts or non-preemptively continues a pid, [P] preempts a
+    still-runnable one, [F]/[C]/[R] are fault/crash/recover injections,
+    and [xk] collapses [k] consecutive steps of one pid (so the string
+    remains replayable, unlike dejafu's).  With [points] (matching the
+    recorded decision points) the [S]/[P] distinction is exact;
+    without, every switch after the first segment is conservatively
+    rendered [P]. *)
+
+val choices_of_condensed : string -> (choice list, string) Stdlib.result
+(** Inverse of {!condensed} ([S]/[P] both parse as steps — the
+    distinction is derivable from the replay, not trusted from the
+    artifact). *)

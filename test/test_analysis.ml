@@ -90,6 +90,40 @@ let test_broken_table_fails_coverage_audit () =
   check Alcotest.bool "uncovered write detected" true
     (List.exists (fun f -> f.Commute.f_check = "coverage") audit.Commute.a_failures)
 
+(* --- the dependence-relation audit (the DPOR race predicate) --- *)
+
+let test_dependence_shipped_predicate_passes () =
+  let audit = Commute.audit_dependence ~dependent:Renaming_mcheck.Races.dependent () in
+  check Alcotest.bool "pairs executed" true (audit.Commute.a_checked > 500);
+  check (Alcotest.list Alcotest.string) "no failures" []
+    (List.map (fun f -> f.Commute.f_detail) audit.Commute.a_failures)
+
+let test_dependence_everything_independent_rejected () =
+  (* A predicate that lets DPOR reorder everything must fail the
+     table-agreement, both-orders and device checks. *)
+  let audit = Commute.audit_dependence ~dependent:(fun _ _ -> false) () in
+  let checks = List.map (fun f -> f.Commute.f_check) audit.Commute.a_failures in
+  check Alcotest.bool "table drift caught" true (List.mem "table-agreement" checks);
+  check Alcotest.bool "unsound reorderings caught" true (List.mem "race-soundness" checks);
+  check Alcotest.bool "device reorderings caught" true (List.mem "device-dependence" checks)
+
+let test_dependence_asymmetry_rejected () =
+  let skew a b = Op.tag a < Op.tag b || Renaming_mcheck.Races.dependent a b in
+  let audit = Commute.audit_dependence ~dependent:skew () in
+  check Alcotest.bool "asymmetric predicate caught" true
+    (List.exists (fun f -> f.Commute.f_check = "dependence-symmetry") audit.Commute.a_failures)
+
+let test_dependence_tracks_audited_table () =
+  (* Auditing the shipped predicate against a *broken* table must fail
+     agreement: the relation DPOR prunes with and the relation that was
+     commutation-audited may never drift apart. *)
+  let audit =
+    Commute.audit_dependence ~table:Commute.broken_table
+      ~dependent:Renaming_mcheck.Races.dependent ()
+  in
+  check Alcotest.bool "drift from audited table caught" true
+    (List.exists (fun f -> f.Commute.f_check = "table-agreement") audit.Commute.a_failures)
+
 (* --- the access logger --- *)
 
 let test_access_logger_records_concrete_effects () =
@@ -136,14 +170,15 @@ let test_lint_flags_each_rule () =
         "let cast (x : int) : bool = Obj.magic x";
         "let h name = Hashtbl.hash name";
         "let now () = Unix.gettimeofday ()";
+        "let nap () = Unix.sleepf 0.1";
         "";
       ]
   in
   with_temp_source source (fun path ->
       let findings = Lint.lint_file path in
-      check (Alcotest.list Alcotest.string) "all five rules fire"
-        [ "atomic-outside-shm"; "global-mutable"; "nondeterministic-rng"; "obj-magic";
-          "unstable-hash"; "wall-clock" ]
+      check (Alcotest.list Alcotest.string) "every rule fires"
+        [ "atomic-outside-shm"; "blocking-sleep"; "global-mutable"; "nondeterministic-rng";
+          "obj-magic"; "unstable-hash"; "wall-clock" ]
         (rules_of (Lint.active findings)))
 
 let test_lint_local_mutability_not_flagged () =
@@ -194,6 +229,20 @@ let test_lint_stdout_print_waiver () =
       check Alcotest.int "reported" 1 (List.length findings);
       check Alcotest.int "waived" 0 (List.length (Lint.active findings)))
 
+let test_lint_blocking_sleep_rule () =
+  (* Both sleep variants are flagged; the watchdog-style waiver
+     suppresses without hiding. *)
+  let source = "let nap () = Unix.sleep 1\nlet doze () = Unix.sleepf 0.5\n" in
+  with_temp_source source (fun path ->
+      check (Alcotest.list Alcotest.string) "sleeps flagged" [ "blocking-sleep" ]
+        (rules_of (Lint.lint_file path));
+      check Alcotest.int "both sites reported" 2 (List.length (Lint.lint_file path)));
+  let waived = "(* lint: allow blocking-sleep — watchdog domain *)\nlet nap () = Unix.sleepf 0.1\n" in
+  with_temp_source waived (fun path ->
+      let findings = Lint.lint_file path in
+      check Alcotest.int "reported" 1 (List.length findings);
+      check Alcotest.int "waived" 0 (List.length (Lint.active findings)))
+
 let test_lint_parse_error_is_a_finding () =
   with_temp_source "let let let" (fun path ->
       check (Alcotest.list Alcotest.string) "parse error surfaces" [ "parse-error" ]
@@ -201,12 +250,34 @@ let test_lint_parse_error_is_a_finding () =
 
 (* --- the aggregate driver --- *)
 
+let json_contains json needle =
+  let nlen = String.length needle in
+  let rec go i = i + nlen <= String.length json && (String.sub json i nlen = needle || go (i + 1)) in
+  go 0
+
 let test_analyze_shipped_tree_ok () =
-  let result = Analyze.run ~lint_root:None ~roster:(roster_instances ()) () in
+  let result =
+    Analyze.run ~dependent:Renaming_mcheck.Races.dependent ~lint_root:None
+      ~roster:(roster_instances ()) ()
+  in
   check Alcotest.bool "audits pass without lint leg" true (Analyze.ok result);
   let json = Analyze.to_json result in
   check Alcotest.bool "json says ok" true
-    (String.length json > 2 && String.sub json 0 10 = "{\"ok\":true")
+    (String.length json > 2 && String.sub json 0 10 = "{\"ok\":true");
+  check Alcotest.bool "dependence audit serialised" true
+    (json_contains json "\"dependence\":{\"checked\":")
+
+let test_analyze_dependence_leg_optional_and_gating () =
+  (* Without a predicate the leg is skipped and reported as null... *)
+  let skipped = Analyze.run ~lint_root:None ~roster:(roster_instances ()) () in
+  check Alcotest.bool "skipped leg does not gate" true (Analyze.ok skipped);
+  check Alcotest.bool "null when skipped" true
+    (json_contains (Analyze.to_json skipped) "\"dependence\":null");
+  (* ...with a broken predicate the whole layer fails. *)
+  let broken =
+    Analyze.run ~dependent:(fun _ _ -> false) ~lint_root:None ~roster:(roster_instances ()) ()
+  in
+  check Alcotest.bool "broken predicate fails the layer" false (Analyze.ok broken)
 
 let test_analyze_broken_table_fails_and_reports () =
   let result =
@@ -249,6 +320,15 @@ let tests =
         Alcotest.test_case "access logger records concrete effects" `Quick
           test_access_logger_records_concrete_effects;
       ] );
+    ( "analysis.dependence",
+      [
+        Alcotest.test_case "shipped race predicate passes" `Quick
+          test_dependence_shipped_predicate_passes;
+        Alcotest.test_case "everything-independent rejected" `Quick
+          test_dependence_everything_independent_rejected;
+        Alcotest.test_case "asymmetry rejected" `Quick test_dependence_asymmetry_rejected;
+        Alcotest.test_case "tracks the audited table" `Quick test_dependence_tracks_audited_table;
+      ] );
     ( "analysis.lint",
       [
         Alcotest.test_case "each rule fires" `Quick test_lint_flags_each_rule;
@@ -259,6 +339,7 @@ let tests =
         Alcotest.test_case "whitelist exempts atomics" `Quick test_lint_whitelist_exempts_atomics;
         Alcotest.test_case "stdout-print rule" `Quick test_lint_stdout_print_rule;
         Alcotest.test_case "stdout-print waiver" `Quick test_lint_stdout_print_waiver;
+        Alcotest.test_case "blocking-sleep rule" `Quick test_lint_blocking_sleep_rule;
         Alcotest.test_case "parse error is a finding" `Quick test_lint_parse_error_is_a_finding;
       ] );
     ( "analysis.analyze",
@@ -266,5 +347,7 @@ let tests =
         Alcotest.test_case "shipped tree ok" `Slow test_analyze_shipped_tree_ok;
         Alcotest.test_case "broken table fails and reports" `Slow
           test_analyze_broken_table_fails_and_reports;
+        Alcotest.test_case "dependence leg optional and gating" `Slow
+          test_analyze_dependence_leg_optional_and_gating;
       ] );
   ]

@@ -521,7 +521,8 @@ let test_shrink_none_when_input_passes () =
 let test_repro_roundtrip () =
   let repro =
     {
-      Shrink.rp_algorithm = "uniform-probing-n3";
+      Shrink.rp_trace_format = Shrink.Choices;
+      rp_algorithm = "uniform-probing-n3";
       rp_n = 3;
       rp_seed = 0x5EED_2015L;
       rp_check_ownership = true;
@@ -557,7 +558,97 @@ let test_repro_rejects_garbage () =
   check Alcotest.bool "no trace section" true
     (Result.is_error (Shrink.repro_of_string "algorithm: x\nn: 2\n"));
   check Alcotest.bool "bad verb" true
-    (Result.is_error (Shrink.repro_of_string "algorithm: x\nn: 2\nseed: 1\ncheck-ownership: true\nmax-ticks: 10\nkind: k\ntrace:\nteleport 3\n"))
+    (Result.is_error (Shrink.repro_of_string "algorithm: x\nn: 2\nseed: 1\ncheck-ownership: true\nmax-ticks: 10\nkind: k\ntrace:\nteleport 3\n"));
+  check Alcotest.bool "unknown trace format" true
+    (Result.is_error
+       (Shrink.repro_of_string
+          "algorithm: x\nn: 2\nseed: 1\ncheck-ownership: true\nmax-ticks: 10\nkind: k\ntrace-format: interpretive-dance\ntrace:\nstep 0\n"))
+
+let test_repro_condensed_roundtrip () =
+  (* The condensed body renders runs, faults, crashes and recoveries,
+     and must parse back to the identical decision list. *)
+  let repro =
+    {
+      Shrink.rp_trace_format = Shrink.Condensed;
+      rp_algorithm = "uniform-probing-n3";
+      rp_n = 3;
+      rp_seed = 7L;
+      rp_check_ownership = false;
+      rp_max_ticks = 50_000;
+      rp_tau_cadence = 1;
+      rp_kind = "duplicate-name";
+      rp_choices =
+        [
+          Directed.Step 0; Directed.Step 0; Directed.Step 1; Directed.Fault 1;
+          Directed.Crash 0; Directed.Recover 0; Directed.Step 1;
+        ];
+    }
+  in
+  let text = Shrink.repro_to_string repro in
+  check Alcotest.bool "declares the format" true
+    (let rec mem = function
+       | [] -> false
+       | l :: rest -> String.trim l = "trace-format: condensed" || mem rest
+     in
+     mem (String.split_on_char '\n' text));
+  match Shrink.repro_of_string text with
+  | Ok r ->
+    check Alcotest.bool "format preserved" true (r.Shrink.rp_trace_format = Shrink.Condensed);
+    check Alcotest.bool "choices identical" true (r.Shrink.rp_choices = repro.Shrink.rp_choices)
+  | Error e -> Alcotest.failf "condensed round-trip failed: %s" e
+
+(* A pre-existing artifact from results/repros/, embedded verbatim: the
+   shard-handoff mutant's shrunk counterexample as the fuzzer wrote it
+   before the trace-format header existed.  It must parse (defaulting to
+   the legacy choices body), replay to the same violation against the
+   roster-rebuilt instance, and survive re-serialisation in the
+   condensed format. *)
+let preexisting_artifact =
+  "algorithm: mutant-shard-unfenced-handoff\n\
+   n: 3\n\
+   seed: 1342224629192912732\n\
+   check-ownership: false\n\
+   max-ticks: 50000\n\
+   tau-cadence: 1\n\
+   kind: duplicate-name\n\
+   trace:\n\
+   step 1\nstep 1\nstep 1\nstep 1\nstep 1\nstep 2\n"
+
+let test_repro_preexisting_artifact_replays () =
+  let module Fuzz_roster = Renaming_harness.Fuzz_roster in
+  let replay (r : Shrink.repro) =
+    match Fuzz_roster.builder ~name:r.Shrink.rp_algorithm ~n:r.Shrink.rp_n with
+    | None -> Alcotest.failf "roster cannot rebuild %s" r.Shrink.rp_algorithm
+    | Some build ->
+      let input =
+        {
+          Shrink.label = r.Shrink.rp_algorithm;
+          build = (fun () -> build ~seed:r.Shrink.rp_seed);
+          check_ownership = r.Shrink.rp_check_ownership;
+          choices = r.Shrink.rp_choices;
+          max_ticks = r.Shrink.rp_max_ticks;
+          tau_cadence = r.Shrink.rp_tau_cadence;
+        }
+      in
+      (match Shrink.execute input r.Shrink.rp_choices with
+      | _, Some f -> check Alcotest.string "replays to the same kind" r.Shrink.rp_kind f.Shrink.f_kind
+      | _, None -> Alcotest.fail "pre-existing artifact no longer reproduces")
+  in
+  match Shrink.repro_of_string preexisting_artifact with
+  | Error e -> Alcotest.failf "pre-existing artifact rejected: %s" e
+  | Ok r ->
+    check Alcotest.bool "headerless artifact defaults to choices" true
+      (r.Shrink.rp_trace_format = Shrink.Choices);
+    replay r;
+    (* Re-serialise condensed: same decisions, same replay. *)
+    (match Shrink.repro_of_string
+             (Shrink.repro_to_string { r with Shrink.rp_trace_format = Shrink.Condensed })
+     with
+    | Error e -> Alcotest.failf "condensed re-serialisation rejected: %s" e
+    | Ok r' ->
+      check Alcotest.bool "condensed body carries identical decisions" true
+        (r'.Shrink.rp_choices = r.Shrink.rp_choices);
+      replay r')
 
 let tests =
   [
@@ -621,5 +712,8 @@ let tests =
         Alcotest.test_case "tau-cadence header optional" `Quick
           test_repro_tau_cadence_header_optional;
         Alcotest.test_case "repro rejects garbage" `Quick test_repro_rejects_garbage;
+        Alcotest.test_case "condensed trace round-trips" `Quick test_repro_condensed_roundtrip;
+        Alcotest.test_case "pre-existing artifact replays" `Quick
+          test_repro_preexisting_artifact_replays;
       ] );
   ]

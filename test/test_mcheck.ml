@@ -14,6 +14,8 @@ module Monitor = Renaming_faults.Monitor
 module Shrink = Renaming_faults.Shrink
 module Retry = Renaming_faults.Retry
 module Mcheck = Renaming_mcheck.Mcheck
+module Races = Renaming_mcheck.Races
+module Wakeup = Renaming_mcheck.Wakeup
 module Roster = Renaming_harness.Mcheck_roster
 
 let check = Alcotest.check
@@ -112,15 +114,27 @@ let conflict_target =
 let test_schedule_counts_match_enumeration () =
   List.iter
     (fun (preemptions, expected) ->
+      (* The legacy sleep-set DFS, with and without pruning... *)
       List.iter
         (fun sleep ->
-          let stats = Mcheck.check ~bounds:(bounds ~preemptions ~sleep ()) conflict_target in
+          let stats =
+            Mcheck.check ~engine:`Legacy_dfs ~bounds:(bounds ~preemptions ~sleep ())
+              conflict_target
+          in
           check Alcotest.int
-            (Printf.sprintf "bound %d (sleep %b)" preemptions sleep)
+            (Printf.sprintf "legacy bound %d (sleep %b)" preemptions sleep)
             expected stats.Mcheck.s_schedules;
-          check Alcotest.int "fully dependent ops: nothing slept" 0 stats.Mcheck.s_slept;
+          check Alcotest.int "fully dependent ops: nothing pruned" 0 stats.Mcheck.s_pruned;
           check Alcotest.int "no violations" 0 stats.Mcheck.s_violations)
-        [ true; false ])
+        [ true; false ];
+      (* ...and source-DPOR must land on exactly the same analytic
+         vector: with every operation pair dependent there is nothing to
+         reduce, only races to reverse within the preemption budget. *)
+      let stats = Mcheck.check ~bounds:(bounds ~preemptions ()) conflict_target in
+      check Alcotest.int
+        (Printf.sprintf "dpor bound %d" preemptions)
+        expected stats.Mcheck.s_schedules;
+      check Alcotest.int "no violations (dpor)" 0 stats.Mcheck.s_violations)
     [ (0, 2); (1, 4); (2, 6) ]
 
 (* --- sleep sets prune commuting interleavings, soundly --- *)
@@ -142,14 +156,23 @@ let disjoint_target =
   target ~label:"disjoint" (fun () -> instance ~namespace:4 ~label:"disjoint" [| p0; p1 |])
 
 let test_sleep_sets_prune_but_stay_sound () =
-  let with_sleep = Mcheck.check ~bounds:(bounds ~preemptions:2 ~sleep:true ()) disjoint_target in
-  let without = Mcheck.check ~bounds:(bounds ~preemptions:2 ~sleep:false ()) disjoint_target in
+  let legacy sleep =
+    Mcheck.check ~engine:`Legacy_dfs ~bounds:(bounds ~preemptions:2 ~sleep ()) disjoint_target
+  in
+  let with_sleep = legacy true in
+  let without = legacy false in
   check Alcotest.int "unpruned count is the full interleaving count" 6 without.Mcheck.s_schedules;
   check Alcotest.bool "sleep prunes something" true
     (with_sleep.Mcheck.s_schedules < without.Mcheck.s_schedules);
-  check Alcotest.bool "sleep records pruned alternatives" true (with_sleep.Mcheck.s_slept > 0);
+  check Alcotest.bool "sleep records pruned alternatives" true (with_sleep.Mcheck.s_pruned > 0);
   check Alcotest.int "no violations with sleep" 0 with_sleep.Mcheck.s_violations;
-  check Alcotest.int "no violations without sleep" 0 without.Mcheck.s_violations
+  check Alcotest.int "no violations without sleep" 0 without.Mcheck.s_violations;
+  (* Fully independent processes have no races at all, so source-DPOR
+     explores exactly one schedule: the initial execution. *)
+  let dpor = Mcheck.check ~bounds:(bounds ~preemptions:2 ()) disjoint_target in
+  check Alcotest.int "dpor explores a single representative" 1 dpor.Mcheck.s_schedules;
+  check Alcotest.int "dpor detects no races" 0 dpor.Mcheck.s_races;
+  check Alcotest.int "no violations (dpor)" 0 dpor.Mcheck.s_violations
 
 (* --- a seeded broken algorithm is found and shrunk --- *)
 
@@ -168,10 +191,10 @@ let broken_target =
 
 let test_mcheck_finds_and_shrinks_double_claim () =
   List.iter
-    (fun sleep ->
-      let stats = Mcheck.check ~bounds:(bounds ~preemptions:2 ~sleep ()) broken_target in
+    (fun engine ->
+      let stats = Mcheck.check ~engine ~bounds:(bounds ~preemptions:2 ()) broken_target in
       check Alcotest.bool
-        (Printf.sprintf "violations found (sleep %b)" sleep)
+        (Printf.sprintf "violations found (%s)" (Mcheck.engine_name engine))
         true
         (stats.Mcheck.s_violations > 0);
       match stats.Mcheck.s_cases with
@@ -204,7 +227,7 @@ let test_mcheck_finds_and_shrinks_double_claim () =
           in
           check Alcotest.string "replays" "duplicate-name" (kind ());
           check Alcotest.string "deterministically" (kind ()) (kind ())))
-    [ true; false ]
+    [ `Dpor; `Legacy_dfs ]
 
 (* --- the fault branch: a claim based on a faulted TAS --- *)
 
@@ -247,6 +270,239 @@ let test_mcheck_crash_recovery_clean () =
   check Alcotest.int "crash/recovery schedules clean" 0 crashy.Mcheck.s_violations;
   check Alcotest.bool "crash decisions widen the tree" true
     (crashy.Mcheck.s_schedules > pure.Mcheck.s_schedules)
+
+(* --- race detection on hand-built traces ---
+
+   The DPOR engine's correctness reduces to [Races] reporting exactly
+   the reversible races of an execution, so these pin the relation on
+   traces small enough to enumerate by hand. *)
+
+let tas i = Op.Tas_name i
+
+let sorted_races rs =
+  List.sort compare (List.map (fun r -> (r.Races.r_first, r.Races.r_second)) rs)
+
+let test_races_hand_built () =
+  (* Two adjacent dependent steps of different pids: one race. *)
+  let _, rs =
+    Races.races ~pids:2 [| Races.step ~pid:0 (tas 0); Races.step ~pid:1 (tas 0) |]
+  in
+  check Alcotest.(list (pair int int)) "adjacent conflict races" [ (0, 1) ] (sorted_races rs);
+  (* Same pid is program order, never a race. *)
+  let _, rs =
+    Races.races ~pids:2 [| Races.step ~pid:0 (tas 0); Races.step ~pid:0 (tas 0) |]
+  in
+  check Alcotest.(list (pair int int)) "program order" [] (sorted_races rs);
+  (* Independent operations never race. *)
+  let _, rs =
+    Races.races ~pids:2 [| Races.step ~pid:0 (tas 0); Races.step ~pid:1 (tas 1) |]
+  in
+  check Alcotest.(list (pair int int)) "disjoint registers" [] (sorted_races rs);
+  (* A happens-before chain through a middle conflicting step makes the
+     outer pair non-reversible: only the two adjacent races remain. *)
+  let _, rs =
+    Races.races ~pids:3
+      [| Races.step ~pid:0 (tas 0); Races.step ~pid:1 (tas 0); Races.step ~pid:2 (tas 0) |]
+  in
+  check Alcotest.(list (pair int int)) "hb chain blocks outer pair" [ (0, 1); (1, 2) ]
+    (sorted_races rs);
+  (* An injection barrier is dependent with everything: no race is ever
+     detected across it, in either direction. *)
+  let _, rs =
+    Races.races ~pids:3
+      [| Races.step ~pid:0 (tas 0); Races.barrier ~pid:1; Races.step ~pid:2 (tas 0) |]
+  in
+  check Alcotest.(list (pair int int)) "barrier blocks races" [] (sorted_races rs);
+  (* [from] skips races already handled on the explored prefix. *)
+  let events =
+    [| Races.step ~pid:0 (tas 0); Races.step ~pid:1 (tas 0); Races.step ~pid:0 (tas 1);
+       Races.step ~pid:1 (tas 1) |]
+  in
+  let _, all = Races.races ~pids:2 events in
+  let _, tail = Races.races ~from:3 ~pids:2 events in
+  check Alcotest.(list (pair int int)) "all races" [ (0, 1); (2, 3) ] (sorted_races all);
+  check Alcotest.(list (pair int int)) "from skips settled prefix" [ (2, 3) ]
+    (sorted_races tail)
+
+let test_races_witness () =
+  (* p1's independent step between the racing pair is not ordered after
+     the race's first event, so the witness carries it along. *)
+  let events =
+    [| Races.step ~pid:0 (tas 0); Races.step ~pid:1 (tas 1); Races.step ~pid:1 (tas 0) |]
+  in
+  let clocks, rs = Races.races ~pids:2 events in
+  check Alcotest.(list (pair int int)) "one race" [ (0, 2) ] (sorted_races rs);
+  let r = List.hd rs in
+  check Alcotest.(list int) "witness keeps the independent step" [ 1; 2 ]
+    (Races.witness ~clocks events r);
+  (* Same shape, but the middle step belongs to the first event's pid:
+     program order puts it after the race, so the witness is just the
+     second event. *)
+  let events =
+    [| Races.step ~pid:0 (tas 0); Races.step ~pid:0 (tas 1); Races.step ~pid:1 (tas 0) |]
+  in
+  let clocks, rs = Races.races ~pids:2 events in
+  check Alcotest.(list (pair int int)) "one race" [ (0, 2) ] (sorted_races rs);
+  check Alcotest.(list int) "witness drops hb-after events" [ 2 ]
+    (Races.witness ~clocks events (List.hd rs))
+
+let test_races_clocks () =
+  let events =
+    [| Races.step ~pid:0 (tas 0); Races.step ~pid:1 (tas 1); Races.step ~pid:1 (tas 0) |]
+  in
+  let clocks = Races.clocks ~pids:2 events in
+  let hb = Races.happens_before ~clocks events in
+  check Alcotest.bool "reflexive" true (hb 1 1);
+  check Alcotest.bool "program order" true (hb 1 2);
+  check Alcotest.bool "dependence order" true (hb 0 2);
+  check Alcotest.bool "independent steps unordered" false (hb 0 1)
+
+(* --- wakeup-tree invariants --- *)
+
+let test_wakeup_insert_and_order () =
+  let t = Wakeup.create () in
+  check Alcotest.bool "fresh tree empty" true (Wakeup.is_empty t);
+  check Alcotest.bool "empty sequence covered" true
+    (Wakeup.insert t [] = Wakeup.Covered);
+  check Alcotest.bool "first sequence inserted" true
+    (Wakeup.insert t [ (0, tas 0) ] = Wakeup.Inserted);
+  check Alcotest.bool "duplicate covered" true
+    (Wakeup.insert t [ (0, tas 0) ] = Wakeup.Covered);
+  check Alcotest.bool "second sequence inserted" true
+    (Wakeup.insert t [ (1, tas 1) ] = Wakeup.Inserted);
+  (* Branch order is insertion order, never rearranged. *)
+  check Alcotest.(list int) "insertion order preserved" [ 0; 1 ]
+    (List.map (fun b -> b.Wakeup.b_pid) (Wakeup.branches t));
+  check Alcotest.int "size counts every branch" 2 (Wakeup.size t);
+  (match Wakeup.pop t with
+  | Some b -> check Alcotest.int "pop is leftmost" 0 b.Wakeup.b_pid
+  | None -> Alcotest.fail "pop on non-empty tree");
+  check Alcotest.(list int) "pop removes the branch" [ 1 ]
+    (List.map (fun b -> b.Wakeup.b_pid) (Wakeup.branches t))
+
+let test_wakeup_weak_initial_coverage () =
+  (* A sequence whose weak initial matches an existing leaf is covered:
+     the scheduled branch already reaches an equivalent state. *)
+  let t = Wakeup.create () in
+  check Alcotest.bool "seed branch" true (Wakeup.insert t [ (0, tas 0) ] = Wakeup.Inserted);
+  check Alcotest.bool "weak-initial-equivalent covered" true
+    (Wakeup.insert t [ (1, tas 1); (0, tas 0) ] = Wakeup.Covered);
+  (* A dependent chain is NOT equivalent and must be planted whole. *)
+  let t = Wakeup.create () in
+  check Alcotest.bool "chain inserted" true
+    (Wakeup.insert t [ (0, tas 0); (1, tas 0) ] = Wakeup.Inserted);
+  check Alcotest.int "chain is nested" 2 (Wakeup.size t);
+  check Alcotest.bool "prefix of a chain covered" true
+    (Wakeup.insert t [ (0, tas 0) ] = Wakeup.Covered);
+  (* The reversal is a genuinely new state: appended to the right. *)
+  check Alcotest.bool "reversal inserted" true
+    (Wakeup.insert t [ (1, tas 0); (0, tas 0) ] = Wakeup.Inserted);
+  check Alcotest.(list int) "reversal appended rightmost" [ 0; 1 ]
+    (List.map (fun b -> b.Wakeup.b_pid) (Wakeup.branches t))
+
+let test_wakeup_weak_initials () =
+  (* The first event of each pid counts while everything before it is
+     independent; a dependent predecessor blocks it. *)
+  let seq = [ (1, tas 1); (0, tas 0); (2, tas 1) ] in
+  check Alcotest.(list int) "weak initial pids" [ 1; 0 ]
+    (List.map fst (Wakeup.weak_initials seq));
+  check Alcotest.bool "the first event is a weak initial" true
+    (Wakeup.weak_initial_mem seq ~pid:1 ~op:(tas 1));
+  check Alcotest.bool "an independent later event is a weak initial" true
+    (Wakeup.weak_initial_mem seq ~pid:0 ~op:(tas 0));
+  check Alcotest.bool "a dependent later event is not" false
+    (Wakeup.weak_initial_mem seq ~pid:2 ~op:(tas 1))
+
+(* --- DPOR never revisits a schedule --- *)
+
+let test_dpor_schedules_unique () =
+  List.iter
+    (fun (label, tgt, b) ->
+      let seen = Hashtbl.create 64 in
+      let dups = ref 0 in
+      let on_schedule choices =
+        let key =
+          String.concat ";"
+            (Array.to_list (Array.map Directed.choice_to_string choices))
+        in
+        if Hashtbl.mem seen key then incr dups else Hashtbl.add seen key ();
+      in
+      let stats = Mcheck.check ~bounds:b ~shrink:false ~on_schedule tgt in
+      check Alcotest.int (label ^ ": no schedule revisited") 0 !dups;
+      check Alcotest.int
+        (label ^ ": every counted schedule distinct")
+        stats.Mcheck.s_schedules (Hashtbl.length seen))
+    [
+      ("two-tas", conflict_target, bounds ~preemptions:2 ());
+      ("broken-double-claim", broken_target, bounds ~preemptions:2 ());
+      ("fault-claimer", fault_target, bounds ~preemptions:1 ~faults:1 ());
+    ]
+
+(* --- engine differential: random programs, identical verdicts ---
+
+   Both engines bound preemptions with the same cost model, so with a
+   budget generous enough to cover every interleaving of these small
+   programs they must agree on whether a violation exists — and DPOR
+   must never explore more schedules than the unpruned enumeration. *)
+
+let qcheck_engine_differential =
+  let build_proc (ops, (tail_kind, reg)) =
+    let tail =
+      match tail_kind mod 3 with
+      | 0 -> Program.return None
+      | 1 ->
+        (* check-then-act double claim: racy by construction *)
+        let* set = Program.read_name reg in
+        if set then Program.return None
+        else
+          let* _won = Program.tas_name reg in
+          Program.return (Some reg)
+      | _ ->
+        let* won = Program.tas_name reg in
+        Program.return (if won then Some reg else None)
+    in
+    List.fold_right
+      (fun (kind, r) acc ->
+        match kind mod 3 with
+        | 0 ->
+          let* _ = Program.tas_name r in
+          acc
+        | 1 ->
+          let* _ = Program.read_name r in
+          acc
+        | _ ->
+          let* () = Program.yield in
+          acc)
+      ops tail
+  in
+  let proc_gen =
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_bound 3) (pair (int_bound 2) (int_bound 1)))
+        (pair (int_bound 2) (int_bound 1)))
+  in
+  QCheck.Test.make ~count:30 ~name:"dpor and legacy dfs agree on random programs"
+    QCheck.(pair proc_gen proc_gen)
+    (fun (spec0, spec1) ->
+      let tgt =
+        target ~label:"differential" (fun () ->
+            instance ~namespace:2 ~label:"differential"
+              [| build_proc spec0; build_proc spec1 |])
+      in
+      let b = bounds ~preemptions:10 () in
+      let dpor = Mcheck.check ~engine:`Dpor ~bounds:b ~shrink:false tgt in
+      let legacy = Mcheck.check ~engine:`Legacy_dfs ~bounds:b ~shrink:false tgt in
+      let unpruned =
+        Mcheck.check ~engine:`Legacy_dfs ~bounds:(bounds ~preemptions:10 ~sleep:false ())
+          ~shrink:false tgt
+      in
+      if (dpor.Mcheck.s_violations > 0) <> (legacy.Mcheck.s_violations > 0) then
+        QCheck.Test.fail_reportf "verdicts differ: dpor %d vs legacy %d violations"
+          dpor.Mcheck.s_violations legacy.Mcheck.s_violations;
+      if dpor.Mcheck.s_schedules > unpruned.Mcheck.s_schedules then
+        QCheck.Test.fail_reportf "dpor explored %d schedules > %d unpruned"
+          dpor.Mcheck.s_schedules unpruned.Mcheck.s_schedules;
+      true)
 
 (* --- the roster --- *)
 
@@ -296,6 +552,23 @@ let tests =
           test_mcheck_fault_injection_finds_unbacked_claim;
         Alcotest.test_case "crash/recovery exploration clean" `Quick
           test_mcheck_crash_recovery_clean;
+      ] );
+    ( "mcheck.races",
+      [
+        Alcotest.test_case "hand-built traces" `Quick test_races_hand_built;
+        Alcotest.test_case "reordering witnesses" `Quick test_races_witness;
+        Alcotest.test_case "vector clocks" `Quick test_races_clocks;
+      ] );
+    ( "mcheck.wakeup",
+      [
+        Alcotest.test_case "insert and branch order" `Quick test_wakeup_insert_and_order;
+        Alcotest.test_case "weak-initial coverage" `Quick test_wakeup_weak_initial_coverage;
+        Alcotest.test_case "weak initials" `Quick test_wakeup_weak_initials;
+      ] );
+    ( "mcheck.dpor",
+      [
+        Alcotest.test_case "no schedule revisited" `Quick test_dpor_schedules_unique;
+        QCheck_alcotest.to_alcotest qcheck_engine_differential;
       ] );
     ( "mcheck.roster",
       [
