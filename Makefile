@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full chaos chaos-service chaos-service-smoke chaos-sharded chaos-sharded-smoke mcheck mcheck-tier1 mcheck-dpor-tier1 fuzz fuzz-smoke analyze examples clean loc
+.PHONY: all build test bench bench-full chaos chaos-service chaos-service-smoke chaos-sharded chaos-sharded-smoke chaos-net chaos-net-smoke mcheck mcheck-tier1 mcheck-dpor-tier1 fuzz fuzz-smoke analyze examples clean loc
 
 all: build test
 
@@ -54,6 +54,21 @@ chaos-sharded:
 # Reduced-run CI configuration of the same campaign.
 chaos-sharded-smoke:
 	dune exec bin/main.exe -- chaos --sharded --sessions 15000 --seeds 2 --out results/chaos-sharded-smoke.json
+
+# Unreliable-transport chaos campaign over the sharded service: every
+# operation is a typed envelope through the simulated network (drops,
+# duplicates, reordering, bounded delay, directional partitions), with
+# per-slice at-most-once dedup, client timeout/retry and heartbeat
+# failure detection.  Exits nonzero on any audit violation, end-to-end
+# double grant, unexpected fence, successful ghost op — or if any piece
+# of the fault machinery failed to fire.  JSON lands in
+# results/chaos.json (schema renaming.chaos-net/1).
+chaos-net:
+	dune exec bin/main.exe -- chaos --net
+
+# CI-sized slice of the same campaign (all four cells, fewer sessions).
+chaos-net-smoke:
+	dune exec bin/main.exe -- chaos --net --sessions 2000 --seeds 2 --out results/chaos-net-smoke.json
 
 # Bounded model checking: exhaustively explore every schedule of the
 # small roster instances with source-DPOR (wakeup trees over the audited

@@ -334,6 +334,84 @@ let run_sharded_chaos ~sessions ~seed_count ~out ~metrics =
     summary.Scampaign.total_violations;
   if !failed then exit 1
 
+(* `chaos --net`: the unreliable-transport chaos campaign over the
+   sharded service.  Safety is end-to-end at-most-once (no request id
+   executes effectfully twice without the slice provably losing its
+   body), plus the sharded invariants: no audit violations, nothing
+   fenced without an injected cause, no ghost operation succeeds.  As
+   with the other campaigns, a clean report must also prove the faults
+   fired: drops, duplicates, reorders, partition blocks, dedup replays
+   and evictions, detector suspicions/recoveries/re-owns/incarnation
+   orphans, adoptions and redirects all have to be nonzero. *)
+let run_net_chaos ~sessions ~seed_count ~out ~metrics =
+  let module Ncampaign = Renaming_service.Net_campaign in
+  let seeds = Renaming_harness.Seeds.take seed_count in
+  let spec = Ncampaign.default_spec ~sessions_per_cell:sessions ~seeds () in
+  let progress ~done_ ~total =
+    Printf.eprintf "\rchaos --net: run %d/%d%!" done_ total;
+    if done_ = total then prerr_newline ()
+  in
+  let obs = obs_of_metrics metrics in
+  let summary = Ncampaign.run ~progress ?obs spec in
+  Format.printf "%a@." Ncampaign.pp summary;
+  write_file out (Ncampaign.to_json summary ^ "\n");
+  Printf.printf "(json written to %s)\n" out;
+  write_metrics ~label:"chaos-net" obs metrics;
+  let fail fmt = Printf.eprintf fmt in
+  let failed = ref false in
+  if summary.Ncampaign.total_violations > 0 then begin
+    fail "chaos --net: %d audit violation(s)\n" summary.Ncampaign.total_violations;
+    failed := true
+  end;
+  if summary.Ncampaign.total_double_grants > 0 then begin
+    fail "chaos --net: %d at-most-once violation(s) (rid executed twice)\n"
+      summary.Ncampaign.total_double_grants;
+    failed := true
+  end;
+  if summary.Ncampaign.total_unexpected_fenced > 0 then begin
+    fail "chaos --net: %d live operation(s) wrongly fenced\n"
+      summary.Ncampaign.total_unexpected_fenced;
+    failed := true
+  end;
+  if summary.Ncampaign.total_stale_ok > 0 then begin
+    fail "chaos --net: %d stale ghost operation(s) not fenced\n"
+      summary.Ncampaign.total_stale_ok;
+    failed := true
+  end;
+  if summary.Ncampaign.total_livelocks > 0 then begin
+    fail "chaos --net: %d livelocked run(s)\n" summary.Ncampaign.total_livelocks;
+    failed := true
+  end;
+  let exercised name v =
+    if v = 0 then begin
+      fail "chaos --net: no %s (fault machinery not exercised)\n" name;
+      failed := true
+    end
+  in
+  exercised "messages dropped" summary.Ncampaign.total_dropped;
+  exercised "messages duplicated" summary.Ncampaign.total_duplicated;
+  exercised "messages reordered" summary.Ncampaign.total_reordered;
+  exercised "messages blocked by partitions" summary.Ncampaign.total_blocked;
+  exercised "client retransmits" summary.Ncampaign.total_resends;
+  exercised "dedup replays" summary.Ncampaign.total_replays;
+  exercised "dedup evictions" summary.Ncampaign.total_evictions;
+  exercised "detector suspicions" summary.Ncampaign.total_suspicions;
+  exercised "detector recoveries" summary.Ncampaign.total_recoveries;
+  exercised "slice re-owns" summary.Ncampaign.total_reowns;
+  exercised "incarnation orphans" summary.Ncampaign.total_incarnation_orphans;
+  exercised "orphan adoptions" summary.Ncampaign.total_adoptions;
+  exercised "partitions" summary.Ncampaign.total_partitions;
+  exercised "shard crashes" summary.Ncampaign.total_shard_crashes;
+  exercised "redirects" summary.Ncampaign.total_redirects;
+  Printf.printf
+    "chaos --net: %d sessions, %d dropped, %d duplicated (%d replayed), %d suspicions, \
+     %d double grants, %d violations\n"
+    summary.Ncampaign.total_sessions summary.Ncampaign.total_dropped
+    summary.Ncampaign.total_duplicated summary.Ncampaign.total_replays
+    summary.Ncampaign.total_suspicions summary.Ncampaign.total_double_grants
+    summary.Ncampaign.total_violations;
+  if !failed then exit 1
+
 let chaos_cmd =
   let module Campaign = Renaming_faults.Campaign in
   let module Chaos = Renaming_harness.Chaos in
@@ -355,18 +433,25 @@ let chaos_cmd =
            ~doc:"Run the sharded-router partition chaos campaign: Zipf-skewed rebalancing, \
                  correlated shard crashes, crash-during-handoff and stall routing.")
   in
+  let net =
+    Arg.(value & flag & info [ "net" ]
+           ~doc:"Run the unreliable-transport chaos campaign: lossy/duplicating/reordering \
+                 messaging between clients, router and shards, at-most-once dedup, \
+                 timeout/retry and heartbeat failure detection.")
+  in
   let sessions =
     Arg.(value & opt (some int) None & info [ "sessions" ] ~docv:"N"
-           ~doc:"With $(b,--service) or $(b,--sharded): client sessions per campaign cell \
-                 (defaults: 150000 and 60000).")
+           ~doc:"With $(b,--service), $(b,--sharded) or $(b,--net): client sessions per \
+                 campaign cell (defaults: 150000, 60000 and 65000).")
   in
-  let run n seed_count max_ticks out metrics service sharded sessions =
+  let run n seed_count max_ticks out metrics service sharded net sessions =
     if seed_count < 1 then begin
       Printf.eprintf "chaos: --seeds must be >= 1\n";
       exit 2
     end;
-    if service && sharded then begin
-      Printf.eprintf "chaos: --service and --sharded are mutually exclusive\n";
+    if (if service then 1 else 0) + (if sharded then 1 else 0) + (if net then 1 else 0) > 1
+    then begin
+      Printf.eprintf "chaos: --service, --sharded and --net are mutually exclusive\n";
       exit 2
     end;
     (match sessions with
@@ -374,7 +459,10 @@ let chaos_cmd =
       Printf.eprintf "chaos: --sessions must be >= 1\n";
       exit 2
     | _ -> ());
-    if sharded then
+    if net then
+      let sessions = Option.value sessions ~default:65_000 in
+      run_net_chaos ~sessions ~seed_count ~out ~metrics
+    else if sharded then
       let sessions = Option.value sessions ~default:60_000 in
       run_sharded_chaos ~sessions ~seed_count ~out ~metrics
     else if service then begin
@@ -412,8 +500,10 @@ let chaos_cmd =
           transient-fault injection with the online safety monitor attached; with $(b,--service), \
           the lease-service churn campaign (crash-restart clients, reclamation, admission control); \
           with $(b,--sharded), the partition chaos campaign over the sharded router (fault-injected \
-          slice handoff, degraded-mode routing, cross-shard uniqueness audit).")
-    Term.(const run $ n $ seeds $ max_ticks $ out $ metrics_arg $ service $ sharded $ sessions)
+          slice handoff, degraded-mode routing, cross-shard uniqueness audit); with $(b,--net), \
+          the unreliable-transport campaign (lossy messaging, at-most-once dedup, timeout/retry, \
+          heartbeat failure detection).")
+    Term.(const run $ n $ seeds $ max_ticks $ out $ metrics_arg $ service $ sharded $ net $ sessions)
 
 let mcheck_cmd =
   let module Mcheck = Renaming_mcheck.Mcheck in

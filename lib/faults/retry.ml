@@ -26,6 +26,21 @@ let backoff_delay policy ~attempt =
   let exp = min 20 (attempt - 1) in
   min policy.max_delay (policy.base_delay * (1 lsl exp))
 
+(* Decorrelated jitter: the next delay is uniform on
+   [base_delay, min (max_delay, 3 * prev)].  Unlike full jitter over the
+   exponential ladder, the walk decorrelates competing clients (each
+   one's next delay depends on its own previous draw, not on a shared
+   attempt counter) while the 3x growth bound keeps the expected delay
+   rising toward the cap under persistent contention.  [prev] is the
+   caller-threaded state: pass [base_delay] (or a previous return value)
+   — it is clamped into [max 1 base_delay, max_delay] so a degenerate
+   seed cannot pin the walk at zero. *)
+let jittered_delay policy ~rng ~prev =
+  let lo = policy.base_delay in
+  let prev = min policy.max_delay (max prev (max 1 lo)) in
+  let hi = max lo (min policy.max_delay (3 * prev)) in
+  Renaming_rng.Sample.uniform_in_range rng ~lo ~hi
+
 let rec idle k = if k <= 0 then Program.return () else Program.bind Program.yield (fun () -> idle (k - 1))
 
 (* Run a Bool-responding operation with bounded retry: [Some b] on a

@@ -42,6 +42,17 @@ val default : policy
 val backoff_delay : policy -> attempt:int -> int
 (** Yield steps inserted after failed attempt [attempt] (1-based). *)
 
+val jittered_delay : policy -> rng:Renaming_rng.Xoshiro.t -> prev:int -> int
+(** Decorrelated-jitter backoff: uniform on
+    [[base_delay, min (max_delay, 3 * prev)]], always within
+    [[base_delay, max_delay]].  Thread the returned value back as the
+    next [prev] (start from [base_delay]); each caller walks its own
+    delay chain, so synchronized retry herds spread out instead of
+    colliding on the deterministic exponential ladder.  Used for
+    transport resends and churn re-admission; the deterministic
+    {!backoff_delay} remains for the yield-step program combinators,
+    which must stay schedule-reproducible. *)
+
 val tas_name :
   ?policy:policy -> ?clock:Renaming_clock.Clock.t -> int -> bool Renaming_sched.Program.t
 

@@ -167,6 +167,13 @@ let clean () =
     target ~name:"shard-handoff-n4" ~n:4 ~check_ownership:false ~allow_faults:true
       ~allow_crashes:true
       (fun ~seed -> Renaming_service.Shard_handoff.instance ~n:4 ~seed);
+    (* At-most-once dedup eviction fencing (Renaming_service.Net_dedup):
+       duplicate deliveries of one rid race a fenced evictor; the
+       property is that the rid's name is granted by exactly one
+       delivery across both dedup epochs. *)
+    target ~name:"net-dedup-n4" ~n:4 ~check_ownership:false ~allow_faults:true
+      ~allow_crashes:true
+      (fun ~seed -> Renaming_service.Net_dedup.instance ~n:4 ~seed);
     target ~name:"combined-geometric-n8" ~n:8 ~allow_faults:true ~allow_crashes:true
       (fun ~seed -> combined_geometric ~n:8 ~seed);
     target ~name:"uniform-probing-n3" ~n:3 ~allow_faults:true ~allow_crashes:true
@@ -201,6 +208,16 @@ let mutants () =
     target ~name:"mutant-shard-unfenced-handoff" ~n:3 ~check_ownership:false
       ~expect_violation:true
       (fun ~seed -> Renaming_service.Shard_handoff.instance_unfenced ~n:3 ~seed);
+    (* Unfenced dedup eviction: the evictor *reads* the settle lock
+       instead of TASing it, then evicts the rid's dedup entry while a
+       duplicate delivery is still parked in its hold window — the
+       old-epoch commit and the new-epoch re-execution both grant the
+       same name.  Clean under fair round-robin (the evictor parks past
+       the original's commit); the double grant needs a preemption
+       inside the hold window. *)
+    target ~name:"mutant-net-dedup-evict" ~n:3 ~check_ownership:false
+      ~expect_violation:true
+      (fun ~seed -> Renaming_service.Net_dedup.instance_evict ~n:3 ~seed);
   ]
 
 let roster () = clean () @ mutants ()

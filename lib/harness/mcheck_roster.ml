@@ -118,6 +118,18 @@ let roster () =
     entry ~name:"shard-handoff-n5" ~n:5 ~check_ownership:false
       ~build:(fun ~seed -> Renaming_service.Shard_handoff.instance ~n:5 ~seed)
       ~bounds:(bounds ~preemptions:2 ()) ();
+    (* The at-most-once retry/dedup/fence protocol (Renaming_service.Net_dedup):
+       one request delivered several times, eviction fenced by the same
+       settle lock the fresh execution commits through.  Grants live in
+       aux locks, so ownership checking is off; the property is that the
+       rid's name is returned by exactly one delivery across both dedup
+       epochs.  Post-DPOR addition, so no legacy baseline. *)
+    entry ~name:"net-dedup-n3" ~n:3 ~check_ownership:false
+      ~build:(fun ~seed -> Renaming_service.Net_dedup.instance ~n:3 ~seed)
+      ~bounds:(bounds ~preemptions:4 ()) ();
+    entry ~name:"net-dedup-n4" ~n:4 ~check_ownership:false
+      ~build:(fun ~seed -> Renaming_service.Net_dedup.instance ~n:4 ~seed)
+      ~bounds:(bounds ~preemptions:3 ()) ();
     (* Crash/recovery and transient-fault injection variants. *)
     entry ~name:"uniform-probing-n3-crash" ~n:3 ~baseline:173
       ~build:(fun ~seed -> uniform_probing ~n:3 ~seed)
@@ -144,7 +156,7 @@ let tier1 () =
     [
       "uniform-probing-n3"; "linear-scan-n3"; "uniform-probing-n3-crash";
       "lease-handoff-n3"; "lease-handoff-n4"; "shard-handoff-n3"; "shard-handoff-n4";
-      "shard-handoff-n5";
+      "shard-handoff-n5"; "net-dedup-n3";
     ]
   in
   List.filter (fun e -> List.mem e.e_name keep) (roster ())
@@ -195,4 +207,4 @@ let check_ownership_of ~name =
   let prefixed p = String.length name >= String.length p && String.sub name 0 (String.length p) = p in
   not
     (prefixed "lease-handoff" || prefixed "mutant-lease" || prefixed "shard-handoff"
-   || prefixed "mutant-shard")
+   || prefixed "mutant-shard" || prefixed "net-dedup" || prefixed "mutant-net")

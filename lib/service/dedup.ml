@@ -1,0 +1,72 @@
+type stats = {
+  mutable fresh : int;
+  mutable replays : int;
+  mutable stale : int;
+  mutable evictions : int;
+}
+
+type 'r entry = { mutable e_seq : int; mutable e_reply : 'r option; mutable e_touched : float }
+
+type 'r t = { window : float; table : (int, 'r entry) Hashtbl.t; st : stats }
+
+let create ?(window = infinity) () =
+  if window <= 0. then invalid_arg "Dedup.create: window must be > 0";
+  {
+    window;
+    table = Hashtbl.create 64;
+    st = { fresh = 0; replays = 0; stale = 0; evictions = 0 };
+  }
+
+type 'r verdict = Fresh | Replay of 'r | Stale
+
+let admit t ~client ~seq ~now =
+  match Hashtbl.find_opt t.table client with
+  | None ->
+    t.st.fresh <- t.st.fresh + 1;
+    Fresh
+  | Some e ->
+    e.e_touched <- now;
+    if seq > e.e_seq then begin
+      t.st.fresh <- t.st.fresh + 1;
+      Fresh
+    end
+    else if seq = e.e_seq then begin
+      t.st.replays <- t.st.replays + 1;
+      match e.e_reply with
+      | Some r -> Replay r
+      | None -> Stale  (* recorded seq with no reply cannot happen via [record] *)
+    end
+    else begin
+      t.st.stale <- t.st.stale + 1;
+      Stale
+    end
+
+let record t ~client ~seq ~now reply =
+  match Hashtbl.find_opt t.table client with
+  | Some e when seq >= e.e_seq ->
+    e.e_seq <- seq;
+    e.e_reply <- Some reply;
+    e.e_touched <- now
+  | Some _ -> ()  (* stale execution result: never regress the window *)
+  | None -> Hashtbl.replace t.table client { e_seq = seq; e_reply = Some reply; e_touched = now }
+
+let sweep t ~now =
+  if t.window = infinity then 0
+  else begin
+    let doomed =
+      Hashtbl.fold
+        (fun client e acc -> if now -. e.e_touched > t.window then client :: acc else acc)
+        t.table []
+    in
+    (* Sort for deterministic eviction order (Hashtbl.fold order is
+       unspecified); the count is what callers observe but determinism
+       is a repo-wide invariant. *)
+    let doomed = List.sort compare doomed in
+    List.iter (Hashtbl.remove t.table) doomed;
+    let n = List.length doomed in
+    t.st.evictions <- t.st.evictions + n;
+    n
+  end
+
+let entries t = Hashtbl.length t.table
+let stats t = t.st

@@ -1,0 +1,310 @@
+module Json = Renaming_obs.Json
+
+type cell = { cell_name : string; cell_cfg : Net_churn.config }
+
+type spec = { cells : cell list; seeds : int64 array }
+
+let default_spec ?(sessions_per_cell = 65_000) ?(seeds = [| 0x5EED_2015L; 0xC0FFEEL |])
+    () =
+  let base = Net_churn.make_config ~sessions_target:sessions_per_cell in
+  let faults = Transport.make_faults in
+  let router = Router.make_config ~ttl:15.0 ~grace:24.0 in
+  {
+    seeds;
+    cells =
+      [
+        (* Message loss, duplication and reordering while the
+           auto-rebalancer moves Zipf-hot slices between shards: clean
+           handoffs meet in-flight duplicates, so the per-slice dedup
+           table must travel with the body and the epoch carried by
+           stale forwards must bounce them. *)
+        {
+          cell_name = "lossy";
+          cell_cfg =
+            base ~zipf_s:1.4 ~mean_think:1.5
+              ~faults:
+                (faults ~drop:0.05 ~duplicate:0.02 ~reorder:0.10 ~reorder_extra:0.3 ())
+              ~router:
+                (router ~auto_rebalance:true ~hot_util:0.55 ~cold_util:0.45 ())
+              ();
+        };
+        (* Duplication-dominated: a quarter of all messages delivered
+           twice and another quarter reordered, hammering replay and
+           stale-duplicate discard on every path. *)
+        {
+          cell_name = "dup-storm";
+          cell_cfg =
+            base
+              ~faults:
+                (faults ~drop:0.01 ~duplicate:0.25 ~reorder:0.25 ~reorder_extra:0.45 ())
+              ();
+        };
+        (* Directional partitions long enough for the router to suspect
+           (heartbeats cut), short enough to heal before grace: false
+           suspicion, recovery, and same-epoch re-own with every lease
+           intact.  Half the partitions also cut router→shard, turning
+           false suspicion into real unavailability. *)
+        {
+          cell_name = "partition";
+          cell_cfg =
+            base
+              ~faults:
+                (faults ~drop:0.02 ~duplicate:0.02 ~reorder:0.05 ~reorder_extra:0.2 ())
+              ~partition:{ Net_churn.p_every = 40.0; p_duration = 12.0; p_both = 0.5 }
+              ();
+        };
+        (* Silent shard crashes the router discovers only through
+           heartbeat loss; restart delays straddle the suspicion window,
+           so some restarts announce themselves by incarnation bump
+           (before the sweep fires) and some by recovery-from-suspicion
+           over an amnesiac body.  Orphans are adopted after grace. *)
+        {
+          cell_name = "crash-detect";
+          cell_cfg =
+            base
+              ~faults:
+                (faults ~drop:0.03 ~duplicate:0.03 ~reorder:0.05 ~reorder_extra:0.2 ())
+              ~shard_crash:{ Net_churn.c_every = 45.0; c_restart = 2.0 }
+              ();
+        };
+      ];
+  }
+
+type cell_result = { cr_name : string; cr_seed : int64; cr_summary : Net_churn.summary }
+
+type summary = {
+  results : cell_result list;
+  total_sessions : int;
+  total_dropped : int;
+  total_duplicated : int;
+  total_reordered : int;
+  total_blocked : int;
+  total_resends : int;
+  total_timeouts : int;
+  total_replays : int;
+  total_stale_dups : int;
+  total_evictions : int;
+  total_suspicions : int;
+  total_recoveries : int;
+  total_reowns : int;
+  total_incarnation_orphans : int;
+  total_adoptions : int;
+  total_partitions : int;
+  total_shard_crashes : int;
+  total_redirects : int;
+  total_abandoned : int;
+  total_lost_tickets : int;
+  total_late_grants_released : int;
+  total_expected_fenced : int;
+  total_unexpected_fenced : int;
+  total_double_grants : int;
+  total_stale_ops : int;
+  total_stale_ok : int;
+  total_audit_near_misses : int;
+  total_violations : int;
+  total_livelocks : int;
+}
+
+let summarize results =
+  let add f = List.fold_left (fun acc r -> acc + f r.cr_summary) 0 results in
+  {
+    results;
+    total_sessions = add (fun s -> s.Net_churn.sessions);
+    total_dropped = add (fun s -> s.Net_churn.net.Transport.dropped);
+    total_duplicated = add (fun s -> s.Net_churn.net.Transport.duplicated);
+    total_reordered = add (fun s -> s.Net_churn.net.Transport.reordered);
+    total_blocked = add (fun s -> s.Net_churn.net.Transport.blocked);
+    total_resends = add (fun s -> s.Net_churn.resends);
+    total_timeouts = add (fun s -> s.Net_churn.timeouts);
+    total_replays = add (fun s -> s.Net_churn.dedup.Dedup.replays);
+    total_stale_dups = add (fun s -> s.Net_churn.dedup.Dedup.stale);
+    total_evictions = add (fun s -> s.Net_churn.dedup.Dedup.evictions);
+    total_suspicions = add (fun s -> s.Net_churn.detector.Router.suspicions);
+    total_recoveries = add (fun s -> s.Net_churn.detector.Router.recoveries);
+    total_reowns = add (fun s -> s.Net_churn.detector.Router.reowns);
+    total_incarnation_orphans =
+      add (fun s -> s.Net_churn.detector.Router.incarnation_orphans);
+    total_adoptions = add (fun s -> s.Net_churn.router.Router.adoptions);
+    total_partitions = add (fun s -> s.Net_churn.partitions);
+    total_shard_crashes = add (fun s -> s.Net_churn.shard_crashes);
+    total_redirects = add (fun s -> s.Net_churn.redirects);
+    total_abandoned = add (fun s -> s.Net_churn.abandoned);
+    total_lost_tickets = add (fun s -> s.Net_churn.lost_tickets);
+    total_late_grants_released = add (fun s -> s.Net_churn.late_grants_released);
+    total_expected_fenced = add (fun s -> s.Net_churn.expected_fenced);
+    total_unexpected_fenced = add (fun s -> s.Net_churn.unexpected_fenced);
+    total_double_grants = add (fun s -> s.Net_churn.double_grants);
+    total_stale_ops = add (fun s -> s.Net_churn.stale_ops);
+    total_stale_ok = add (fun s -> s.Net_churn.stale_ok);
+    total_audit_near_misses = add (fun s -> s.Net_churn.audit_near_misses);
+    total_violations =
+      add (fun s ->
+          s.Net_churn.gaudit_violations
+          + (match s.Net_churn.violation with Some _ -> 1 | None -> 0));
+    total_livelocks = add (fun s -> if s.Net_churn.livelocked then 1 else 0);
+  }
+
+let run ?progress ?obs spec =
+  let total = List.length spec.cells * Array.length spec.seeds in
+  let done_ = ref 0 in
+  let results =
+    List.concat_map
+      (fun cell ->
+        Array.to_list
+          (Array.map
+             (fun seed ->
+               let summary = Net_churn.run ?obs cell.cell_cfg ~seed in
+               incr done_;
+               (match progress with Some f -> f ~done_:!done_ ~total | None -> ());
+               { cr_name = cell.cell_name; cr_seed = seed; cr_summary = summary })
+             spec.seeds))
+      spec.cells
+  in
+  let summary = summarize results in
+  (match obs with
+  | Some o ->
+    let record name v =
+      Renaming_obs.Metrics.add (Renaming_obs.Obs.counter o name) v
+    in
+    record "chaos_net/runs" (List.length results);
+    record "chaos_net/sessions" summary.total_sessions;
+    record "chaos_net/dropped" summary.total_dropped;
+    record "chaos_net/replays" summary.total_replays;
+    record "chaos_net/suspicions" summary.total_suspicions;
+    record "chaos_net/double_grants" summary.total_double_grants;
+    record "chaos_net/violations" summary.total_violations;
+    record "chaos_net/livelocks" summary.total_livelocks
+  | None -> ());
+  summary
+
+let result_json r =
+  let s = r.cr_summary in
+  let net = s.Net_churn.net in
+  let dd = s.Net_churn.dedup in
+  let fd = s.Net_churn.detector in
+  Json.Obj
+    [
+      ("cell", Json.String r.cr_name);
+      ("seed", Json.String (Printf.sprintf "0x%Lx" r.cr_seed));
+      ("sessions", Json.Int s.Net_churn.sessions);
+      ("events", Json.Int s.Net_churn.events);
+      ("sim_time", Json.Float s.Net_churn.sim_time);
+      ("sent", Json.Int net.Transport.sent);
+      ("delivered", Json.Int net.Transport.delivered);
+      ("dropped", Json.Int net.Transport.dropped);
+      ("duplicated", Json.Int net.Transport.duplicated);
+      ("reordered", Json.Int net.Transport.reordered);
+      ("blocked", Json.Int net.Transport.blocked);
+      ("dedup_fresh", Json.Int dd.Dedup.fresh);
+      ("dedup_replays", Json.Int dd.Dedup.replays);
+      ("dedup_stale", Json.Int dd.Dedup.stale);
+      ("dedup_evictions", Json.Int dd.Dedup.evictions);
+      ("suspicions", Json.Int fd.Router.suspicions);
+      ("recoveries", Json.Int fd.Router.recoveries);
+      ("reowns", Json.Int fd.Router.reowns);
+      ("incarnation_orphans", Json.Int fd.Router.incarnation_orphans);
+      ("adoptions", Json.Int s.Net_churn.router.Router.adoptions);
+      ("partitions", Json.Int s.Net_churn.partitions);
+      ("shard_crashes", Json.Int s.Net_churn.shard_crashes);
+      ("shard_restarts", Json.Int s.Net_churn.shard_restarts);
+      ("client_crashes", Json.Int s.Net_churn.client_crashes);
+      ("resends", Json.Int s.Net_churn.resends);
+      ("timeouts", Json.Int s.Net_churn.timeouts);
+      ("redirects", Json.Int s.Net_churn.redirects);
+      ("shard_down_busy", Json.Int s.Net_churn.shard_down_busy);
+      ("in_handoff_busy", Json.Int s.Net_churn.in_handoff_busy);
+      ("sheds", Json.Int s.Net_churn.sheds);
+      ("abandoned", Json.Int s.Net_churn.abandoned);
+      ("lost_tickets", Json.Int s.Net_churn.lost_tickets);
+      ("late_grants_released", Json.Int s.Net_churn.late_grants_released);
+      ("releases_dropped", Json.Int s.Net_churn.releases_dropped);
+      ("expected_fenced", Json.Int s.Net_churn.expected_fenced);
+      ("unexpected_fenced", Json.Int s.Net_churn.unexpected_fenced);
+      ("double_grants", Json.Int s.Net_churn.double_grants);
+      ("stale_ops", Json.Int s.Net_churn.stale_ops);
+      ("stale_rejected", Json.Int s.Net_churn.stale_rejected);
+      ("stale_ok", Json.Int s.Net_churn.stale_ok);
+      ("audit_near_misses", Json.Int s.Net_churn.audit_near_misses);
+      ("gaudit_violations", Json.Int s.Net_churn.gaudit_violations);
+      ("gaudit_live", Json.Int s.Net_churn.gaudit_live);
+      ("peak_held", Json.Int s.Net_churn.peak_held);
+      ("final_held", Json.Int s.Net_churn.final_held);
+      ("livelocked", Json.Bool s.Net_churn.livelocked);
+      ( "violation",
+        match s.Net_churn.violation with
+        | None -> Json.Null
+        | Some (kind, message) ->
+          Json.Obj [ ("kind", Json.String kind); ("message", Json.String message) ] );
+    ]
+
+let to_json summary =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.String "renaming.chaos-net/1");
+         ("total_sessions", Json.Int summary.total_sessions);
+         ("total_dropped", Json.Int summary.total_dropped);
+         ("total_duplicated", Json.Int summary.total_duplicated);
+         ("total_reordered", Json.Int summary.total_reordered);
+         ("total_blocked", Json.Int summary.total_blocked);
+         ("total_resends", Json.Int summary.total_resends);
+         ("total_timeouts", Json.Int summary.total_timeouts);
+         ("total_replays", Json.Int summary.total_replays);
+         ("total_stale_dups", Json.Int summary.total_stale_dups);
+         ("total_evictions", Json.Int summary.total_evictions);
+         ("total_suspicions", Json.Int summary.total_suspicions);
+         ("total_recoveries", Json.Int summary.total_recoveries);
+         ("total_reowns", Json.Int summary.total_reowns);
+         ("total_incarnation_orphans", Json.Int summary.total_incarnation_orphans);
+         ("total_adoptions", Json.Int summary.total_adoptions);
+         ("total_partitions", Json.Int summary.total_partitions);
+         ("total_shard_crashes", Json.Int summary.total_shard_crashes);
+         ("total_redirects", Json.Int summary.total_redirects);
+         ("total_abandoned", Json.Int summary.total_abandoned);
+         ("total_lost_tickets", Json.Int summary.total_lost_tickets);
+         ("total_late_grants_released", Json.Int summary.total_late_grants_released);
+         ("total_expected_fenced", Json.Int summary.total_expected_fenced);
+         ("total_unexpected_fenced", Json.Int summary.total_unexpected_fenced);
+         ("total_double_grants", Json.Int summary.total_double_grants);
+         ("total_stale_ops", Json.Int summary.total_stale_ops);
+         ("total_stale_ok", Json.Int summary.total_stale_ok);
+         ("total_audit_near_misses", Json.Int summary.total_audit_near_misses);
+         ("total_violations", Json.Int summary.total_violations);
+         ("total_livelocks", Json.Int summary.total_livelocks);
+         ("runs", Json.List (List.map result_json summary.results));
+       ])
+
+let pp fmt summary =
+  Format.fprintf fmt
+    "net chaos: %d runs, %d sessions, net %d dropped / %d dup / %d reordered / %d \
+     blocked, dedup %d replays / %d stale / %d evictions, detector %d suspicions / %d \
+     recoveries / %d reowns / %d incarnation, %d adoptions, fenced %d expected / %d \
+     unexpected, %d double grants, %d violations, %d livelocks@."
+    (List.length summary.results)
+    summary.total_sessions summary.total_dropped summary.total_duplicated
+    summary.total_reordered summary.total_blocked summary.total_replays
+    summary.total_stale_dups summary.total_evictions summary.total_suspicions
+    summary.total_recoveries summary.total_reowns summary.total_incarnation_orphans
+    summary.total_adoptions summary.total_expected_fenced
+    summary.total_unexpected_fenced summary.total_double_grants
+    summary.total_violations summary.total_livelocks;
+  List.iter
+    (fun r ->
+      let s = r.cr_summary in
+      let net = s.Net_churn.net in
+      let dd = s.Net_churn.dedup in
+      let fd = s.Net_churn.detector in
+      Format.fprintf fmt
+        "  %-12s seed=0x%Lx sessions=%d sent=%d drop=%d dup=%d block=%d replays=%d \
+         evict=%d suspect=%d/%d/%d adopt=%d fenced=%d/%d dbl=%d peak=%d%s%s@."
+        r.cr_name r.cr_seed s.Net_churn.sessions net.Transport.sent
+        net.Transport.dropped net.Transport.duplicated net.Transport.blocked
+        dd.Dedup.replays dd.Dedup.evictions fd.Router.suspicions fd.Router.recoveries
+        fd.Router.reowns s.Net_churn.router.Router.adoptions
+        s.Net_churn.expected_fenced s.Net_churn.unexpected_fenced
+        s.Net_churn.double_grants s.Net_churn.peak_held
+        (if s.Net_churn.livelocked then " LIVELOCK" else "")
+        (match s.Net_churn.violation with
+        | Some (kind, _) -> " VIOLATION:" ^ kind
+        | None -> ""))
+    summary.results

@@ -1,0 +1,72 @@
+(** Chaos campaign for the sharded service over the unreliable network:
+    a grid of {!Net_churn} cells × seeds crossing message loss,
+    duplication, reordering, directional partitions and silent shard
+    crashes over the Zipf churn workload, with machine-readable results
+    (schema ["renaming.chaos-net/1"]).
+
+    The safety assertions the CLI enforces on a run: no audit
+    violations, no at-most-once double grants, no unexpected fences, no
+    successful ghost operations, no livelocks — {e and} every piece of
+    machinery demonstrably exercised (drops, duplicates, reorders,
+    partition blocks, dedup replays and evictions, suspicions,
+    recoveries, re-owns, incarnation orphans, adoptions, redirects), so
+    a clean report cannot come from faults silently not firing. *)
+
+type cell = { cell_name : string; cell_cfg : Net_churn.config }
+
+type spec = { cells : cell list; seeds : int64 array }
+
+val default_spec : ?sessions_per_cell:int -> ?seeds:int64 array -> unit -> spec
+(** Four cells: [lossy] (loss + duplication + reordering with the
+    auto-rebalancer moving hot slices, so handoffs meet in-flight
+    duplicates), [dup-storm] (heavy duplication and reordering),
+    [partition] (directional partitions long enough to trigger
+    suspicion, short enough to heal before grace — false suspicion,
+    recovery and same-epoch re-own), and [crash-detect] (silent shard
+    crashes discovered only by heartbeat loss, restarts straddling the
+    suspicion window to exercise both sweep suspicions and incarnation
+    orphans, orphans adopted after grace). *)
+
+type cell_result = { cr_name : string; cr_seed : int64; cr_summary : Net_churn.summary }
+
+type summary = {
+  results : cell_result list;
+  total_sessions : int;
+  total_dropped : int;
+  total_duplicated : int;
+  total_reordered : int;
+  total_blocked : int;
+  total_resends : int;
+  total_timeouts : int;
+  total_replays : int;
+  total_stale_dups : int;
+  total_evictions : int;
+  total_suspicions : int;
+  total_recoveries : int;
+  total_reowns : int;
+  total_incarnation_orphans : int;
+  total_adoptions : int;
+  total_partitions : int;
+  total_shard_crashes : int;
+  total_redirects : int;
+  total_abandoned : int;
+  total_lost_tickets : int;
+  total_late_grants_released : int;
+  total_expected_fenced : int;
+  total_unexpected_fenced : int;  (** must be 0 *)
+  total_double_grants : int;  (** must be 0: at-most-once end to end *)
+  total_stale_ops : int;
+  total_stale_ok : int;  (** must be 0 *)
+  total_audit_near_misses : int;
+  total_violations : int;  (** must be 0 *)
+  total_livelocks : int;
+}
+
+val run :
+  ?progress:(done_:int -> total:int -> unit) ->
+  ?obs:Renaming_obs.Obs.t ->
+  spec ->
+  summary
+
+val to_json : summary -> string
+val pp : Format.formatter -> summary -> unit

@@ -122,6 +122,36 @@ type stats = {
   mutable fenced_ops : int;
 }
 
+(* {2 Failure detection}
+
+   With a detector enabled the router stops consulting shard status
+   directly for routing: a shard is available iff its last heartbeat is
+   within [suspicion].  Suspicion is conservative in the safe direction
+   — a falsely suspected shard merely goes dark (availability loss)
+   until its heartbeats resume, at which point any slices orphaned in
+   the meantime are handed back intact (same epoch, leases alive)
+   provided they have not been adopted yet.  A heartbeat carrying a
+   {e higher incarnation} proves the shard restarted amnesiac: every
+   slice the directory still maps to it is orphaned from the last
+   heartbeat of the dead incarnation (the latest instant its leases
+   could still have been renewed, up to the delivery bound the caller
+   accounts for in [grace]). *)
+
+type detector_stats = {
+  mutable suspicions : int;
+  mutable recoveries : int;  (** suspicions cleared by a late heartbeat *)
+  mutable reowns : int;  (** orphaned slices handed back on recovery *)
+  mutable incarnation_orphans : int;  (** slices orphaned by a restart heartbeat *)
+}
+
+type detector = {
+  d_suspicion : float;
+  d_last : float array;  (* shard -> last heartbeat arrival *)
+  d_incarnation : int array;
+  d_flag : bool array;  (* suspicion edge state, for counting + re-own *)
+  d_st : detector_stats;
+}
+
 type counters = {
   c_redirects : Metrics.counter;
   c_shard_down : Metrics.counter;
@@ -140,6 +170,7 @@ type t = {
   st : stats;
   obs : Obs.t option;
   counters : counters option;
+  mutable fd : detector option;
 }
 
 let bump t f = match t.counters with Some c -> Metrics.incr (f c) | None -> ()
@@ -197,6 +228,7 @@ let create ?obs ~clock ~seed cfg =
         };
       obs;
       counters;
+      fd = None;
     }
   in
   (* Initial placement: contiguous slice ranges per shard, so a Zipf-hot
@@ -251,6 +283,106 @@ let audit_near_misses t =
 let gaudit_violations t = t.gaudit.Gaudit.violations
 let gaudit_live t = Gaudit.live t.gaudit
 
+(* Routing availability: the detector's view when one is enabled (the
+   router then has no direct knowledge of shard status), the shard's
+   actual status otherwise. *)
+let shard_available t ~shard ~now =
+  match t.fd with
+  | None -> Shard.alive t.shards.(shard) ~now
+  | Some d -> now -. d.d_last.(shard) <= d.d_suspicion
+
+let orphan_entry t ~slice ~last ~epoch ~since =
+  t.dir.(slice) <- Orphaned { last; epoch; since }
+
+let enable_detector t ~suspicion =
+  if suspicion <= 0. then invalid_arg "Router.enable_detector: suspicion must be > 0";
+  let now = Clock.now t.clock in
+  t.fd <-
+    Some
+      {
+        d_suspicion = suspicion;
+        d_last = Array.make t.cfg.shards now;
+        d_incarnation = Array.make t.cfg.shards 0;
+        d_flag = Array.make t.cfg.shards false;
+        d_st = { suspicions = 0; recoveries = 0; reowns = 0; incarnation_orphans = 0 };
+      }
+
+let detector_stats t = Option.map (fun d -> d.d_st) t.fd
+let suspected t ~shard = match t.fd with Some d -> d.d_flag.(shard) | None -> false
+
+(* Orphan every slice the directory maps to [shard], from [since]; a
+   slice in transit *from* it is orphaned from the earlier of the two
+   timestamps so the grace clock never restarts in the slice's favour. *)
+let orphan_mapped t ~shard ~since =
+  let n = ref 0 in
+  Array.iteri
+    (fun slice entry ->
+      match entry with
+      | Owned { shard = s; epoch } when s = shard ->
+        orphan_entry t ~slice ~last:shard ~epoch ~since;
+        incr n
+      | In_transit { from_; epoch; since = hs; _ } when from_ = shard ->
+        orphan_entry t ~slice ~last:shard ~epoch ~since:(min since hs);
+        t.st.handoffs_orphaned <- t.st.handoffs_orphaned + 1;
+        incr n
+      | _ -> ())
+    t.dir;
+  !n
+
+let heartbeat t ~shard ~incarnation =
+  match t.fd with
+  | None -> ()
+  | Some d ->
+    let now = Clock.now t.clock in
+    if incarnation > d.d_incarnation.(shard) then begin
+      (* Restarted amnesiac: everything it owned died with the previous
+         incarnation.  Orphan from that incarnation's last heartbeat —
+         the latest instant the router can prove it still served. *)
+      d.d_st.incarnation_orphans <-
+        d.d_st.incarnation_orphans + orphan_mapped t ~shard ~since:d.d_last.(shard);
+      d.d_incarnation.(shard) <- incarnation
+    end;
+    d.d_last.(shard) <- now;
+    if d.d_flag.(shard) then begin
+      d.d_flag.(shard) <- false;
+      d.d_st.recoveries <- d.d_st.recoveries + 1;
+      (* False suspicion healed: hand back any slice orphaned under it
+         whose body survived at the directory epoch.  Nothing served the
+         slice while orphaned (resolution refuses), so same-epoch
+         re-ownership resumes service with every lease intact. *)
+      Array.iteri
+        (fun slice entry ->
+          match entry with
+          | Orphaned { last; epoch; _ }
+            when last = shard && Shard.alive t.shards.(shard) ~now -> (
+            match Shard.find_slice t.shards.(shard) ~slice with
+            | Some sl when sl.Shard.sl_epoch = epoch ->
+              t.dir.(slice) <- Owned { shard; epoch };
+              d.d_st.reowns <- d.d_st.reowns + 1
+            | _ -> ())
+          | _ -> ())
+        t.dir
+    end
+
+(* Suspicion sweep (from {!pump}): flag shards whose heartbeats went
+   quiet and orphan their slices.  The orphan clock starts at
+   [last + suspicion] — the instant routing stopped forwarding renews —
+   so adoption after [grace] is safe provided
+   [grace >= ttl + max in-flight delay] (callers enforce the stronger
+   network-aware bound; docs/fault_model.md §8). *)
+let detector_sweep t ~now =
+  match t.fd with
+  | None -> ()
+  | Some d ->
+    Array.iteri
+      (fun shard last ->
+        if (not d.d_flag.(shard)) && now -. last > d.d_suspicion then begin
+          d.d_flag.(shard) <- true;
+          d.d_st.suspicions <- d.d_st.suspicions + 1;
+          ignore (orphan_mapped t ~shard ~since:(last +. d.d_suspicion))
+        end)
+      d.d_last
+
 (* {2 Routing} *)
 
 type busy =
@@ -270,13 +402,26 @@ type outcome =
   | Shed of Admission.shed_reason
   | Busy of busy
 
+(* Directory + detector view only — what a real router can know without
+   reaching into a shard's memory.  The network path forwards on this
+   and lets the shard itself refuse epoch-mismatched or missing bodies
+   at delivery time. *)
+let route t ~slice =
+  let now = Clock.now t.clock in
+  match t.dir.(slice) with
+  | In_transit _ -> Error (In_handoff { slice })
+  | Orphaned { last; _ } -> Error (Shard_down { shard = last })
+  | Owned { shard; epoch } ->
+    if shard_available t ~shard ~now then Ok (shard, epoch)
+    else Error (Shard_down { shard })
+
 let resolve t ~slice ~now =
   match t.dir.(slice) with
   | In_transit _ -> Error (In_handoff { slice })
   | Orphaned { last; _ } -> Error (Shard_down { shard = last })
   | Owned { shard; epoch } -> (
     let sh = t.shards.(shard) in
-    if not (Shard.alive sh ~now) then Error (Shard_down { shard })
+    if not (shard_available t ~shard ~now) then Error (Shard_down { shard })
     else
       match Shard.find_slice sh ~slice with
       | Some sl when sl.Shard.sl_epoch = epoch -> Ok (shard, epoch, sl)
@@ -326,9 +471,6 @@ let release t ~fence = fenced_op t ~fence Service.release
 
 (* {2 Fault injection} *)
 
-let orphan_entry t ~slice ~last ~epoch ~since =
-  t.dir.(slice) <- Orphaned { last; epoch; since }
-
 let crash_shard t ~id =
   let now = Clock.now t.clock in
   Shard.crash t.shards.(id) ~now;
@@ -365,13 +507,19 @@ let begin_handoff t ~slice ~to_ =
 let shard_util t sh =
   Shard.utilization sh ~slice_capacity:t.cfg.slice_capacity
 
-(* Least-loaded alive shard, lowest id on ties; [except] excludes a
-   shard (the handoff source). *)
+(* Least-loaded available shard, lowest id on ties; [except] excludes a
+   shard (the handoff source).  Availability is the detector's view when
+   one is enabled, and the shard must also actually be alive — the
+   adopting shard acks the adoption in a real deployment, so a crashed
+   shard that still looks available never receives slices. *)
 let coldest_alive t ~now ?except () =
   let best = ref None in
   Array.iter
     (fun sh ->
-      if Shard.alive sh ~now && (match except with Some e -> Shard.id sh <> e | None -> true)
+      if
+        Shard.alive sh ~now
+        && shard_available t ~shard:(Shard.id sh) ~now
+        && (match except with Some e -> Shard.id sh <> e | None -> true)
       then
         let u = shard_util t sh in
         match !best with
@@ -427,7 +575,14 @@ let validate_bodies t ~now =
                 shard <> Shard.id sh || epoch <> sl.Shard.sl_epoch
               | In_transit { from_; epoch; _ } ->
                 from_ <> Shard.id sh || epoch <> sl.Shard.sl_epoch
-              | Orphaned _ -> true
+              | Orphaned { last; epoch; _ } ->
+                (* Under a failure detector an orphan may be a false
+                   suspicion: the surviving body is kept so recovery can
+                   re-own it.  Adoption bumps the epoch, which turns the
+                   body stale here the moment the slice is re-served. *)
+                (match t.fd with
+                | None -> true
+                | Some _ -> last <> Shard.id sh || epoch <> sl.Shard.sl_epoch)
             in
             if stale then Shard.drop sh ~slice:sl.Shard.sl_id)
           (Shard.slices sh))
@@ -476,6 +631,10 @@ let step_transits t ~now =
     t.dir
 
 let orphan_stalled t ~now =
+  (* With a detector enabled the router cannot see stalls directly: a
+     stalled shard simply stops heartbeating and {!detector_sweep}
+     orphans it from the (later, still-safe) suspicion instant. *)
+  if t.fd = None then
   Array.iter
     (fun sh ->
       match Shard.status sh ~now with
@@ -517,6 +676,7 @@ let adopt_orphans t ~now =
 
 let pump t =
   let now = Clock.now t.clock in
+  detector_sweep t ~now;
   orphan_stalled t ~now;
   step_transits t ~now;
   validate_bodies t ~now;

@@ -99,6 +99,15 @@ type outcome =
   | Shed of Admission.shed_reason
   | Busy of busy
 
+val route : t -> slice:int -> (int * int, busy) result
+(** Resolve [slice] to its [(shard, epoch)] from the directory and the
+    failure detector's availability view {e only} — no shard-body
+    inspection, so this is what a real router node can decide before
+    forwarding.  The shard itself must check the carried epoch against
+    its resident body at delivery time (a mismatch means the directory
+    moved on while the request was in flight, and the request must be
+    refused, not served).  Does not update routing stats. *)
+
 val acquire : ?hint:int -> t -> session:int -> key:int -> outcome
 (** [key] is the placement key ([slice = key mod slices]).  When [hint]
     (the client's cached owner for the slice) no longer matches the
@@ -130,6 +139,44 @@ val stall_shard : t -> id:int -> until:float -> unit
 (** The shard stops serving until [until] on the injected clock.  If the
     stall outlives [grace], its slices are reassigned and the woken
     shard drops its stale bodies. *)
+
+(** {2 Failure detection}
+
+    By default the router consults shard status directly (an omniscient
+    single-process shortcut).  {!enable_detector} replaces that with a
+    timeout-based failure detector: shards are {e available} only while
+    their latest heartbeat is younger than [suspicion], and routing
+    ({!route}, {!resolve}-based operations, adopter choice) runs on that
+    view alone.  On suspicion the shard's slices are orphaned from the
+    instant routing stopped forwarding ([last heartbeat + suspicion]);
+    if heartbeats resume before adoption, the orphans are handed back at
+    the same epoch with every lease intact (a false suspicion costs
+    availability, never safety).  A heartbeat with a higher incarnation
+    number announces an amnesiac restart and orphans the previous
+    incarnation's slices immediately.  Callers must size
+    [grace >= ttl + heartbeat period + 2 * max network delay] so every
+    lease the suspected body could still have renewed has expired by
+    adoption (docs/fault_model.md §8). *)
+
+type detector_stats = {
+  mutable suspicions : int;
+  mutable recoveries : int;  (** suspicions cleared by a late heartbeat *)
+  mutable reowns : int;  (** orphaned slices handed back on recovery *)
+  mutable incarnation_orphans : int;  (** slices orphaned by a restart heartbeat *)
+}
+
+val enable_detector : t -> suspicion:float -> unit
+(** Switch routing to the detector view; every shard starts unsuspected
+    with a heartbeat as of now.  Raises if [suspicion <= 0]. *)
+
+val heartbeat : t -> shard:int -> incarnation:int -> unit
+(** Record a heartbeat arrival.  No-op without a detector. *)
+
+val suspected : t -> shard:int -> bool
+(** Current suspicion flag (set by the pump's sweep, cleared by
+    {!heartbeat}); [false] without a detector. *)
+
+val detector_stats : t -> detector_stats option
 
 (** {2 Handoff} *)
 

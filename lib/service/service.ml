@@ -30,6 +30,10 @@ type counters = {
   c_fenced : Metrics.counter;
   c_sheds : Metrics.counter;
   c_expired : Metrics.counter;
+  c_deadline : Metrics.counter;
+      (* the admission queue's own deadline-miss count, distinct from
+         the service-outcome counter so queue-health dashboards need not
+         reverse-engineer it from Timed_out completions *)
   c_reclaims : Metrics.counter;
 }
 
@@ -64,6 +68,7 @@ let create ?obs ?tap ~clock ~rng (cfg : config) =
           c_fenced = Obs.counter o "service/fenced";
           c_sheds = Obs.counter o "service/sheds";
           c_expired = Obs.counter o "service/expired_requests";
+          c_deadline = Obs.counter o "admission/deadline_expired";
           c_reclaims = Obs.counter o "service/reclaims";
         })
       obs
@@ -219,6 +224,7 @@ let pump t =
       (fun (x : Admission.expired) ->
         t.st.expired_requests <- t.st.expired_requests + 1;
         bump t (fun c -> c.c_expired);
+        bump t (fun c -> c.c_deadline);
         Hist.observe t.h_wait (centiticks x.Admission.x_waited);
         Timed_out
           {
@@ -245,6 +251,7 @@ let held t = Lease.held t.lease
 let utilization t = Lease.utilization t.lease
 let slots t = Lease.slots t.lease
 let queue_depth t = Admission.depth t.admission
+let deadline_expired t = Admission.expired_total t.admission
 let audit_live t = Audit.live t.audit
 let audit_near_misses t = Audit.near_misses t.audit
 let audit_violations t = Audit.violations t.audit

@@ -80,6 +80,13 @@ val held : t -> int
 val utilization : t -> float
 val slots : t -> int
 val queue_depth : t -> int
+
+val deadline_expired : t -> int
+(** Requests that hit their deadline while queued
+    ({!Admission.expired_total}); also published as the
+    [admission/deadline_expired] obs counter when the service was
+    created with [?obs]. *)
+
 val audit_live : t -> int
 
 val audit_near_misses : t -> int

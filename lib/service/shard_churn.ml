@@ -92,6 +92,7 @@ type client = {
   mutable gen : int;  (* bumped at every transition; stale timers are dropped *)
   mutable session : int option;
   mutable attempts : int;
+  mutable prev_delay : int;  (* decorrelated-jitter walk state *)
   mutable hold_end : float;
   mutable hint : int option;  (* cached owning shard for the client's slice *)
   mutable d_gen : int;  (* slice disruption generation at grant time *)
@@ -177,6 +178,7 @@ let run ?obs (cfg : config) ~seed =
           gen = 0;
           session = None;
           attempts = 0;
+          prev_delay = 0;
           hold_end = 0.;
           hint = None;
           d_gen = 0;
@@ -236,13 +238,19 @@ let run ?obs (cfg : config) ~seed =
     let c = clients.(idx) in
     c.session <- None;
     c.attempts <- 0;
+    c.prev_delay <- 0;
     if !minted >= cfg.sessions_target then set_finished c
     else begin_session_attempt idx ~at:(!sim_now +. next_in)
   in
 
+  (* Decorrelated jitter: each client's next delay depends on its own
+     previous draw, so clients shed off the same overloaded shard do not
+     re-arrive in lockstep the way a shared exponential ladder makes
+     them. *)
   let backoff c =
-    float_of_int (Retry.backoff_delay retry_policy ~attempt:(max 1 c.attempts))
-    *. cfg.backoff_unit
+    let d = Retry.jittered_delay retry_policy ~rng ~prev:c.prev_delay in
+    c.prev_delay <- d;
+    float_of_int d *. cfg.backoff_unit
   in
 
   let retry_or_abandon idx =

@@ -45,6 +45,40 @@ let test_backoff_delays () =
     [ 1; 2; 4; 8; 16; 32; 64; 64 ]
     (List.map (fun a -> Retry.backoff_delay policy ~attempt:a) [ 1; 2; 3; 4; 5; 6; 7; 8 ])
 
+let test_jittered_delay_bounds () =
+  let policy = Retry.make_policy ~attempts:8 ~base_delay:1 ~max_delay:64 () in
+  let rng = Xoshiro.create 99L in
+  (* Walk a long decorrelated chain: every step stays inside the policy
+     envelope [base, max] and inside the decorrelation cap 3*prev (with
+     prev clamped up to base, so a zero seed cannot pin the chain). *)
+  let prev = ref 0 in
+  for _ = 1 to 2_000 do
+    let d = Retry.jittered_delay policy ~rng ~prev:!prev in
+    check Alcotest.bool "at least base delay" true (d >= 1);
+    check Alcotest.bool "at most max delay" true (d <= 64);
+    check Alcotest.bool "within 3x the previous delay" true (d <= 3 * max 1 !prev);
+    prev := d
+  done;
+  (* The chain must actually spread: a degenerate implementation that
+     always answers base would pass the bounds above. *)
+  let rng = Xoshiro.create 7L in
+  let seen = Hashtbl.create 16 in
+  let p = ref 1 in
+  for _ = 1 to 200 do
+    p := Retry.jittered_delay policy ~rng ~prev:!p;
+    Hashtbl.replace seen !p ()
+  done;
+  check Alcotest.bool "delays spread over the range" true (Hashtbl.length seen >= 8);
+  (* Determinism: the same rng seed walks the same chain. *)
+  let walk seed =
+    let rng = Xoshiro.create seed in
+    let p = ref 1 in
+    List.init 50 (fun _ ->
+        p := Retry.jittered_delay policy ~rng ~prev:!p;
+        !p)
+  in
+  check Alcotest.(list int) "same seed, same chain" (walk 21L) (walk 21L)
+
 let test_retry_tas_wins_after_faults () =
   let program =
     let* won = Retry.tas_name 0 in
@@ -655,6 +689,7 @@ let tests =
     ( "faults.retry",
       [
         Alcotest.test_case "backoff delays" `Quick test_backoff_delays;
+        Alcotest.test_case "jittered delay bounds" `Quick test_jittered_delay_bounds;
         Alcotest.test_case "tas wins after faults" `Quick test_retry_tas_wins_after_faults;
         Alcotest.test_case "tas exhaustion is lost" `Quick test_retry_tas_exhaustion_is_lost;
         Alcotest.test_case "time budget on a virtual clock" `Quick

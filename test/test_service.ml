@@ -13,6 +13,9 @@ module Churn = Renaming_service.Churn
 module Router = Renaming_service.Router
 module Shard = Renaming_service.Shard
 module Shard_churn = Renaming_service.Shard_churn
+module Transport = Renaming_service.Transport
+module Dedup = Renaming_service.Dedup
+module Net_churn = Renaming_service.Net_churn
 module Clock = Renaming_clock.Clock
 module Xoshiro = Renaming_rng.Xoshiro
 module Obs = Renaming_obs.Obs
@@ -735,6 +738,291 @@ let test_shard_churn_deterministic () =
     || c.Shard_churn.retries <> a.Shard_churn.retries
     || c.Shard_churn.client_crashes <> a.Shard_churn.client_crashes)
 
+(* ------------------------------------------------------------------ *)
+(* Transport: deterministic lossy messaging with bounded delivery.    *)
+
+let lossy_faults () =
+  Transport.make_faults ~drop:0.2 ~duplicate:0.2 ~delay_min:0.01 ~delay_max:0.3
+    ~reorder:0.4 ~reorder_extra:0.5 ()
+
+let test_transport_deterministic_and_bounded () =
+  let run () =
+    let tr = Transport.create ~faults:(lossy_faults ()) ~rng:(Xoshiro.create 77L) () in
+    check (Alcotest.float 1e-9) "delivery bound exposed" 0.8 (Transport.max_delay tr);
+    for i = 0 to 199 do
+      Transport.send tr ~now:(float_of_int i *. 0.01) ~src:(Transport.Client i)
+        ~dst:Transport.Router i
+    done;
+    let log = ref [] in
+    let rec pump () =
+      match Transport.next_delivery tr with
+      | None -> ()
+      | Some at ->
+        List.iter
+          (fun (_, _, payload) -> log := (at, payload) :: !log)
+          (Transport.deliver tr ~now:at);
+        pump ()
+    in
+    pump ();
+    check Alcotest.int "drained" 0 (Transport.in_flight tr);
+    (List.rev !log, Transport.stats tr)
+  in
+  let log_a, st_a = run () in
+  let log_b, st_b = run () in
+  check Alcotest.bool "same seed, same deliveries" true (log_a = log_b);
+  check Alcotest.bool "same seed, same stats" true (st_a = st_b);
+  check Alcotest.bool "drops fired" true (st_a.Transport.dropped > 0);
+  check Alcotest.bool "duplicates fired" true (st_a.Transport.duplicated > 0);
+  check Alcotest.bool "reorders fired" true (st_a.Transport.reordered > 0);
+  (* Conservation: everything accepted (plus its duplicate copies) came
+     out, and nothing took longer than the advertised bound. *)
+  check Alcotest.int "delivered = sent + duplicated"
+    (st_a.Transport.sent + st_a.Transport.duplicated)
+    st_a.Transport.delivered;
+  List.iter
+    (fun (at, payload) ->
+      let sent_at = float_of_int payload *. 0.01 in
+      check Alcotest.bool "within max_delay of the send" true
+        (at -. sent_at <= 0.8 +. 1e-9))
+    log_a
+
+let test_transport_partition_directional () =
+  let tr = Transport.create ~rng:(Xoshiro.create 5L) () in
+  Transport.partition tr ~src:(Transport.Shard 0) ~dst:Transport.Router ~until:5.0;
+  (* The rule is directional: shard->router heartbeats vanish while
+     router->shard requests still flow. *)
+  Transport.send tr ~now:1.0 ~src:(Transport.Shard 0) ~dst:Transport.Router "hb";
+  Transport.send tr ~now:1.0 ~src:Transport.Router ~dst:(Transport.Shard 0) "req";
+  let st = Transport.stats tr in
+  check Alcotest.int "heartbeat blocked" 1 st.Transport.blocked;
+  check Alcotest.int "reverse direction unaffected" 1 st.Transport.sent;
+  check Alcotest.bool "partitioned while the deadline holds" true
+    (Transport.partitioned tr ~now:4.9 ~src:(Transport.Shard 0) ~dst:Transport.Router);
+  (* Deadline passes: the rule self-heals at send time. *)
+  check Alcotest.bool "healed at the deadline" false
+    (Transport.partitioned tr ~now:5.0 ~src:(Transport.Shard 0) ~dst:Transport.Router);
+  Transport.send tr ~now:5.0 ~src:(Transport.Shard 0) ~dst:Transport.Router "hb2";
+  check Alcotest.int "accepted after heal" 2 (Transport.stats tr).Transport.sent;
+  (* An explicit heal removes a rule before its deadline. *)
+  Transport.partition tr ~src:Transport.Router ~dst:(Transport.Shard 1) ~until:99.0;
+  Transport.heal tr ~src:Transport.Router ~dst:(Transport.Shard 1);
+  check Alcotest.bool "explicit heal" false
+    (Transport.partitioned tr ~now:6.0 ~src:Transport.Router ~dst:(Transport.Shard 1))
+
+(* ------------------------------------------------------------------ *)
+(* Dedup: at-most-once verdicts and the bounded-window eviction hazard. *)
+
+let test_dedup_verdicts () =
+  let d = Dedup.create () in
+  (match Dedup.admit d ~client:7 ~seq:1 ~now:0.0 with
+  | Dedup.Fresh -> ()
+  | _ -> Alcotest.fail "first delivery must be fresh");
+  Dedup.record d ~client:7 ~seq:1 ~now:0.0 "granted:3";
+  (* A retransmit replays the cached reply without re-executing. *)
+  (match Dedup.admit d ~client:7 ~seq:1 ~now:0.5 with
+  | Dedup.Replay r -> check Alcotest.string "cached reply" "granted:3" r
+  | _ -> Alcotest.fail "retransmit must replay");
+  (* The client moves on; a reordered straggler of seq 1 is stale. *)
+  (match Dedup.admit d ~client:7 ~seq:2 ~now:1.0 with
+  | Dedup.Fresh -> ()
+  | _ -> Alcotest.fail "next sequence must be fresh");
+  Dedup.record d ~client:7 ~seq:2 ~now:1.0 "queued";
+  (match Dedup.admit d ~client:7 ~seq:1 ~now:1.5 with
+  | Dedup.Stale -> ()
+  | _ -> Alcotest.fail "overtaken duplicate must be stale");
+  (* Re-recording the same sequence upgrades the cached reply (a queued
+     request completing): later retransmits replay the final outcome. *)
+  Dedup.record d ~client:7 ~seq:2 ~now:2.0 "granted:5";
+  (match Dedup.admit d ~client:7 ~seq:2 ~now:2.5 with
+  | Dedup.Replay r -> check Alcotest.string "upgraded reply" "granted:5" r
+  | _ -> Alcotest.fail "final outcome must replay");
+  let st = Dedup.stats d in
+  check Alcotest.int "fresh" 2 st.Dedup.fresh;
+  check Alcotest.int "replays" 2 st.Dedup.replays;
+  check Alcotest.int "stale" 1 st.Dedup.stale
+
+let test_dedup_eviction_window () =
+  let d = Dedup.create ~window:5.0 () in
+  (match Dedup.admit d ~client:1 ~seq:1 ~now:0.0 with
+  | Dedup.Fresh -> Dedup.record d ~client:1 ~seq:1 ~now:0.0 "reply"
+  | _ -> Alcotest.fail "fresh");
+  check Alcotest.int "entry live" 1 (Dedup.entries d);
+  check Alcotest.int "young entry survives" 0 (Dedup.sweep d ~now:4.0);
+  check Alcotest.int "idle entry evicted" 1 (Dedup.sweep d ~now:6.0);
+  check Alcotest.int "table empty" 0 (Dedup.entries d);
+  (* This is exactly why the window must outlive the retry horizon plus
+     the network's delivery bound: after eviction a late duplicate of
+     seq 1 is indistinguishable from a new request and re-executes. *)
+  (match Dedup.admit d ~client:1 ~seq:1 ~now:7.0 with
+  | Dedup.Fresh -> ()
+  | _ -> Alcotest.fail "post-eviction duplicate admits as fresh");
+  check Alcotest.int "eviction counted" 1 (Dedup.stats d).Dedup.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Failure detector: suspicion, recovery with re-own, incarnation.    *)
+
+let detector_fixture () =
+  let t, r = router_fixture () in
+  Router.enable_detector r ~suspicion:2.0;
+  (t, r)
+
+let test_router_detector_suspicion_and_recovery () =
+  let t, r = detector_fixture () in
+  let g = grant_on r ~session:1 ~key:0 in
+  let fence = Router.fence_of_grant g in
+  t := 1.0;
+  Router.heartbeat r ~shard:0 ~incarnation:0;
+  t := 2.5;
+  ignore (Router.pump r);
+  check Alcotest.bool "fresh heartbeat keeps it available" false (Router.suspected r ~shard:0);
+  (* Heartbeats go quiet: at last + suspicion the sweep flags the shard
+     and routing stops forwarding, even though the body is fine. *)
+  t := 3.5;
+  ignore (Router.pump r);
+  check Alcotest.bool "silence past suspicion" true (Router.suspected r ~shard:0);
+  (match Router.route r ~slice:0 with
+  | Error (Router.Shard_down _) -> ()
+  | _ -> Alcotest.fail "suspected shard must not be routed to");
+  (match Router.acquire r ~session:2 ~key:0 with
+  | Router.Busy _ -> ()
+  | _ -> Alcotest.fail "suspected acquire must be busy");
+  (* A late heartbeat heals the false suspicion: the orphaned slices are
+     handed back at the same epoch with every lease intact. *)
+  t := 4.0;
+  Router.heartbeat r ~shard:0 ~incarnation:0;
+  check Alcotest.bool "suspicion cleared" false (Router.suspected r ~shard:0);
+  let d = Option.get (Router.detector_stats r) in
+  check Alcotest.bool "suspicion counted" true (d.Router.suspicions >= 1);
+  check Alcotest.int "recovery counted" 1 d.Router.recoveries;
+  check Alcotest.bool "slices re-owned" true (d.Router.reowns >= 1);
+  check Alcotest.int "no incarnation orphans" 0 d.Router.incarnation_orphans;
+  (match Router.renew r ~fence with
+  | Ok _ -> ()
+  | _ -> Alcotest.fail "false suspicion must never cost a live lease");
+  match Router.acquire r ~session:3 ~key:0 with
+  | Router.Granted _ -> ()
+  | _ -> Alcotest.fail "recovered shard must serve"
+
+let test_router_detector_incarnation_orphans () =
+  let t, r = detector_fixture () in
+  let g = grant_on r ~session:1 ~key:0 in
+  let fence = Router.fence_of_grant g in
+  t := 1.0;
+  (* A higher incarnation number announces an amnesiac restart while the
+     shard was never suspected: everything the previous incarnation
+     owned is orphaned immediately — the detector cannot wait for the
+     sweep, because the new incarnation heartbeats happily. *)
+  Router.heartbeat r ~shard:0 ~incarnation:1;
+  let d = Option.get (Router.detector_stats r) in
+  check Alcotest.int "previous incarnation's slices orphaned" 2
+    d.Router.incarnation_orphans;
+  check Alcotest.int "not a suspicion" 0 d.Router.suspicions;
+  (match Router.renew r ~fence with
+  | Error (`Busy _) -> ()
+  | _ -> Alcotest.fail "orphaned renew must be busy");
+  (* After grace the orphans are adopted at a bumped epoch and the old
+     incarnation's fence is dead.  Adoption runs on the detector view,
+     so the survivors must be heartbeating to be eligible adopters. *)
+  t := 14.0;
+  for shard = 1 to 3 do
+    Router.heartbeat r ~shard ~incarnation:0
+  done;
+  Router.heartbeat r ~shard:0 ~incarnation:1;
+  ignore (Router.pump r);
+  check Alcotest.bool "adopted after grace" true ((Router.stats r).Router.adoptions >= 1);
+  match Router.renew r ~fence with
+  | Error `Fenced -> ()
+  | _ -> Alcotest.fail "pre-restart fence must be fenced after adoption"
+
+(* ------------------------------------------------------------------ *)
+(* Net churn: end-to-end safety over the lossy transport, determinism. *)
+
+let net_churn_cfg () =
+  Net_churn.make_config ~clients:24 ~sessions_target:400
+    ~faults:
+      (Transport.make_faults ~drop:0.05 ~duplicate:0.1 ~delay_min:0.01 ~delay_max:0.08
+         ~reorder:0.15 ~reorder_extra:0.2 ())
+    ~shard_crash:{ Net_churn.c_every = 30.0; c_restart = 2.0 }
+    ()
+
+let test_net_churn_safety () =
+  let s = Net_churn.run (net_churn_cfg ()) ~seed:0xD15EA5EL in
+  check Alcotest.int "all sessions ran" 400 s.Net_churn.sessions;
+  check Alcotest.bool "no livelock" false s.Net_churn.livelocked;
+  (match s.Net_churn.violation with
+  | None -> ()
+  | Some (kind, msg) -> Alcotest.fail (Printf.sprintf "audit violation %s: %s" kind msg));
+  check Alcotest.int "at-most-once end to end" 0 s.Net_churn.double_grants;
+  check Alcotest.int "no unexpected fences" 0 s.Net_churn.unexpected_fenced;
+  check Alcotest.int "no fencing holes for ghosts" 0 s.Net_churn.stale_ok;
+  check Alcotest.int "no cross-shard uniqueness breach" 0 s.Net_churn.gaudit_violations;
+  (* The faults must actually have fired for the run to prove anything. *)
+  check Alcotest.bool "network faults exercised" true
+    (s.Net_churn.net.Transport.dropped > 0
+    && s.Net_churn.net.Transport.duplicated > 0
+    && s.Net_churn.dedup.Dedup.replays > 0
+    && s.Net_churn.resends > 0
+    && s.Net_churn.shard_crashes > 0)
+
+let test_net_churn_deterministic () =
+  let run () = Net_churn.run (net_churn_cfg ()) ~seed:0xFACEL in
+  let a = run () and b = run () in
+  check Alcotest.bool "same seed, same summary" true (a = b);
+  let c = Net_churn.run (net_churn_cfg ()) ~seed:0xFACE2L in
+  check Alcotest.bool "different seed, different trajectory" true
+    (c.Net_churn.events <> a.Net_churn.events
+    || c.Net_churn.resends <> a.Net_churn.resends
+    || c.Net_churn.net.Transport.dropped <> a.Net_churn.net.Transport.dropped)
+
+let test_net_churn_config_validation () =
+  let faults = Transport.make_faults ~delay_min:0.01 ~delay_max:0.1 () in
+  (* Each sizing rule from docs/fault_model.md §8 is enforced, not
+     merely documented. *)
+  (match Net_churn.make_config ~hb_every:2.0 ~suspicion:1.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "suspicion <= hb_every must be rejected");
+  (match Net_churn.make_config ~faults ~dedup_window:0.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dedup window below the retry horizon must be rejected");
+  match
+    Net_churn.make_config
+      ~router:(Router.make_config ~ttl:15.0 ~grace:15.0 ~auto_rebalance:false ())
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "grace below ttl + heartbeat + 2*delay must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Admission deadline expiry is a first-class observable.             *)
+
+let test_service_deadline_expired_metric () =
+  let obs = Obs.create () in
+  let time, clock = manual_clock () in
+  let cfg =
+    Service.make_config
+      ~lease:(Lease.make_config ~capacity:1 ~ttl:50.0 ())
+      ~admission:
+        (Admission.make_config ~queue_limit:4 ~request_timeout:1.0 ~high_water:1.5 ())
+      ()
+  in
+  let svc = Service.create ~obs ~clock ~rng:(Xoshiro.create 3L) cfg in
+  (match Service.acquire svc ~session:1 with
+  | Service.Granted _ -> ()
+  | _ -> Alcotest.fail "grant 1");
+  (match Service.acquire svc ~session:2 with
+  | Service.Queued _ -> ()
+  | _ -> Alcotest.fail "queue 2");
+  check Alcotest.int "nothing expired yet" 0 (Service.deadline_expired svc);
+  (* The queued request hits its deadline while the slot is still held:
+     the pump reports Timed_out and the counter must agree. *)
+  time := 2.0;
+  (match Service.pump svc with
+  | [ Service.Timed_out { session = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "expected the queued request to time out");
+  check Alcotest.int "accessor counts the expiry" 1 (Service.deadline_expired svc);
+  check Alcotest.(option int) "admission/deadline_expired counter mirrors it" (Some 1)
+    (Metrics.find_counter (Obs.metrics obs) "admission/deadline_expired")
+
 let tests =
   [
     ( "service",
@@ -763,6 +1051,22 @@ let tests =
         Alcotest.test_case "router: stall heals" `Quick test_router_stall_heals;
         Alcotest.test_case "shard churn: safety" `Quick test_shard_churn_safety;
         Alcotest.test_case "shard churn: deterministic" `Quick test_shard_churn_deterministic;
+        Alcotest.test_case "transport: deterministic + bounded" `Quick
+          test_transport_deterministic_and_bounded;
+        Alcotest.test_case "transport: directional partition" `Quick
+          test_transport_partition_directional;
+        Alcotest.test_case "dedup: verdicts" `Quick test_dedup_verdicts;
+        Alcotest.test_case "dedup: eviction window" `Quick test_dedup_eviction_window;
+        Alcotest.test_case "detector: suspicion + recovery" `Quick
+          test_router_detector_suspicion_and_recovery;
+        Alcotest.test_case "detector: incarnation orphans" `Quick
+          test_router_detector_incarnation_orphans;
+        Alcotest.test_case "net churn: safety" `Quick test_net_churn_safety;
+        Alcotest.test_case "net churn: deterministic" `Quick test_net_churn_deterministic;
+        Alcotest.test_case "net churn: config validation" `Quick
+          test_net_churn_config_validation;
+        Alcotest.test_case "service: deadline-expiry metric" `Quick
+          test_service_deadline_expired_metric;
         QCheck_alcotest.to_alcotest qcheck_compact_preserves_pop_order;
         QCheck_alcotest.to_alcotest qcheck_expiry_monotone;
         QCheck_alcotest.to_alcotest qcheck_reclaim_never_revokes_renewed;

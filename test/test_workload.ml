@@ -94,6 +94,61 @@ let test_crash_burst_validation () =
     (Invalid_argument "Crash_pattern.burst: failures must be >= 1") (fun () ->
       ignore (Crash_pattern.burst ~rng ~n:4 ~failures:0 ~at:0 ~width:2))
 
+let test_crash_burst_wider_than_population () =
+  (* A burst window far wider than the population is legal: the window
+     bounds *times*, not pids, so the schedule simply spreads the few
+     crashes thinly across it. *)
+  let rng = Renaming_rng.Xoshiro.create 17L in
+  let crashes = Crash_pattern.burst ~rng ~n:4 ~failures:3 ~at:2 ~width:100 in
+  check Alcotest.int "count" 3 (List.length crashes);
+  let distinct = List.sort_uniq compare (List.map snd crashes) in
+  check Alcotest.int "distinct pids" 3 (List.length distinct);
+  List.iter
+    (fun (t, pid) ->
+      check Alcotest.bool "time in the wide window" true (t >= 2 && t < 102);
+      check Alcotest.bool "pid in the small population" true (pid >= 0 && pid < 4))
+    crashes
+
+let test_crash_zero_length_schedule () =
+  (* The patterns that document [failures = 0] yield an empty schedule —
+     a run with no crash events, not an error. *)
+  let rng = Renaming_rng.Xoshiro.create 17L in
+  check
+    Alcotest.(list (pair int int))
+    "random: empty" []
+    (Crash_pattern.random ~rng ~n:6 ~failures:0 ~horizon:10);
+  check
+    Alcotest.(list (pair int int))
+    "spread: empty" []
+    (Crash_pattern.spread ~n:6 ~failures:0 ~horizon:10);
+  check
+    Alcotest.(list (pair int int))
+    "early_half: empty" []
+    (Crash_pattern.early_half ~n:6 ~failures:0)
+
+let test_crash_back_to_back_bursts () =
+  (* Two bursts whose windows tile without a gap ([at, at+w) then
+     [at+w, at+2w)) compose into one schedule: correlated failure waves
+     hitting in quick succession.  Times stay inside their own window,
+     so the waves never interleave even though the draws share an rng. *)
+  let rng = Renaming_rng.Xoshiro.create 23L in
+  let wave1 = Crash_pattern.burst ~rng ~n:20 ~failures:4 ~at:5 ~width:3 in
+  let wave2 = Crash_pattern.burst ~rng ~n:20 ~failures:4 ~at:8 ~width:3 in
+  List.iter
+    (fun (t, _) -> check Alcotest.bool "wave 1 inside [5, 8)" true (t >= 5 && t < 8))
+    wave1;
+  List.iter
+    (fun (t, _) -> check Alcotest.bool "wave 2 inside [8, 11)" true (t >= 8 && t < 11))
+    wave2;
+  let combined = wave1 @ wave2 in
+  check Alcotest.int "combined schedule size" 8 (List.length combined);
+  (* Within a wave pids are distinct; across waves they may repeat (a
+     restarted process can be hit again), which the combined schedule
+     must tolerate without collapsing entries. *)
+  let per_wave w = List.length (List.sort_uniq compare (List.map snd w)) in
+  check Alcotest.int "wave 1 distinct pids" 4 (per_wave wave1);
+  check Alcotest.int "wave 2 distinct pids" 4 (per_wave wave2)
+
 (* Shared bounds contract: every pattern emits distinct in-range pids and
    non-negative times, exactly [failures] of them. *)
 let test_crash_bounds_all_patterns () =
@@ -219,6 +274,10 @@ let tests =
         Alcotest.test_case "crash burst" `Quick test_crash_burst_properties;
         Alcotest.test_case "crash burst width one" `Quick test_crash_burst_width_one;
         Alcotest.test_case "crash burst validation" `Quick test_crash_burst_validation;
+        Alcotest.test_case "crash burst wider than population" `Quick
+          test_crash_burst_wider_than_population;
+        Alcotest.test_case "crash zero-length schedule" `Quick test_crash_zero_length_schedule;
+        Alcotest.test_case "crash back-to-back bursts" `Quick test_crash_back_to_back_bursts;
         Alcotest.test_case "crash bounds all patterns" `Quick test_crash_bounds_all_patterns;
         Alcotest.test_case "crash validation" `Quick test_crash_validation;
         Alcotest.test_case "crash empty" `Quick test_crash_empty;
