@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full chaos chaos-service chaos-service-smoke chaos-sharded chaos-sharded-smoke chaos-net chaos-net-smoke mcheck mcheck-tier1 mcheck-dpor-tier1 fuzz fuzz-smoke analyze examples clean loc
+.PHONY: all build test bench bench-full chaos chaos-service chaos-service-smoke chaos-sharded chaos-sharded-smoke chaos-net chaos-net-smoke mcheck mcheck-tier1 mcheck-dpor-tier1 fuzz fuzz-smoke refine refine-smoke analyze examples clean loc
 
 all: build test
 
@@ -102,6 +102,21 @@ fuzz:
 # The fixed-seed, small-budget CI configuration: seeded mutants only.
 fuzz-smoke:
 	dune exec bin/main.exe -- fuzz --mutants-only --seed 1 --iterations 200 --out results/fuzz-smoke.json
+
+# The refinement harness: every backend (one-shot executors under
+# chaos/mcheck/fuzz, the lease service, the sharded router, the
+# unreliable-transport path) checked online against the one centralized
+# renaming spec (docs/refinement.md), internal steps refining to
+# stutters, plus the seeded spec-divergence mutant self-test (must be
+# caught, ddmin-shrunk and round-tripped).  Exits nonzero on any
+# refinement violation or a missed mutant; JSON lands in
+# results/refine.json (schema renaming.refine/1).
+refine:
+	dune exec bin/main.exe -- refine
+
+# Seconds-long CI configuration of the same harness.
+refine-smoke:
+	dune exec bin/main.exe -- refine --smoke --out results/refine-smoke.json
 
 # Static analysis: the commutation-audited independence oracle (the
 # footprint table mcheck's DPOR race detection prunes with,

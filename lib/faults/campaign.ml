@@ -1,4 +1,5 @@
 module Executor = Renaming_sched.Executor
+module Memory = Renaming_sched.Memory
 module Adversary = Renaming_sched.Adversary
 module Report = Renaming_sched.Report
 module Trace = Renaming_sched.Trace
@@ -98,7 +99,7 @@ let choices_of_trace trace ~faulted =
       | Trace.Recovered { pid; _ } -> Directed.Recover pid)
     (Trace.events trace)
 
-let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
+let run_cell ?refine ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
   let violations = ref 0 in
   let messages = ref [] in
   let repros = ref [] in
@@ -133,10 +134,21 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
         Monitor.create ~check_ownership:algo.check_ownership ~memory:inst.Executor.memory
           ~processes:n ()
       in
+      (* The refinement checker (when attached) runs after the monitor,
+         with a fresh state per run. *)
+      let on_event =
+        match refine with
+        | None -> Monitor.hook monitor
+        | Some make ->
+          let rhook =
+            make ~name:algo.algo_name ~namespace:(Memory.namespace inst.Executor.memory)
+          and mhook = Monitor.hook monitor in
+          fun ev ->
+            mhook ev;
+            rhook ev
+      in
       (try
-         let report =
-           Executor.run ~max_ticks ~inject ~on_event:(Monitor.hook monitor) ~adversary inst
-         in
+         let report = Executor.run ~max_ticks ~inject ~on_event ~adversary inst in
          Monitor.finalize monitor report;
          (* Belt and braces: the monitor already checks uniqueness and
             bounds online; a post-hoc failure here means the monitor has
@@ -167,7 +179,13 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
              tau_cadence = 1;
            }
          in
-         (match Shrink.shrink shrink_input with
+         let extra =
+           Option.map
+             (fun make () ->
+               make ~name:algo.algo_name ~namespace:(Memory.namespace inst.Executor.memory))
+             refine
+         in
+         (match Shrink.shrink ?extra shrink_input with
          | Some r ->
            repros :=
              {
@@ -204,7 +222,7 @@ let run_cell ~max_ticks ~seeds ~baseline_max_steps algo adv pattern rate =
     c_repros = List.rev !repros;
   }
 
-let run ?progress ?obs spec =
+let run ?progress ?obs ?refine spec =
   let report_progress =
     match progress with Some f -> f | None -> fun ~done_:_ ~total:_ -> ()
   in
@@ -224,8 +242,8 @@ let run ?progress ?obs spec =
                 List.map
                   (fun rate ->
                     let cell =
-                      run_cell ~max_ticks:spec.max_ticks ~seeds:spec.seeds ~baseline_max_steps
-                        algo adv pattern rate
+                      run_cell ?refine ~max_ticks:spec.max_ticks ~seeds:spec.seeds
+                        ~baseline_max_steps algo adv pattern rate
                     in
                     incr done_cells;
                     report_progress ~done_:!done_cells ~total:total_cells;

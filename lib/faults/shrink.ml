@@ -21,15 +21,26 @@ type result = {
   r_replays : int;
 }
 
-let execute input prefix =
+let execute ?extra input prefix =
   let inst = input.build () in
   let monitor =
     Monitor.create ~check_ownership:input.check_ownership ~memory:inst.Executor.memory
       ~processes:(Array.length inst.Executor.programs) ()
   in
+  (* The extra hook gets a fresh state per replay and runs after the
+     monitor, so a failure the monitor can already see keeps its kind. *)
+  let on_event =
+    match extra with
+    | None -> Monitor.hook monitor
+    | Some make ->
+      let hook = make () and mhook = Monitor.hook monitor in
+      fun ev ->
+        mhook ev;
+        hook ev
+  in
   let run =
-    Directed.run ~max_ticks:input.max_ticks ~tau_cadence:input.tau_cadence
-      ~on_event:(Monitor.hook monitor) ~prefix inst
+    Directed.run ~max_ticks:input.max_ticks ~tau_cadence:input.tau_cadence ~on_event ~prefix
+      inst
   in
   let failure =
     match run.Directed.outcome with
@@ -82,9 +93,9 @@ let rec ddmin test lst n =
     | None -> if n < len then ddmin test lst (min len (2 * n)) else lst
   end
 
-let shrink ?(max_replays = 4000) input =
+let shrink ?(max_replays = 4000) ?extra input =
   let replays = ref 1 in
-  let run0, fail0 = execute input input.choices in
+  let run0, fail0 = execute ?extra input input.choices in
   match fail0 with
   | None -> None
   | Some f0 ->
@@ -94,7 +105,7 @@ let shrink ?(max_replays = 4000) input =
       if !replays >= max_replays then false
       else begin
         incr replays;
-        match execute input candidate with
+        match execute ?extra input candidate with
         | _, Some f when String.equal f.f_kind kind ->
           last_failure := f;
           true

@@ -48,18 +48,30 @@ type result = {
 }
 
 val execute :
+  ?extra:(unit -> Renaming_sched.Executor.event -> unit) ->
   input ->
   Renaming_sched.Directed.choice list ->
   Renaming_sched.Directed.result * failure option
 (** One monitored replay of a candidate prefix (permissive mode):
     builds a fresh instance, runs it under the safety monitor, and
-    classifies the outcome.  [None] means the run completed cleanly. *)
+    classifies the outcome.  [None] means the run completed cleanly.
 
-val shrink : ?max_replays:int -> input -> result option
+    [extra] builds an additional per-replay event hook, composed after
+    the monitor's — the refinement checker rides replays this way.  A
+    violation it raises as {!Monitor.Violation} classifies like any
+    other (so ["refine:..."] kinds shrink with exact-kind matching);
+    the monitor runs first so failures both can see keep their
+    original kind. *)
+
+val shrink :
+  ?max_replays:int ->
+  ?extra:(unit -> Renaming_sched.Executor.event -> unit) ->
+  input ->
+  result option
 (** [None] if [input.choices] does not fail in the first place.
     [max_replays] (default [4000]) caps total executions; if the budget
     runs out the result is still a valid counterexample, just not
-    necessarily 1-minimal. *)
+    necessarily 1-minimal.  [extra] as in {!execute}. *)
 
 type trace_format =
   | Choices  (** one {!Renaming_sched.Directed.choice_to_string} line per choice *)

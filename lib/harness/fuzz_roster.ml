@@ -42,6 +42,10 @@ let uniform_probing ~n ~seed =
 let linear_scan ~n ~seed:_ =
   Renaming_baselines.Linear_scan.instance { Renaming_baselines.Linear_scan.n; m = n }
 
+let grant_model ~n ~seed = Renaming_refine.Grant_model.instance ~n ~seed
+
+let grant_model_regrant ~n ~seed = Renaming_refine.Grant_model.instance_regrant ~n ~seed
+
 (* --- seeded mutants: deliberately broken programs whose bugs need an
    adversarial schedule.  Each is clean under the fair round-robin
    baseline (so the plain test suite cannot see the bug) and breaks only
@@ -180,6 +184,17 @@ let clean () =
       (fun ~seed -> uniform_probing ~n:3 ~seed);
     target ~name:"linear-scan-n4" ~n:4 ~allow_faults:true ~allow_crashes:true
       (fun ~seed -> linear_scan ~n:4 ~seed);
+    (* Grant/reclaim announce model (Renaming_refine.Grant_model): every
+       protocol action is self-reported on the announce word, so this is
+       the one target whose whole observable behaviour the refinement
+       checker sees verbatim.  Grants live in announces, not namespace
+       TASes, so ownership checking is off; settle locks make it legal
+       under every schedule and crash.  Transient faults stay off: a
+       faulted announce write silently drops an event, and refining an
+       incomplete observable trace is meaningless (the spec would blame
+       the next legitimate event). *)
+    target ~name:"refine-grant-n2" ~n:2 ~check_ownership:false ~allow_crashes:true
+      (fun ~seed -> grant_model ~n:2 ~seed);
   ]
 
 let mutants () =
@@ -220,11 +235,27 @@ let mutants () =
       (fun ~seed -> Renaming_service.Net_dedup.instance_evict ~n:3 ~seed);
   ]
 
+let refine_mutants () =
+  [
+    (* Post-reclaim double grant: the reclaimer announces the reclaim
+       and then re-announces the grant for a session that never
+       re-invoked.  Invisible to the safety monitor (no name is ever
+       double-held in memory) and to the fair baseline (clients settle
+       before the reclaimer's sweep); only the refinement checker, fed
+       the announce stream, can flag it — so this mutant belongs to the
+       fuzz roster only when the campaign runs with [~refine]. *)
+    target ~name:"mutant-refine-regrant" ~n:2 ~check_ownership:false ~allow_crashes:true
+      ~expect_violation:true
+      (fun ~seed -> grant_model_regrant ~n:2 ~seed);
+  ]
+
 let roster () = clean () @ mutants ()
 
 let builder ~name ~n =
   match
-    List.find_opt (fun t -> String.equal t.Fuzz.fz_name name && t.Fuzz.fz_n = n) (roster ())
+    List.find_opt
+      (fun t -> String.equal t.Fuzz.fz_name name && t.Fuzz.fz_n = n)
+      (roster () @ refine_mutants ())
   with
   | Some t -> Some t.Fuzz.fz_build
   | None -> None

@@ -19,8 +19,17 @@ val clean : unit -> Renaming_fuzz.Fuzz.target list
 
 val mutants : unit -> Renaming_fuzz.Fuzz.target list
 
+val refine_mutants : unit -> Renaming_fuzz.Fuzz.target list
+(** Mutants only the refinement checker can see (their bug is a
+    spec-inexplicable announce, not a memory-level safety violation):
+    today the post-reclaim double grant of
+    {!Renaming_refine.Grant_model.instance_regrant}.  Append them to the
+    campaign only when {!Renaming_fuzz.Fuzz.run} gets [~refine] — without
+    it they can never be found and would fail the campaign vacuously. *)
+
 val roster : unit -> Renaming_fuzz.Fuzz.target list
-(** [clean () @ mutants ()]. *)
+(** [clean () @ mutants ()] — the refine-blind campaign;
+    {!refine_mutants} ride along only under [~refine]. *)
 
 val builder :
   name:string ->

@@ -46,6 +46,8 @@ let tight ~n ~seed =
   let params = Params.make ~policy:Params.Mass_conserving ~n () in
   Renaming_core.Tight.instance ~params ~stream:(Stream.create seed) ()
 
+let grant_model ~n ~seed = Renaming_refine.Grant_model.instance ~n ~seed
+
 let entry ?(check_ownership = true) ?baseline ~name ~n ~build ~bounds () =
   {
     e_name = name;
@@ -130,6 +132,16 @@ let roster () =
     entry ~name:"net-dedup-n4" ~n:4 ~check_ownership:false
       ~build:(fun ~seed -> Renaming_service.Net_dedup.instance ~n:4 ~seed)
       ~bounds:(bounds ~preemptions:3 ()) ();
+    (* The grant/reclaim announce model (Renaming_refine.Grant_model):
+       every protocol action is self-reported on the announce word, so
+       under [renaming mcheck]'s refinement ride-along this entry proves
+       the model spec-legal on *every* schedule within bounds — crashes
+       and recoveries included, which is exactly where the spec's
+       crash-abandons-claims rule earns its keep.  Post-DPOR addition,
+       so no legacy baseline. *)
+    entry ~name:"refine-grant-n2" ~n:2 ~check_ownership:false
+      ~build:(fun ~seed -> grant_model ~n:2 ~seed)
+      ~bounds:(bounds ~preemptions:3 ~crashes:1 ~recoveries:1 ()) ();
     (* Crash/recovery and transient-fault injection variants. *)
     entry ~name:"uniform-probing-n3-crash" ~n:3 ~baseline:173
       ~build:(fun ~seed -> uniform_probing ~n:3 ~seed)
@@ -156,7 +168,7 @@ let tier1 () =
     [
       "uniform-probing-n3"; "linear-scan-n3"; "uniform-probing-n3-crash";
       "lease-handoff-n3"; "lease-handoff-n4"; "shard-handoff-n3"; "shard-handoff-n4";
-      "shard-handoff-n5"; "net-dedup-n3";
+      "shard-handoff-n5"; "net-dedup-n3"; "refine-grant-n2";
     ]
   in
   List.filter (fun e -> List.mem e.e_name keep) (roster ())
@@ -168,8 +180,18 @@ let target e =
     t_check_ownership = e.e_check_ownership;
   }
 
-let run_entry ?engine ?obs e =
-  Mcheck.check ?engine ~bounds:e.e_bounds ?baseline:e.e_baseline ?obs (target e)
+let run_entry ?engine ?obs ?refine e =
+  let refine =
+    Option.map
+      (fun make ->
+        let namespace =
+          Renaming_sched.Memory.namespace
+            (e.e_build ~seed:e.e_seed).Renaming_sched.Executor.memory
+        in
+        fun () -> make ~name:e.e_name ~namespace)
+      refine
+  in
+  Mcheck.check ?engine ~bounds:e.e_bounds ?baseline:e.e_baseline ?obs ?refine (target e)
 
 let repro_of_case e (c : Mcheck.case) =
   match c.Mcheck.v_shrunk with
@@ -207,4 +229,5 @@ let check_ownership_of ~name =
   let prefixed p = String.length name >= String.length p && String.sub name 0 (String.length p) = p in
   not
     (prefixed "lease-handoff" || prefixed "mutant-lease" || prefixed "shard-handoff"
-   || prefixed "mutant-shard" || prefixed "net-dedup" || prefixed "mutant-net")
+   || prefixed "mutant-shard" || prefixed "net-dedup" || prefixed "mutant-net"
+   || prefixed "refine-grant" || prefixed "mutant-refine")

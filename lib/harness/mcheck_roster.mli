@@ -37,10 +37,14 @@ val target : entry -> Renaming_mcheck.Mcheck.target
 val run_entry :
   ?engine:Renaming_mcheck.Mcheck.engine ->
   ?obs:Renaming_obs.Obs.t ->
+  ?refine:(name:string -> namespace:int -> (Renaming_sched.Executor.event -> unit)) ->
   entry ->
   Renaming_mcheck.Mcheck.stats
 (** [engine] defaults to [`Dpor]; the entry's frozen [e_baseline] is
-    threaded into the stats for reduction-ratio reporting. *)
+    threaded into the stats for reduction-ratio reporting.  [refine]
+    (the campaign-factory shape, applied to the entry's name and
+    namespace) attaches a fresh refinement checker to every explored
+    schedule — see {!Renaming_mcheck.Mcheck.check}. *)
 
 val repro_of_case :
   entry -> Renaming_mcheck.Mcheck.case -> Renaming_faults.Shrink.repro option

@@ -97,7 +97,19 @@ let notify acc (run : Directed.result) =
    the [--legacy-dfs] escape hatch for differential runs against the
    DPOR engine; its schedule enumeration must stay byte-identical. *)
 
-let check_legacy ~bounds ~acc target =
+(* Compose the per-execution event hook: the monitor first (existing
+   violation kinds stay stable), then a fresh refinement checker when
+   one is attached. *)
+let monitored_hook ?refine monitor =
+  match refine with
+  | None -> Monitor.hook monitor
+  | Some make ->
+    let rhook = make () and mhook = Monitor.hook monitor in
+    fun ev ->
+      mhook ev;
+      rhook ev
+
+let check_legacy ?refine ~bounds ~acc target =
   let schedules = acc.a_schedules in
   let points = acc.a_points in
   let slept = acc.a_pruned in
@@ -118,7 +130,7 @@ let check_legacy ~bounds ~acc target =
     in
     let run =
       Directed.run ~max_ticks:bounds.b_max_ticks ~record_from:(List.length prefix)
-        ~on_event:(Monitor.hook monitor) ~prefix inst
+        ~on_event:(monitored_hook ?refine monitor) ~prefix inst
     in
     notify acc run;
     (match run.Directed.outcome with
@@ -282,7 +294,7 @@ let event_of_choice (pt : Directed.point) = function
 
 exception Budget_exceeded
 
-let check_dpor ~bounds ~acc target =
+let check_dpor ?refine ~bounds ~acc target =
   let path_rev = ref [] in
   (* path head = deepest node *)
   let depth = ref 0 in
@@ -402,7 +414,8 @@ let check_dpor ~bounds ~acc target =
       in
       let run =
         Directed.run ~max_ticks:bounds.b_max_ticks ~record_from:0
-          ?yield_rotate:bounds.b_yield_rotate ~on_event:(Monitor.hook monitor) ~prefix inst
+          ?yield_rotate:bounds.b_yield_rotate ~on_event:(monitored_hook ?refine monitor)
+          ~prefix inst
       in
       let livelocked =
         match run.Directed.outcome with
@@ -539,7 +552,7 @@ let check_dpor ~bounds ~acc target =
 (* ------------------------------------------------------------------ *)
 
 let check ?(engine = `Dpor) ?(bounds = default_bounds) ?(shrink = true) ?(max_cases = 8)
-    ?baseline ?on_schedule ?obs target =
+    ?baseline ?on_schedule ?obs ?refine target =
   let schedules = ref 0 in
   let points = ref 0 in
   let races = ref 0 in
@@ -556,7 +569,7 @@ let check ?(engine = `Dpor) ?(bounds = default_bounds) ?(shrink = true) ?(max_ca
       let shrunk =
         if not shrink then None
         else
-          Shrink.shrink
+          Shrink.shrink ?extra:refine
             {
               Shrink.label = target.t_name;
               build = target.t_build;
@@ -594,8 +607,8 @@ let check ?(engine = `Dpor) ?(bounds = default_bounds) ?(shrink = true) ?(max_ca
   in
   let capped =
     match engine with
-    | `Legacy_dfs -> check_legacy ~bounds ~acc target
-    | `Dpor -> check_dpor ~bounds ~acc target
+    | `Legacy_dfs -> check_legacy ?refine ~bounds ~acc target
+    | `Dpor -> check_dpor ?refine ~bounds ~acc target
   in
   let stats =
     {

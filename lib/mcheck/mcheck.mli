@@ -129,6 +129,7 @@ val check :
   ?baseline:int ->
   ?on_schedule:(Renaming_sched.Directed.choice array -> unit) ->
   ?obs:Renaming_obs.Obs.t ->
+  ?refine:(unit -> Renaming_sched.Executor.event -> unit) ->
   target ->
   stats
 (** Exhaustively explores [target] within [bounds] using [engine]
@@ -143,7 +144,15 @@ val check :
     [mcheck/points], [mcheck/races], [mcheck/wakeups], [mcheck/pruned],
     [mcheck/violations] and [mcheck/livelocks] counters.  The
     exploration itself never sees [obs], so the visited schedule space
-    is identical either way. *)
+    is identical either way.
+
+    [refine] builds one extra event hook per executed schedule (fresh
+    refinement-checker state each time), composed after the safety
+    monitor's hook at both engines and through shrinking replays; a
+    [Monitor.Violation] it raises registers like any other kind
+    (["refine:..."]).  On a violation-free target the visited schedule
+    space is identical with or without it (a violation aborts its
+    execution early, exactly as a monitor violation does). *)
 
 val pp_stats : Format.formatter -> stats -> unit
 

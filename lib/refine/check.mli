@@ -1,0 +1,39 @@
+(** Online refinement checker: feed one backend's adapted event stream
+    through the centralized {!Spec} and record the simulation outcome.
+
+    One checker per trace (the spec state is the simulation relation's
+    abstract state); violations carry the event index and the first
+    inexplicable event, which is everything a counterexample needs to
+    be replayed — the executor adapters turn it into a
+    {!Renaming_faults.Monitor.Violation} so the existing ddmin /
+    [.repro] machinery applies unchanged. *)
+
+type violation = { v_index : int; v_event : Obs_event.t; v_reason : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : ?obs:Renaming_obs.Obs.t -> config:Spec.config -> unit -> t
+(** With [?obs], the [refine/events], [refine/stutters] and
+    [refine/violations] counters are registered on the metrics registry
+    and bumped as the trace is consumed (get-or-create: many checkers
+    may share one registry). *)
+
+val observe : t -> Obs_event.t -> [ `Ok | `Violation of violation ]
+(** Applies the event to the spec.  A rejected event leaves the spec
+    state unchanged and is reported; checking continues, so one run
+    can count several violations (the first is kept in
+    {!first_violation}). *)
+
+val stutter : t -> unit
+(** Count one adapter-level stutter: an internal backend event
+    (renewal, retransmit, dedup replay, handoff) heard and mapped to
+    no spec transition at all. *)
+
+val spec : t -> Spec.t
+val events : t -> int
+val steps : t -> int
+val stutters : t -> int
+val violations : t -> int
+val first_violation : t -> violation option

@@ -1,0 +1,51 @@
+(** Adapter from {!Renaming_sched.Executor.event} streams to the
+    {!Obs_event} vocabulary, for the one-shot executor backends
+    ([Executor.run] / [Directed.run] — chaos, mcheck, fuzz).
+
+    Three extraction modes, chosen by target name ({!mode_of_name}):
+
+    - {!Tas}: the paper algorithms.  A name is granted by winning its
+      namespace TAS register, released by [Release_name], asserted by a
+      successful [Owned_name] probe or a [Some] return value; a return
+      of a name {e nobody} holds is itself the grant (the τ-device
+      admission algorithms claim names their namespace registers never
+      see).  Faulted operations never touch memory, so they are
+      stutters.
+    - {!Returns}: the service protocol models ([Handoff],
+      [Shard_handoff], [Net_dedup] and their mutants).  Names live in
+      model-internal words/aux registers, so the only observable grant
+      is the returned value; everything else is a stutter.
+    - {!Announce}: models that narrate their own observable events by
+      writing {!Obs_event.encode}d values to word 0 ({!Grant_model}).
+
+    A refinement violation is raised as
+    [Renaming_faults.Monitor.Violation] with kind
+    ["refine:<reason>"], so every existing catch / shrink / repro path
+    handles it with no new plumbing. *)
+
+type mode = Tas | Returns | Announce
+
+val mode_of_name : string -> mode
+(** By target-name prefix: the service-model families ([lease-handoff],
+    [shard-handoff], [net-dedup] and their mutants) map to {!Returns},
+    the [refine-grant] / [mutant-refine] family to {!Announce},
+    everything else to {!Tas}. *)
+
+type t
+
+val create : ?obs:Renaming_obs.Obs.t -> mode:mode -> namespace:int -> unit -> t
+(** One adapter per run (it owns the trace's {!Check.t}); [namespace]
+    is the instance's [Memory.namespace]. *)
+
+val hook : t -> Renaming_sched.Executor.event -> unit
+(** Compose after the safety monitor's hook.  Raises
+    [Renaming_faults.Monitor.Violation { kind = "refine:..."; _ }] on
+    the first inexplicable event. *)
+
+val check : t -> Check.t
+
+val hook_for :
+  ?obs:Renaming_obs.Obs.t -> name:string -> namespace:int -> unit ->
+  Renaming_sched.Executor.event -> unit
+(** [create] + [hook] with the mode resolved from [name] — the shape
+    the campaign runners' [?refine] factories want. *)

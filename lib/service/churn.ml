@@ -121,7 +121,7 @@ type summary = {
   h_lifetime : Hist.t;
 }
 
-let run ?obs cfg ~seed =
+let run ?obs ?tap cfg ~seed =
   let stream = Stream.create seed in
   let rng = Stream.fork_named stream ~name:"churn-driver" in
   let service_rng = Stream.fork_named stream ~name:"service" in
@@ -136,7 +136,7 @@ let run ?obs cfg ~seed =
       ~request_timeout:cfg.request_timeout ~high_water:cfg.high_water ()
   in
   let svc =
-    Service.create ?obs ~clock ~rng:service_rng
+    Service.create ?obs ?tap ~clock ~rng:service_rng
       { Service.lease = lease_cfg; admission = admission_cfg }
   in
   let minter = Minter.create ~rng:minter_rng () in

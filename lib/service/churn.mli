@@ -95,4 +95,12 @@ type summary = {
   h_lifetime : Renaming_obs.Hist.t;
 }
 
-val run : ?obs:Renaming_obs.Obs.t -> config -> seed:int64 -> summary
+val run :
+  ?obs:Renaming_obs.Obs.t ->
+  ?tap:(now:float -> Audit.event -> unit) ->
+  config ->
+  seed:int64 ->
+  summary
+(** [?tap] is passed through to {!Service.create}: it hears every audit
+    event after the mirror accepted it (the refinement harness's feed).
+    Observation only — results are identical either way. *)

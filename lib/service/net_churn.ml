@@ -218,7 +218,7 @@ type summary = {
   router : Router.stats;
 }
 
-let run ?obs (cfg : config) ~seed =
+let run ?obs ?tap (cfg : config) ~seed =
   let stream = Stream.create seed in
   let rng = Stream.fork_named stream ~name:"net-churn-driver" in
   let net_rng = Stream.fork_named stream ~name:"net-transport" in
@@ -226,7 +226,7 @@ let run ?obs (cfg : config) ~seed =
   let sim_now = ref 0. in
   let clock = Clock.of_fn ~label:"net-churn-sim" (fun () -> !sim_now) in
   let router =
-    Router.create ?obs ~clock ~seed:(Int64.logxor seed 0x7E7_D0_5EL) cfg.router
+    Router.create ?obs ?tap ~clock ~seed:(Int64.logxor seed 0x7E7_D0_5EL) cfg.router
   in
   Router.enable_detector router ~suspicion:cfg.suspicion;
   let net : msg Transport.t = Transport.create ~faults:cfg.faults ~rng:net_rng () in

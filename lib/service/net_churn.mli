@@ -151,5 +151,14 @@ type summary = {
   router : Router.stats;
 }
 
-val run : ?obs:Renaming_obs.Obs.t -> config -> seed:int64 -> summary
-(** Deterministic for a given [(config, seed)]. *)
+val run :
+  ?obs:Renaming_obs.Obs.t ->
+  ?tap:(Router.tap_event -> unit) ->
+  config ->
+  seed:int64 ->
+  summary
+(** Deterministic for a given [(config, seed)].  [?tap] is passed
+    through to {!Router.create} (audit events + slice absorbs, for the
+    refinement harness).  Observation only — retransmits, dedup
+    replays and fenced ghosts are invisible at the audit level and
+    refine to stutters for free. *)

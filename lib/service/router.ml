@@ -159,6 +159,15 @@ type counters = {
   c_adoptions : Metrics.counter;
 }
 
+(* External observation of the audit-relevant surface: every per-slice
+   audit event (after the global mirror has accepted it) plus every
+   slice absorb.  The refinement harness's cross-backend checker rides
+   this; clean handoffs move slice bodies intact and are deliberately
+   invisible here. *)
+type tap_event =
+  | Tap_audit of { slice : int; now : float; ev : Audit.event }
+  | Tap_absorb of { slice : int; now : float }
+
 type t = {
   cfg : config;
   clock : Clock.t;
@@ -170,6 +179,7 @@ type t = {
   st : stats;
   obs : Obs.t option;
   counters : counters option;
+  tap : (tap_event -> unit) option;
   mutable fd : detector option;
 }
 
@@ -188,11 +198,13 @@ let slice_service t ~slice ~epoch =
       ~request_timeout:t.cfg.request_timeout ~high_water:t.cfg.high_water ()
   in
   Service.create ?obs:t.obs
-    ~tap:(fun ~now:_ ev -> Gaudit.on_event t.gaudit ~slice ev)
+    ~tap:(fun ~now ev ->
+      Gaudit.on_event t.gaudit ~slice ev;
+      match t.tap with Some f -> f (Tap_audit { slice; now; ev }) | None -> ())
     ~clock:t.clock ~rng
     { Service.lease; admission }
 
-let create ?obs ~clock ~seed cfg =
+let create ?obs ?tap ~clock ~seed cfg =
   let slice_width = Longlived.namespace_for ~sessions:cfg.slice_capacity ~epsilon:cfg.epsilon in
   let counters =
     Option.map
@@ -228,6 +240,7 @@ let create ?obs ~clock ~seed cfg =
         };
       obs;
       counters;
+      tap;
       fd = None;
     }
   in
@@ -660,6 +673,7 @@ let adopt_orphans t ~now =
         | None -> ()  (* nobody left: the slice stays dark, never unsafe *)
         | Some (_, adopter) ->
           Gaudit.absorb t.gaudit ~slice ~now ~since;
+          (match t.tap with Some f -> f (Tap_absorb { slice; now }) | None -> ());
           let sl =
             {
               Shard.sl_id = slice;

@@ -72,7 +72,22 @@ val make_config :
 
 type t
 
-val create : ?obs:Renaming_obs.Obs.t -> clock:Renaming_clock.Clock.t -> seed:int64 -> config -> t
+(** External observation of the audit-relevant surface: every per-slice
+    audit event (delivered after the cross-shard mirror accepted it)
+    plus every slice absorb.  The refinement harness taps this to feed
+    its centralized spec; clean handoffs move slice bodies intact and
+    are deliberately invisible here (they refine to stutters). *)
+type tap_event =
+  | Tap_audit of { slice : int; now : float; ev : Audit.event }
+  | Tap_absorb of { slice : int; now : float }
+
+val create :
+  ?obs:Renaming_obs.Obs.t ->
+  ?tap:(tap_event -> unit) ->
+  clock:Renaming_clock.Clock.t ->
+  seed:int64 ->
+  config ->
+  t
 (** Slices are placed in contiguous ranges ([slice · shards / slices]),
     so a Zipf-hot key range concentrates on one shard.  All randomness
     derives from [seed] via named streams — runs are replayable. *)

@@ -143,14 +143,14 @@ type summary = {
   router : Router.stats;
 }
 
-let run ?obs (cfg : config) ~seed =
+let run ?obs ?tap (cfg : config) ~seed =
   let stream = Stream.create seed in
   let rng = Stream.fork_named stream ~name:"shard-churn-driver" in
   let minter_rng = Stream.fork_named stream ~name:"minter" in
   let sim_now = ref 0. in
   let clock = Clock.of_fn ~label:"shard-churn-sim" (fun () -> !sim_now) in
   let router =
-    Router.create ?obs ~clock ~seed:(Int64.logxor seed 0x51A2DE5L) cfg.router
+    Router.create ?obs ?tap ~clock ~seed:(Int64.logxor seed 0x51A2DE5L) cfg.router
   in
   let minter = Minter.create ~rng:minter_rng () in
   let zipf = Zipf.create ~s:cfg.zipf_s ~n:cfg.clients () in

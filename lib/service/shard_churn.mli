@@ -113,4 +113,11 @@ type summary = {
   router : Router.stats;
 }
 
-val run : ?obs:Renaming_obs.Obs.t -> config -> seed:int64 -> summary
+val run :
+  ?obs:Renaming_obs.Obs.t ->
+  ?tap:(Router.tap_event -> unit) ->
+  config ->
+  seed:int64 ->
+  summary
+(** [?tap] is passed through to {!Router.create} (audit events + slice
+    absorbs, for the refinement harness).  Observation only. *)
